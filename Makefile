@@ -1,0 +1,39 @@
+# Development targets for the odds reproduction.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments quick-experiments fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full evaluation suite at near-paper scale (tens of minutes).
+experiments: build
+	$(GO) run ./cmd/oddsim -exp all
+
+# Reduced-scale smoke pass of every experiment (about a minute).
+quick-experiments: build
+	$(GO) run ./cmd/oddsim -exp all -quick
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

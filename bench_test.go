@@ -1,0 +1,369 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact, at reduced scale — run
+// cmd/oddsim for paper-scale tables), micro-benchmarks for the complexity
+// theorems, and ablations for the design choices DESIGN.md calls out.
+//
+//	go test -bench=. -benchmem
+package odds
+
+import (
+	"io"
+	"testing"
+
+	"odds/internal/distance"
+	"odds/internal/experiments"
+	"odds/internal/kernel"
+	"odds/internal/mdef"
+	"odds/internal/sample"
+	"odds/internal/stats"
+	"odds/internal/stream"
+	"odds/internal/varest"
+	"odds/internal/window"
+)
+
+// --- One benchmark per paper artifact -----------------------------------
+
+func BenchmarkFig5DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(experiments.Fig5Config{EngineLen: 20000, EnviroLen: 15000, Seed: 1})
+	}
+}
+
+func BenchmarkFig6EstimationAccuracy(b *testing.B) {
+	cfg := experiments.Fig6Config{
+		WindowCap: 2048, SampleSize: 256, Eps: 0.2, Children: 2,
+		Period: 3072, Epochs: 9216, SampleIvl: 512, GridPoints: 64,
+		Fractions: []float64{0.5, 0.75}, Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series := experiments.RunFig6(cfg)
+		b.ReportMetric(series.MaxStableLeaf, "stableJS")
+		b.ReportMetric(float64(series.AdaptLatency), "adaptLatency")
+	}
+}
+
+func quickSweep(w experiments.Workload) experiments.SweepConfig {
+	s := experiments.DefaultSweep(w).Quick()
+	s.SampleFracs = []float64{0.05}
+	return s
+}
+
+func BenchmarkFig7PrecisionRecall1D(b *testing.B) {
+	s := quickSweep(experiments.Synthetic1D)
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Fig7(s)
+		tbl.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig8MGDDSampleFraction(b *testing.B) {
+	s := quickSweep(experiments.Synthetic1D)
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8(s, []float64{0.25, 1.0}).Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig9PrecisionRecall2D(b *testing.B) {
+	s := quickSweep(experiments.Synthetic2D)
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9(s).Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig10RealData(b *testing.B) {
+	s := quickSweep(experiments.EngineData)
+	for i := 0; i < b.N; i++ {
+		experiments.Fig10(s).Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig11MessageCost(b *testing.B) {
+	cfg := experiments.DefaultFig11().Quick()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFig11(cfg)
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.Centralized/last.D3, "central/D3")
+	}
+}
+
+func BenchmarkMemoryFootprint(b *testing.B) {
+	cfg := experiments.MemoryConfig{WindowCaps: []int{2000}, SampleFrac: 0.1, Eps: 0.2, Epochs: 6000, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunMemory(cfg)
+		b.ReportMetric(float64(rows[0].TotalBytes), "engineBytes")
+	}
+}
+
+// --- Complexity-theorem micro-benchmarks --------------------------------
+
+func bench1DModel(b *testing.B, n int) *kernel.Estimator {
+	b.Helper()
+	r := stats.NewRand(1)
+	pts := make([]window.Point, n)
+	for i := range pts {
+		pts[i] = window.Point{r.Float64()}
+	}
+	e, err := kernel.New(pts, []float64{0.04}, 10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkRangeQuery1DFast measures the Theorem 2 fast path:
+// O(log|R| + |R'|) per query.
+func BenchmarkRangeQuery1DFast(b *testing.B) {
+	e := bench1DModel(b, 500)
+	p := window.Point{0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Count(p, 0.01)
+	}
+}
+
+// BenchmarkRangeQuery2D measures the general O(d|R|) query.
+func BenchmarkRangeQuery2D(b *testing.B) {
+	r := stats.NewRand(2)
+	pts := make([]window.Point, 500)
+	for i := range pts {
+		pts[i] = window.Point{r.Float64(), r.Float64()}
+	}
+	e, err := kernel.New(pts, []float64{0.04, 0.04}, 10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := window.Point{0.5, 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Count(p, 0.01)
+	}
+}
+
+// BenchmarkMDEFEvaluate measures the Theorem 4 cost: O(d|R|/2αr) without
+// the cell cache.
+func BenchmarkMDEFEvaluate(b *testing.B) {
+	e := bench1DModel(b, 500)
+	prm := mdef.Params{R: 0.08, AlphaR: 0.01, KSigma: 3}
+	p := window.Point{0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mdef.Evaluate(e, p, prm)
+	}
+}
+
+// BenchmarkMDEFEvaluateCached measures the same query through the cell
+// cache (the per-arrival cost in steady state).
+func BenchmarkMDEFEvaluateCached(b *testing.B) {
+	e := bench1DModel(b, 500)
+	c := mdef.NewCachedCounter(e, 0.01)
+	prm := mdef.Params{R: 0.08, AlphaR: 0.01, KSigma: 3}
+	p := window.Point{0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mdef.Evaluate(c, p, prm)
+	}
+}
+
+func BenchmarkChainSamplePush(b *testing.B) {
+	c := sample.NewChain(500, 10000, 1, stats.NewRand(3))
+	src := stream.NewMixture(stream.DefaultMixture(), 1, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Push(src.Next())
+	}
+}
+
+func BenchmarkVarianceSketchPush(b *testing.B) {
+	e := varest.New(10000, 0.2)
+	src := stream.NewMixture(stream.DefaultMixture(), 1, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Push(src.Next()[0])
+	}
+}
+
+func BenchmarkKernelModelRebuild(b *testing.B) {
+	r := stats.NewRand(6)
+	pts := make([]window.Point, 500)
+	for i := range pts {
+		pts[i] = window.Point{r.Float64()}
+	}
+	sig := []float64{0.06}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kernel.FromSample(pts, sig, 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectorObserve(b *testing.B) {
+	det, err := NewDetector(DefaultConfig(1), DistanceParams{Radius: 0.01, Threshold: 45}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := NewMixtureSource(1, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Observe(src.Next())
+	}
+}
+
+func BenchmarkBruteForceDGroundTruth(b *testing.B) {
+	src := stream.NewMixture(stream.DefaultMixture(), 1, 9)
+	pts := stream.Take(src, 10000)
+	prm := distance.Params{Radius: 0.01, Threshold: 45}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		distance.BruteForce(pts, prm)
+	}
+}
+
+// --- Ablations ------------------------------------------------------------
+
+// BenchmarkAblationQuery1DFastPath quantifies the Theorem 2 remark: the
+// sorted 1-d path versus the naive full scan.
+func BenchmarkAblationQuery1DFastPath(b *testing.B) {
+	e := bench1DModel(b, 2000)
+	lo, hi := []float64{0.49}, []float64{0.51}
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.ProbBox(lo, hi)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.ProbBoxNaive(lo, hi)
+		}
+	})
+}
+
+// BenchmarkAblationChainSample compares maintaining the sample online
+// against rebuilding it from a full window on demand.
+func BenchmarkAblationChainSample(b *testing.B) {
+	src := stream.NewMixture(stream.DefaultMixture(), 1, 10)
+	b.Run("chain", func(b *testing.B) {
+		c := sample.NewChain(500, 10000, 1, stats.NewRand(11))
+		for i := 0; i < b.N; i++ {
+			c.Push(src.Next())
+		}
+	})
+	b.Run("resample-window", func(b *testing.B) {
+		w := window.New(10000, 1)
+		rng := stats.NewRand(12)
+		for i := 0; i < 10000; i++ {
+			w.Push(src.Next())
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Push(src.Next())
+			// Draw a fresh 500-point sample from the window.
+			out := make([]window.Point, 500)
+			for j := range out {
+				out[j] = w.At(rng.Intn(w.Len()))
+			}
+		}
+	})
+}
+
+// BenchmarkAblationVarianceSketch compares the EH sketch against exact
+// recomputation over a full window per arrival.
+func BenchmarkAblationVarianceSketch(b *testing.B) {
+	src := stream.NewMixture(stream.DefaultMixture(), 1, 13)
+	b.Run("sketch", func(b *testing.B) {
+		e := varest.New(10000, 0.2)
+		for i := 0; i < b.N; i++ {
+			e.Push(src.Next()[0])
+		}
+	})
+	b.Run("exact-window", func(b *testing.B) {
+		w := window.New(10000, 1)
+		for i := 0; i < 10000; i++ {
+			w.Push(src.Next())
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Push(src.Next())
+			var m stats.Moments
+			w.Do(func(p window.Point) { m.Add(p[0]) })
+			_ = m.StdDev()
+		}
+	})
+}
+
+// BenchmarkAblationJSGatedUpdates measures the Section 8.1 optimization:
+// global-model messages with and without the JS gate on a drifting
+// workload.
+func BenchmarkAblationJSGatedUpdates(b *testing.B) {
+	run := func(gate float64) float64 {
+		srcs := make([]Source, 4)
+		for i := range srcs {
+			srcs[i] = NewShiftingSource([]float64{0.3, 0.5}, 0.05, 800, int64(20+i))
+		}
+		cfg := Config{WindowCap: 2000, SampleSize: 200, Eps: 0.2, SampleFraction: 0.5, Dim: 1, RebuildEvery: 1}
+		dep, err := NewDeployment(DeploymentConfig{
+			Algorithm: MGDD,
+			Sources:   srcs,
+			Branching: 2,
+			Core:      cfg,
+			MDEF:      MDEFParams{R: 0.08, AlphaR: 0.01, KSigma: 1},
+			JSGate:    gate,
+			Seed:      21,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dep.Run(3000)
+		return float64(dep.Messages().ByKind["global"])
+	}
+	for i := 0; i < b.N; i++ {
+		open := run(0)
+		gated := run(0.05)
+		b.ReportMetric(open, "global-open")
+		b.ReportMetric(gated, "global-gated")
+	}
+}
+
+// BenchmarkAblationEstimatorKinds reports leaf precision/recall for the
+// kernel method, the offline full-window histogram the paper compares
+// against, and the fully-online sampled histogram — testing the paper's
+// conjecture that "any similar online technique will perform at most as
+// good" as the offline histogram.
+func BenchmarkAblationEstimatorKinds(b *testing.B) {
+	kinds := map[string]experiments.EstimatorKind{
+		"kernel":       experiments.KindKernel,
+		"offline-hist": experiments.KindHistogram,
+		"sampled-hist": experiments.KindSampledHistogram,
+		"wavelet":      experiments.KindWavelet,
+	}
+	for name, kind := range kinds {
+		kind := kind
+		b.Run(name, func(b *testing.B) {
+			s := quickSweep(experiments.Synthetic1D)
+			for i := 0; i < b.N; i++ {
+				res := experiments.RunD3(s.PRConfigFor(0.05, kind, 0))
+				b.ReportMetric(res.PerLevel[0].Precision(), "precision")
+				b.ReportMetric(res.PerLevel[0].Recall(), "recall")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBandwidth sweeps the bandwidth calibration factor and
+// reports the leaf recall each achieves (see EXPERIMENTS.md on why the
+// harness runs at 0.5).
+func BenchmarkAblationBandwidth(b *testing.B) {
+	for _, scale := range []float64{0.25, 0.5, 1.0} {
+		scale := scale
+		b.Run(experiments.FmtF(scale, 2), func(b *testing.B) {
+			s := quickSweep(experiments.Synthetic1D)
+			s.BandwidthScale = scale
+			for i := 0; i < b.N; i++ {
+				res := experiments.RunD3(s.PRConfigFor(0.05, experiments.KindKernel, 0))
+				b.ReportMetric(res.PerLevel[0].Recall(), "recall")
+				b.ReportMetric(res.PerLevel[0].Precision(), "precision")
+			}
+		})
+	}
+}

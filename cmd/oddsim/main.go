@@ -1,0 +1,107 @@
+// Command oddsim regenerates the paper's evaluation (Section 10): every
+// table and figure, printed as aligned text tables. By default it runs at
+// near-paper scale, which takes tens of minutes for the full suite; pass
+// -quick for a fast smoke pass with reduced windows and runs.
+//
+// Usage:
+//
+//	oddsim -exp fig7            # one experiment
+//	oddsim -exp all -quick      # whole suite, reduced scale
+//	oddsim -exp fig8 -runs 12   # paper's run count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"odds/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|mem|ablation|all")
+		quick = flag.Bool("quick", false, "reduced scale (small windows, single run)")
+		runs  = flag.Int("runs", 0, "override run count (paper: 12)")
+		seed  = flag.Int64("seed", 1, "master seed")
+	)
+	flag.Parse()
+
+	run := func(name string, fn func() *experiments.Table) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		tbl := fn()
+		tbl.Fprint(os.Stdout)
+		fmt.Fprintf(os.Stdout, "  [%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	sweep := func(w experiments.Workload) experiments.SweepConfig {
+		s := experiments.DefaultSweep(w)
+		if *quick {
+			s = s.Quick()
+		}
+		if *runs > 0 {
+			s.Runs = *runs
+		}
+		s.Seed = *seed
+		return s
+	}
+
+	run("fig5", func() *experiments.Table {
+		c := experiments.DefaultFig5()
+		c.Seed = *seed
+		if *quick {
+			c.EngineLen, c.EnviroLen = 20000, 15000
+		}
+		return experiments.Fig5(c)
+	})
+	run("fig6", func() *experiments.Table {
+		c := experiments.DefaultFig6()
+		c.Seed = *seed
+		if *quick {
+			c.WindowCap, c.SampleSize = 2048, 256
+			c.Period, c.Epochs, c.SampleIvl = 3072, 9216, 512
+		}
+		return experiments.Fig6(c)
+	})
+	run("fig7", func() *experiments.Table { return experiments.Fig7(sweep(experiments.Synthetic1D)) })
+	run("fig8", func() *experiments.Table { return experiments.Fig8(sweep(experiments.Synthetic1D), nil) })
+	run("fig9", func() *experiments.Table { return experiments.Fig9(sweep(experiments.Synthetic2D)) })
+	run("fig10", func() *experiments.Table { return experiments.Fig10(sweep(experiments.EngineData)) })
+	run("fig11", func() *experiments.Table {
+		c := experiments.DefaultFig11()
+		c.Seed = *seed
+		if *quick {
+			c = c.Quick()
+		}
+		return experiments.Fig11(c)
+	})
+	run("ablation", func() *experiments.Table {
+		s := sweep(experiments.Synthetic1D)
+		if !*quick {
+			// The four-way comparison is heavy; default to a mid scale.
+			s.Runs = 1
+		}
+		return experiments.AblationEstimators(s)
+	})
+	run("mem", func() *experiments.Table {
+		c := experiments.DefaultMemory()
+		c.Seed = *seed
+		if *quick {
+			c.WindowCaps = []int{2000}
+			c.Epochs = 6000
+		}
+		return experiments.Memory(c)
+	})
+
+	switch *exp {
+	case "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "mem", "ablation", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "oddsim: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

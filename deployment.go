@@ -1,0 +1,260 @@
+package odds
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"odds/internal/core"
+	"odds/internal/network"
+	"odds/internal/stats"
+	"odds/internal/tagsim"
+)
+
+// Algorithm selects the distributed detection scheme a Deployment runs.
+type Algorithm int
+
+const (
+	// D3 detects distance-based outliers at every level of the hierarchy
+	// (Section 7 of the paper).
+	D3 Algorithm = iota
+	// MGDD detects MDEF-based outliers at the leaves against a replicated
+	// global model (Section 8).
+	MGDD
+	// Centralized ships every reading to the top leader — the
+	// communication baseline.
+	Centralized
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case D3:
+		return "D3"
+	case MGDD:
+		return "MGDD"
+	case Centralized:
+		return "centralized"
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// Report is one detected outlier: the node that confirmed it, its level
+// (0 = leaf), the value, and the epoch.
+type Report struct {
+	Node  int
+	Level int
+	Value Point
+	Epoch int
+}
+
+// DeploymentConfig assembles a hierarchical deployment.
+type DeploymentConfig struct {
+	Algorithm Algorithm
+	// Sources provides one stream per leaf sensor; its length sets the
+	// leaf count.
+	Sources   []Source
+	Branching int // leaders per grouping (default 4)
+	Core      Config
+	Dist      DistanceParams // D3 only
+	MDEF      MDEFParams     // MGDD only
+	// JSGate, when positive, batches MGDD global-model updates until the
+	// JS distance between the last-broadcast and current root model
+	// exceeds the gate (the Section 8.1 optimization).
+	JSGate float64
+	// MessageLoss injects radio failures: every transmitted message is
+	// destroyed independently with this probability. The algorithms
+	// degrade gracefully — sample propagation and global updates are
+	// probabilistic refreshes, not protocol state — which the failure-
+	// injection tests verify.
+	MessageLoss float64
+	// UseGrid organizes the network as the paper's Figure 1 overlapping
+	// virtual grids (quad-tree tiers over sensors placed on the unit
+	// plane) instead of a plain branching hierarchy. Requires the number
+	// of sources to be side*side with side a power of two ≥ 2; Branching
+	// is ignored.
+	UseGrid bool
+	Seed    int64
+}
+
+// Deployment is a runnable hierarchical sensor network executing one of
+// the paper's algorithms.
+type Deployment struct {
+	cfg     DeploymentConfig
+	topo    *network.Topology
+	sim     *tagsim.Simulator
+	nodes   []tagsim.Node
+	mu      sync.Mutex // guards reports (concurrent runs flag in parallel)
+	reports []Report
+	epochs  int
+}
+
+// NewDeployment wires the deployment. Reported outliers accumulate and
+// are available from Reports after Run.
+func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
+	if len(cfg.Sources) == 0 {
+		return nil, errors.New("odds: deployment needs at least one source")
+	}
+	if cfg.Branching == 0 {
+		cfg.Branching = 4
+	}
+	if cfg.Branching < 2 {
+		return nil, fmt.Errorf("odds: branching %d must be at least 2", cfg.Branching)
+	}
+	if err := cfg.Core.Validate(); err != nil {
+		return nil, err
+	}
+	for i, s := range cfg.Sources {
+		if s == nil {
+			return nil, fmt.Errorf("odds: source %d is nil", i)
+		}
+		if s.Dim() != cfg.Core.Dim {
+			return nil, fmt.Errorf("odds: source %d has dim %d, config dim %d", i, s.Dim(), cfg.Core.Dim)
+		}
+	}
+	switch cfg.Algorithm {
+	case D3:
+		if err := cfg.Dist.Validate(); err != nil {
+			return nil, err
+		}
+	case MGDD:
+		if err := cfg.MDEF.Validate(); err != nil {
+			return nil, err
+		}
+	case Centralized:
+	default:
+		return nil, fmt.Errorf("odds: unknown algorithm %d", cfg.Algorithm)
+	}
+
+	d := &Deployment{cfg: cfg}
+	var topo *network.Topology
+	switch {
+	case cfg.UseGrid:
+		side := 2
+		for side*side < len(cfg.Sources) {
+			side *= 2
+		}
+		if side*side != len(cfg.Sources) {
+			return nil, fmt.Errorf("odds: grid topology needs a power-of-four sensor count, got %d", len(cfg.Sources))
+		}
+		topo = network.NewGrid(side)
+	case len(cfg.Sources) == 1:
+		topo = network.NewHierarchy(1, cfg.Branching)
+	default:
+		topo = network.NewHierarchy(len(cfg.Sources), cfg.Branching)
+	}
+	d.topo = topo
+	d.sim = tagsim.New()
+	master := stats.NewRand(cfg.Seed)
+	if cfg.MessageLoss < 0 || cfg.MessageLoss > 1 {
+		return nil, fmt.Errorf("odds: message loss %v outside [0,1]", cfg.MessageLoss)
+	}
+	if cfg.MessageLoss > 0 {
+		d.sim.SetLoss(cfg.MessageLoss, stats.SplitRand(master))
+	}
+
+	record := func(node tagsim.NodeID, level int) func(Point, int) {
+		return func(v Point, epoch int) {
+			d.mu.Lock()
+			d.reports = append(d.reports, Report{Node: int(node), Level: level, Value: v, Epoch: epoch})
+			d.mu.Unlock()
+		}
+	}
+
+	for i, id := range topo.Leaves() {
+		parent, hasUp := topo.Parent(id)
+		switch cfg.Algorithm {
+		case D3:
+			leaf := core.NewD3Leaf(id, parent, hasUp, cfg.Sources[i], cfg.Core, cfg.Dist, stats.SplitRand(master))
+			leaf.Flagged = record(id, 0)
+			d.addNode(leaf)
+		case MGDD:
+			leaf := core.NewMGDDLeaf(id, parent, hasUp, cfg.Sources[i], cfg.Core, cfg.MDEF, len(topo.Leaves()), stats.SplitRand(master))
+			leaf.Flagged = record(id, 0)
+			d.addNode(leaf)
+		case Centralized:
+			d.addNode(core.NewCentralLeaf(id, parent, hasUp, cfg.Sources[i]))
+		}
+	}
+	for lvl := 1; lvl < topo.Depth(); lvl++ {
+		for _, id := range topo.Levels[lvl] {
+			parent, hasUp := topo.Parent(id)
+			desc := len(topo.DescendantLeaves(id))
+			switch cfg.Algorithm {
+			case D3:
+				p := core.NewD3Parent(id, parent, hasUp, desc, cfg.Core, cfg.Dist, stats.SplitRand(master))
+				p.Flagged = record(id, lvl)
+				d.addNode(p)
+			case MGDD:
+				p := core.NewMGDDParent(id, parent, hasUp, topo.Children[id], desc, cfg.Core, stats.SplitRand(master))
+				p.JSGate = cfg.JSGate
+				d.addNode(p)
+			case Centralized:
+				r := core.NewCentralRelay(id, parent, hasUp)
+				if !hasUp {
+					r.CollectCap = cfg.Core.WindowCap
+				}
+				d.addNode(r)
+			}
+		}
+	}
+	return d, nil
+}
+
+func (d *Deployment) addNode(n tagsim.Node) {
+	d.sim.Add(n)
+	d.nodes = append(d.nodes, n)
+}
+
+// Run executes the given number of epochs on the deterministic simulator
+// (one reading per sensor per epoch).
+func (d *Deployment) Run(epochs int) {
+	d.sim.Run(epochs)
+	d.epochs += epochs
+}
+
+// RunConcurrent executes the given number of epochs with one goroutine per
+// node. Reports from concurrent runs arrive in nondeterministic order.
+// Run and RunConcurrent may be interleaved; node state carries over.
+func (d *Deployment) RunConcurrent(epochs int) {
+	rt := network.NewRuntime(d.nodes)
+	defer rt.Close()
+	rt.Run(epochs)
+	d.epochs += epochs
+}
+
+// Reports returns the outliers detected so far, in detection order for
+// deterministic runs.
+func (d *Deployment) Reports() []Report {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Report, len(d.reports))
+	copy(out, d.reports)
+	return out
+}
+
+// MessageStats is the per-kind message accounting a deterministic run
+// accumulates.
+type MessageStats = tagsim.Stats
+
+// Messages returns the message accounting of deterministic runs.
+func (d *Deployment) Messages() MessageStats { return d.sim.Stats() }
+
+// Levels returns the number of hierarchy levels (leaves inclusive).
+func (d *Deployment) Levels() int { return d.topo.Depth() }
+
+// NodeCount returns the total number of nodes.
+func (d *Deployment) NodeCount() int { return d.topo.NodeCount() }
+
+// SensorPosition returns the plane position of leaf sensor i under the
+// grid topology (ok=false for hierarchy deployments or non-leaf ids).
+func (d *Deployment) SensorPosition(i int) (x, y float64, ok bool) {
+	if i < 0 || i >= len(d.topo.Leaves()) {
+		return 0, 0, false
+	}
+	pos, has := d.topo.Pos[d.topo.Leaves()[i]]
+	if !has {
+		return 0, 0, false
+	}
+	return pos[0], pos[1], true
+}

@@ -1,0 +1,126 @@
+package odds
+
+// Failure-injection tests: the distributed algorithms must degrade
+// gracefully under radio loss, because sample propagation and global-model
+// updates are probabilistic refreshes rather than protocol state — a lost
+// message only delays a refresh that a later inclusion repeats.
+
+import (
+	"testing"
+)
+
+func lossyDeployment(t *testing.T, alg Algorithm, loss float64, seed int64) *Deployment {
+	t.Helper()
+	cfg := DeploymentConfig{
+		Algorithm:   alg,
+		Sources:     buildSources(8, 1),
+		Branching:   2,
+		Core:        smallConfig(1),
+		MessageLoss: loss,
+		Seed:        seed,
+	}
+	switch alg {
+	case D3:
+		cfg.Dist = DistanceParams{Radius: 0.01, Threshold: 10}
+	case MGDD:
+		cfg.MDEF = MDEFParams{R: 0.08, AlphaR: 0.01, KSigma: 1}
+	}
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMessageLossValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.5} {
+		_, err := NewDeployment(DeploymentConfig{
+			Algorithm:   D3,
+			Sources:     buildSources(2, 1),
+			Branching:   2,
+			Core:        smallConfig(1),
+			Dist:        DistanceParams{Radius: 0.01, Threshold: 10},
+			MessageLoss: bad,
+		})
+		if err == nil {
+			t.Errorf("loss %v accepted", bad)
+		}
+	}
+}
+
+func TestD3SurvivesHeavyLoss(t *testing.T) {
+	d := lossyDeployment(t, D3, 0.5, 31)
+	d.Run(4000)
+	st := d.Messages()
+	if st.Lost == 0 {
+		t.Fatal("no messages lost despite 50% loss")
+	}
+	// Leaves detect locally, so leaf reports must survive any loss rate;
+	// parents see fewer candidates but must still confirm some.
+	byLevel := make([]int, d.Levels())
+	for _, r := range d.Reports() {
+		byLevel[r.Level]++
+	}
+	if byLevel[0] == 0 {
+		t.Error("leaf detection broke under loss")
+	}
+	if byLevel[1] == 0 {
+		t.Error("parent confirmation fully starved under 50% loss")
+	}
+}
+
+func TestD3LossReducesButDoesNotBreakUpperLevels(t *testing.T) {
+	clean := lossyDeployment(t, D3, 0, 33)
+	clean.Run(4000)
+	lossy := lossyDeployment(t, D3, 0.5, 33)
+	lossy.Run(4000)
+	upper := func(d *Deployment) int {
+		n := 0
+		for _, r := range d.Reports() {
+			if r.Level > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	cu, lu := upper(clean), upper(lossy)
+	if lu == 0 {
+		t.Fatal("lossy run confirmed nothing above leaves")
+	}
+	if lu >= cu {
+		t.Errorf("loss did not reduce upper-level confirmations: %d vs %d", lu, cu)
+	}
+}
+
+func TestMGDDSurvivesLoss(t *testing.T) {
+	d := lossyDeployment(t, MGDD, 0.3, 35)
+	d.Run(5000)
+	if d.Messages().Lost == 0 {
+		t.Fatal("no losses injected")
+	}
+	// Global updates thin out but replicas still fill and detection runs.
+	if len(d.Reports()) == 0 {
+		t.Error("MGDD detection broke under 30% loss")
+	}
+}
+
+func TestCentralizedLossAccounting(t *testing.T) {
+	cfg := DeploymentConfig{
+		Algorithm:   Centralized,
+		Sources:     buildSources(4, 1),
+		Branching:   2,
+		Core:        smallConfig(1),
+		MessageLoss: 0.25,
+		Seed:        37,
+	}
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(2000)
+	st := d.Messages()
+	frac := float64(st.Lost) / float64(st.Total)
+	if frac < 0.2 || frac > 0.3 {
+		t.Errorf("lost fraction = %v, want ≈0.25", frac)
+	}
+}

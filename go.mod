@@ -1,0 +1,3 @@
+module odds
+
+go 1.22

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"odds/internal/stream"
+	"odds/internal/tagsim"
+	"odds/internal/window"
+)
+
+// CentralLeaf is a sensor under the centralized baseline (Sections 8.1,
+// 10.3): every reading is shipped hop-by-hop to the top leader, where all
+// processing would happen. It performs no local computation.
+type CentralLeaf struct {
+	id     tagsim.NodeID
+	parent tagsim.NodeID
+	hasUp  bool
+	src    stream.Source
+}
+
+// NewCentralLeaf wires a centralized-baseline sensor.
+func NewCentralLeaf(id, parent tagsim.NodeID, hasParent bool, src stream.Source) *CentralLeaf {
+	return &CentralLeaf{id: id, parent: parent, hasUp: hasParent, src: src}
+}
+
+// ID returns the node id.
+func (n *CentralLeaf) ID() tagsim.NodeID { return n.id }
+
+// OnEpoch ships the reading upward.
+func (n *CentralLeaf) OnEpoch(s tagsim.Sender, epoch int) {
+	v := n.src.Next()
+	if n.hasUp {
+		s.Send(n.parent, KindReading, v, 0)
+	}
+}
+
+// OnMessage is a no-op.
+func (n *CentralLeaf) OnMessage(s tagsim.Sender, msg tagsim.Message) {}
+
+// CentralRelay forwards readings one hop toward the root; the root
+// collects them into a window for offline processing.
+type CentralRelay struct {
+	id     tagsim.NodeID
+	parent tagsim.NodeID
+	hasUp  bool
+
+	// Collected holds the most recent readings at the root (nil elsewhere);
+	// bounded by CollectCap.
+	Collected  []window.Point
+	CollectCap int
+}
+
+// NewCentralRelay wires a relay/collector node.
+func NewCentralRelay(id, parent tagsim.NodeID, hasParent bool) *CentralRelay {
+	return &CentralRelay{id: id, parent: parent, hasUp: hasParent}
+}
+
+// ID returns the node id.
+func (n *CentralRelay) ID() tagsim.NodeID { return n.id }
+
+// OnEpoch is a no-op.
+func (n *CentralRelay) OnEpoch(s tagsim.Sender, epoch int) {}
+
+// OnMessage forwards or collects.
+func (n *CentralRelay) OnMessage(s tagsim.Sender, msg tagsim.Message) {
+	if msg.Kind != KindReading {
+		return
+	}
+	if n.hasUp {
+		s.Send(n.parent, KindReading, msg.Value, 0)
+		return
+	}
+	if n.CollectCap > 0 {
+		n.Collected = append(n.Collected, msg.Value)
+		if len(n.Collected) > n.CollectCap {
+			n.Collected = n.Collected[len(n.Collected)-n.CollectCap:]
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+
+	"odds/internal/kernel"
+	"odds/internal/sample"
+	"odds/internal/varest"
+	"odds/internal/window"
+)
+
+// Estimator is the per-node estimation state every sensor maintains
+// (Section 5): a chain sample of the window, a sliding-window variance
+// sketch, and a kernel density model derived from them. The model is
+// cached and rebuilt lazily when the sample has changed, at most once per
+// RebuildEvery arrivals.
+type Estimator struct {
+	cfg    Config
+	smp    *sample.Chain
+	vars   *varest.Multi
+	wcount float64 // |W| used to scale range queries (union size at parents)
+
+	model      *kernel.Estimator
+	dirty      bool
+	sinceBuild int
+	arrivals   uint64
+}
+
+// NewEstimator returns estimation state for a node whose range queries
+// should be scaled to windowCount values (a leaf passes its own |W|; a
+// parent passes the union size l·|W| per Theorem 3). sampleWindow is the
+// count-based window the chain sample tracks — the node's own arrival
+// window (leaves) or the expected receipts per union-window span
+// (parents).
+func NewEstimator(cfg Config, sampleWindow int, windowCount float64, rng *rand.Rand) *Estimator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if sampleWindow < cfg.SampleSize {
+		sampleWindow = cfg.SampleSize
+	}
+	return &Estimator{
+		cfg:    cfg,
+		smp:    sample.NewChain(cfg.SampleSize, sampleWindow, cfg.Dim, rng),
+		vars:   varest.NewMulti(cfg.Dim, sampleWindow, cfg.Eps),
+		wcount: windowCount,
+	}
+}
+
+// Observe folds one value into the sample and the variance sketch,
+// reporting whether the value entered the sample (the propagation trigger
+// of Figure 4).
+func (e *Estimator) Observe(p window.Point) bool {
+	e.arrivals++
+	e.sinceBuild++
+	e.vars.Push(p)
+	included := e.smp.Push(p)
+	if included {
+		e.dirty = true
+	}
+	return included
+}
+
+// Arrivals returns the number of observed values.
+func (e *Estimator) Arrivals() uint64 { return e.arrivals }
+
+// WindowCount returns the |W| scaling used for range queries.
+func (e *Estimator) WindowCount() float64 { return e.wcount }
+
+// StdDevs exposes the sketch's current per-dimension deviation estimates.
+func (e *Estimator) StdDevs() []float64 { return e.vars.StdDevs() }
+
+// Model returns the kernel density model for the current window, rebuilding
+// it if the sample changed and the rebuild interval elapsed. It returns nil
+// until at least one value has been observed.
+func (e *Estimator) Model() *kernel.Estimator {
+	if e.model == nil || (e.dirty && e.sinceBuild >= e.cfg.RebuildEvery) {
+		pts := e.smp.Points()
+		if len(pts) == 0 {
+			return nil
+		}
+		// Scale queries by the filled fraction of the sample window so
+		// counts are not inflated while windows fill. For a leaf the
+		// sample window is |W| itself; for a parent it is the expected
+		// receipts per union-window span, so the fraction tracks how much
+		// of the union window the receipts represent.
+		wc := e.EffectiveWindowCount()
+		sigmas := e.vars.StdDevs()
+		if s := e.cfg.BandwidthScale; s > 0 && s != 1 {
+			scaled := make([]float64, len(sigmas))
+			for i, sd := range sigmas {
+				scaled[i] = sd * s
+			}
+			sigmas = scaled
+		}
+		m, err := kernel.FromSample(pts, sigmas, wc)
+		if err != nil {
+			// The only reachable error is an empty sample, handled above.
+			panic(err)
+		}
+		e.model = m
+		e.dirty = false
+		e.sinceBuild = 0
+	}
+	return e.model
+}
+
+// warmupFraction is the share of the sample window that must have been
+// observed before a node starts flagging outliers: with only a handful of
+// arrivals every neighbor-count estimate is below any threshold and every
+// value would be reported. Half a window keeps estimates stable without
+// delaying detection unduly.
+const warmupFraction = 0.5
+
+// Warmed reports whether enough of the window has been observed for
+// outlier decisions to be meaningful.
+func (e *Estimator) Warmed() bool {
+	return float64(e.arrivals) >= warmupFraction*float64(e.smp.WindowCap())
+}
+
+// SamplePoints returns the chain sample's current points (shared, do not
+// mutate) — the raw material for estimator variants beyond kernels, such
+// as the online sampled histogram.
+func (e *Estimator) SamplePoints() []window.Point { return e.smp.Points() }
+
+// EffectiveWindowCount returns the |W| scaling adjusted for warm-up: the
+// configured window count times the filled fraction of the sample window,
+// exactly as the kernel model scales its range queries.
+func (e *Estimator) EffectiveWindowCount() float64 {
+	wc := e.wcount
+	if frac := float64(e.arrivals) / float64(e.smp.WindowCap()); frac < 1 {
+		wc *= frac
+		if wc < 1 {
+			wc = 1
+		}
+	}
+	return wc
+}
+
+// MemoryBytes reports the node's estimation-state footprint under the
+// paper's 16-bit accounting: chain sample plus variance sketch (Theorem 1).
+func (e *Estimator) MemoryBytes() int {
+	return e.smp.MemoryBytes() + e.vars.MemoryBytes()
+}
+
+// SampleStoredPoints exposes the chain sample's current storage for the
+// memory experiments.
+func (e *Estimator) SampleStoredPoints() int { return e.smp.StoredPoints() }
+
+// VarianceMemoryNumbers exposes the sketch's stored scalars.
+func (e *Estimator) VarianceMemoryNumbers() int { return e.vars.MemoryNumbers() }
+
+// VarianceBoundNumbers exposes the sketch's theoretical bound in scalars.
+func (e *Estimator) VarianceBoundNumbers() int { return e.vars.BoundNumbers() }

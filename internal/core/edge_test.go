@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"odds/internal/distance"
+	"odds/internal/mdef"
+	"odds/internal/stats"
+	"odds/internal/stream"
+	"odds/internal/tagsim"
+	"odds/internal/window"
+)
+
+// sink implements tagsim.Sender for driving nodes directly.
+type sink struct {
+	self tagsim.NodeID
+	sent []tagsim.Message
+}
+
+func (s *sink) Self() tagsim.NodeID { return s.self }
+func (s *sink) Send(to tagsim.NodeID, kind string, v window.Point, aux float64) {
+	s.sent = append(s.sent, tagsim.Message{From: s.self, To: to, Kind: kind, Value: v, Aux: aux})
+}
+
+func TestD3LeafIgnoresMessages(t *testing.T) {
+	cfg := testConfig(1)
+	leaf := NewD3Leaf(1, 0, false, stream.NewMixture(stream.DefaultMixture(), 1, 1), cfg,
+		distance.Params{Radius: 0.01, Threshold: 10}, stats.NewRand(1))
+	snd := &sink{self: 1}
+	leaf.OnMessage(snd, tagsim.Message{Kind: KindSample, Value: window.Point{0.5}})
+	if len(snd.sent) != 0 {
+		t.Error("leaf reacted to a message")
+	}
+	if leaf.Estimator() == nil {
+		t.Error("Estimator accessor broken")
+	}
+}
+
+func TestCentralLeafNoParent(t *testing.T) {
+	leaf := NewCentralLeaf(1, 0, false, stream.NewMixture(stream.DefaultMixture(), 1, 2))
+	snd := &sink{self: 1}
+	leaf.OnEpoch(snd, 0)
+	if len(snd.sent) != 0 {
+		t.Error("parentless central leaf transmitted")
+	}
+	leaf.OnMessage(snd, tagsim.Message{Kind: KindReading})
+	if len(snd.sent) != 0 {
+		t.Error("central leaf reacted to a message")
+	}
+}
+
+func TestCentralRelayIgnoresOtherKinds(t *testing.T) {
+	r := NewCentralRelay(2, 3, true)
+	snd := &sink{self: 2}
+	r.OnEpoch(snd, 0)
+	r.OnMessage(snd, tagsim.Message{Kind: KindSample, Value: window.Point{0.5}})
+	if len(snd.sent) != 0 {
+		t.Error("relay forwarded a non-reading")
+	}
+	r.OnMessage(snd, tagsim.Message{Kind: KindReading, Value: window.Point{0.5}})
+	if len(snd.sent) != 1 || snd.sent[0].To != 3 {
+		t.Error("relay did not forward reading")
+	}
+}
+
+func TestCentralRelayCollectCapTrims(t *testing.T) {
+	root := NewCentralRelay(9, 0, false)
+	root.CollectCap = 3
+	snd := &sink{self: 9}
+	for i := 0; i < 10; i++ {
+		root.OnMessage(snd, tagsim.Message{Kind: KindReading, Value: window.Point{float64(i)}})
+	}
+	if len(root.Collected) != 3 {
+		t.Fatalf("collected %d, want 3", len(root.Collected))
+	}
+	if root.Collected[0][0] != 7 || root.Collected[2][0] != 9 {
+		t.Errorf("collected window wrong: %v", root.Collected)
+	}
+}
+
+func TestMGDDParentAccessorsAndEpoch(t *testing.T) {
+	cfg := testConfig(1)
+	p := NewMGDDParent(5, 0, false, []tagsim.NodeID{1, 2}, 2, cfg, stats.NewRand(3))
+	if p.Estimator() == nil {
+		t.Error("Estimator accessor broken")
+	}
+	snd := &sink{self: 5}
+	p.OnEpoch(snd, 3) // no-op, must not send
+	if len(snd.sent) != 0 {
+		t.Error("MGDD parent sent on epoch")
+	}
+}
+
+func TestMGDDParentRelaysGlobalDown(t *testing.T) {
+	cfg := testConfig(1)
+	p := NewMGDDParent(5, 9, true, []tagsim.NodeID{1, 2}, 2, cfg, stats.NewRand(4))
+	snd := &sink{self: 5}
+	p.OnMessage(snd, tagsim.Message{Kind: KindGlobal, Value: window.Point{0.4}, Aux: 0.05})
+	if len(snd.sent) != 2 {
+		t.Fatalf("relay fanout = %d, want 2", len(snd.sent))
+	}
+	for _, m := range snd.sent {
+		if m.Kind != KindGlobal || m.Aux != 0.05 {
+			t.Errorf("relayed message wrong: %+v", m)
+		}
+	}
+}
+
+func TestMGDDLeafAccessors(t *testing.T) {
+	cfg := testConfig(1)
+	leaf := NewMGDDLeaf(1, 2, true, stream.NewMixture(stream.DefaultMixture(), 1, 5), cfg,
+		mdef.Params{R: 0.08, AlphaR: 0.01, KSigma: 3}, 4, stats.NewRand(5))
+	if leaf.Estimator() == nil || leaf.Global() == nil {
+		t.Error("accessors broken")
+	}
+	// Non-global messages are ignored.
+	snd := &sink{self: 1}
+	leaf.OnMessage(snd, tagsim.Message{Kind: KindSample, Value: window.Point{0.5}})
+	if leaf.Global().Fill() != 0 {
+		t.Error("leaf absorbed a non-global message")
+	}
+}
+
+func TestMGDDLeafPanicsOnBadArgs(t *testing.T) {
+	cfg := testConfig(1)
+	src := stream.NewMixture(stream.DefaultMixture(), 1, 6)
+	prm := mdef.Params{R: 0.08, AlphaR: 0.01, KSigma: 3}
+	for name, fn := range map[string]func(){
+		"bad params": func() {
+			NewMGDDLeaf(1, 0, false, src, cfg, mdef.Params{}, 4, stats.NewRand(1))
+		},
+		"dim mismatch": func() {
+			NewMGDDLeaf(1, 0, false, stream.NewMixture(stream.DefaultMixture(), 2, 1), cfg, prm, 4, stats.NewRand(1))
+		},
+		"no leaves": func() {
+			NewMGDDLeaf(1, 0, false, src, cfg, prm, 0, stats.NewRand(1))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewParentsPanic(t *testing.T) {
+	cfg := testConfig(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("D3 parent with 0 leaves accepted")
+			}
+		}()
+		NewD3Parent(1, 0, false, 0, cfg, distance.Params{Radius: 0.01, Threshold: 10}, stats.NewRand(1))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MGDD parent with 0 leaves accepted")
+			}
+		}()
+		NewMGDDParent(1, 0, false, nil, 0, cfg, stats.NewRand(1))
+	}()
+}
+
+func TestEstimatorWindowCountAndSamplePoints(t *testing.T) {
+	cfg := testConfig(1)
+	e := NewEstimator(cfg, cfg.WindowCap, 12345, stats.NewRand(7))
+	if e.WindowCount() != 12345 {
+		t.Errorf("WindowCount = %v", e.WindowCount())
+	}
+	src := stream.NewMixture(stream.DefaultMixture(), 1, 8)
+	for i := 0; i < 500; i++ {
+		e.Observe(src.Next())
+	}
+	pts := e.SamplePoints()
+	if len(pts) == 0 || len(pts) > cfg.SampleSize {
+		t.Errorf("SamplePoints = %d", len(pts))
+	}
+}

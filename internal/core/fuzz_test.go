@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"odds/internal/stats"
+)
+
+// FuzzUnmarshalEstimatorState hardens the leader-handoff wire format: any
+// byte string must decode cleanly or error — never panic.
+func FuzzUnmarshalEstimatorState(f *testing.F) {
+	cfg := testConfig(1)
+	e := NewEstimator(cfg, cfg.WindowCap, float64(cfg.WindowCap), stats.NewRand(1))
+	for i := 0; i < 300; i++ {
+		e.Observe([]float64{float64(i%17) / 17})
+	}
+	seed, err := e.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(seed[:20])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back, err := UnmarshalEstimator(data, stats.NewRand(2))
+		if err != nil {
+			return
+		}
+		// A successfully decoded estimator must keep functioning.
+		back.Observe([]float64{0.5})
+		if back.Model() == nil && back.Arrivals() > 0 {
+			t.Fatal("decoded estimator cannot build a model")
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"odds/internal/sample"
+	"odds/internal/varest"
+)
+
+// Leader handoff (Section 2: leadership rotates within a cell for energy
+// balance) transfers the incumbent's estimation state to the successor:
+// configuration, stream position, the chain sample, and the per-dimension
+// variance sketches. MarshalBinary/UnmarshalEstimator implement that wire
+// format; the successor resumes with a fresh coin source, which does not
+// affect the sampled state.
+
+const estimatorMagic = uint32(0x4f444553) // "ODES"
+
+// MarshalBinary encodes the estimator's full handoff state.
+func (e *Estimator) MarshalBinary() ([]byte, error) {
+	smp, err := e.smp.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 128+len(smp))
+	buf = binary.LittleEndian.AppendUint32(buf, estimatorMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.cfg.Dim))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.cfg.WindowCap))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.cfg.SampleSize))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.cfg.Eps))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.cfg.SampleFraction))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.cfg.RebuildEvery))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.cfg.BandwidthScale))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.wcount))
+	buf = binary.LittleEndian.AppendUint64(buf, e.arrivals)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(smp)))
+	buf = append(buf, smp...)
+	for d := 0; d < e.cfg.Dim; d++ {
+		vd, err := e.vars.Dimension(d).MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(vd)))
+		buf = append(buf, vd...)
+	}
+	return buf, nil
+}
+
+// UnmarshalEstimator decodes handoff state; the successor supplies its own
+// random source.
+func UnmarshalEstimator(data []byte, rng *rand.Rand) (*Estimator, error) {
+	fail := func(msg string) (*Estimator, error) { return nil, fmt.Errorf("core: %s", msg) }
+	if len(data) < 4 {
+		return fail("truncated estimator encoding")
+	}
+	if binary.LittleEndian.Uint32(data) != estimatorMagic {
+		return fail("bad estimator magic")
+	}
+	data = data[4:]
+	read32 := func() (uint32, bool) {
+		if len(data) < 4 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		return v, true
+	}
+	read64 := func() (uint64, bool) {
+		if len(data) < 8 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		return v, true
+	}
+	dim32, ok := read32()
+	if !ok {
+		return fail("truncated header")
+	}
+	var hdr [7]uint64
+	for i := range hdr {
+		if hdr[i], ok = read64(); !ok {
+			return fail("truncated header")
+		}
+	}
+	cfg := Config{
+		Dim:            int(dim32),
+		WindowCap:      int(hdr[0]),
+		SampleSize:     int(hdr[1]),
+		Eps:            math.Float64frombits(hdr[2]),
+		SampleFraction: math.Float64frombits(hdr[3]),
+		RebuildEvery:   int(hdr[4]),
+		BandwidthScale: math.Float64frombits(hdr[5]),
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	wcount := math.Float64frombits(hdr[6])
+	arrivals, ok := read64()
+	if !ok {
+		return fail("truncated header")
+	}
+
+	smpLen, ok := read32()
+	if !ok || len(data) < int(smpLen) {
+		return fail("truncated sample payload")
+	}
+	smp, err := sample.UnmarshalChain(data[:smpLen], rng)
+	if err != nil {
+		return nil, err
+	}
+	data = data[smpLen:]
+	if smp.Dim() != cfg.Dim {
+		return fail("sample dimensionality mismatch")
+	}
+
+	sketches := make([]*varest.Estimator, cfg.Dim)
+	for d := 0; d < cfg.Dim; d++ {
+		vLen, ok := read32()
+		if !ok || len(data) < int(vLen) {
+			return fail("truncated sketch payload")
+		}
+		sketches[d], err = varest.UnmarshalEstimator(data[:vLen])
+		if err != nil {
+			return nil, err
+		}
+		data = data[vLen:]
+	}
+	if len(data) != 0 {
+		return fail("trailing bytes")
+	}
+
+	e := &Estimator{
+		cfg:      cfg,
+		smp:      smp,
+		vars:     varest.NewMultiFrom(sketches),
+		wcount:   wcount,
+		arrivals: arrivals,
+		dirty:    true,
+	}
+	return e, nil
+}

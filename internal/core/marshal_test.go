@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"odds/internal/distance"
+	"odds/internal/stats"
+	"odds/internal/stream"
+)
+
+func TestEstimatorHandoffRoundTrip(t *testing.T) {
+	cfg := testConfig(2)
+	e := NewEstimator(cfg, cfg.WindowCap, float64(cfg.WindowCap), stats.NewRand(1))
+	src := stream.NewMixture(stream.DefaultMixture(), 2, 2)
+	for i := 0; i < 3000; i++ {
+		e.Observe(src.Next())
+	}
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalEstimator(data, stats.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Arrivals() != e.Arrivals() || back.WindowCount() != e.WindowCount() {
+		t.Fatal("header mismatch")
+	}
+	// The restored model answers identically at the handoff point: same
+	// sample, same deviations.
+	m1, m2 := e.Model(), back.Model()
+	if m1.SampleSize() != m2.SampleSize() {
+		t.Fatalf("sample sizes differ: %d vs %d", m1.SampleSize(), m2.SampleSize())
+	}
+	for _, q := range [][2][]float64{
+		{{0.2, 0.2}, {0.5, 0.5}},
+		{{0, 0}, {1, 1}},
+	} {
+		a := m1.CountBox(q[0], q[1])
+		b := m2.CountBox(q[0], q[1])
+		if math.Abs(a-b) > 1e-9 {
+			t.Errorf("query %v: %v vs %v", q, a, b)
+		}
+	}
+	// And continues functioning as a detector after the handoff.
+	prm := distance.Params{Radius: 0.02, Threshold: 10}
+	flagged := 0
+	for i := 0; i < 2000; i++ {
+		v := src.Next()
+		back.Observe(v)
+		if back.Warmed() && back.IsDistanceOutlier(v, prm) {
+			flagged++
+		}
+	}
+	if flagged == 0 {
+		t.Error("restored detector flags nothing on noisy stream")
+	}
+}
+
+func TestEstimatorHandoffRejectsGarbage(t *testing.T) {
+	cfg := testConfig(1)
+	e := NewEstimator(cfg, cfg.WindowCap, float64(cfg.WindowCap), stats.NewRand(4))
+	src := stream.NewMixture(stream.DefaultMixture(), 1, 5)
+	for i := 0; i < 500; i++ {
+		e.Observe(src.Next())
+	}
+	data, _ := e.MarshalBinary()
+	rng := stats.NewRand(6)
+	cases := map[string][]byte{
+		"empty":     nil,
+		"bad magic": append([]byte{0, 0, 0, 0}, data[4:]...),
+		"truncated": data[:len(data)/2],
+		"trailing":  append(append([]byte(nil), data...), 7),
+	}
+	for name, d := range cases {
+		if _, err := UnmarshalEstimator(d, rng); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"math/rand"
+
+	"odds/internal/divergence"
+	"odds/internal/kernel"
+	"odds/internal/mdef"
+	"odds/internal/stream"
+	"odds/internal/tagsim"
+	"odds/internal/window"
+)
+
+// GlobalModel is a leaf's replica of the top leader's estimation state
+// (sample Rg and deviation sigma-g, Section 8.1). The root pushes
+// incremental updates — one newly-sampled value plus its current sigma —
+// down the tree; replicas fold each update in by replacing a random slot,
+// which keeps the replica an (approximately) uniform sample of what the
+// root holds without shipping the whole sample.
+type GlobalModel struct {
+	slots  []window.Point
+	fill   int
+	sigmas []float64
+	wcount float64
+	rng    *rand.Rand
+
+	model *kernel.Estimator
+	dirty bool
+}
+
+// NewGlobalModel returns an empty replica with the given sample capacity,
+// dimensionality, and union window count (number of values the global
+// window represents, i.e. leaves·|W|).
+func NewGlobalModel(capacity, dim int, windowCount float64, rng *rand.Rand) *GlobalModel {
+	if capacity <= 0 || dim <= 0 || windowCount <= 0 {
+		panic("core: bad global model parameters")
+	}
+	return &GlobalModel{
+		slots:  make([]window.Point, capacity),
+		sigmas: make([]float64, dim),
+		wcount: windowCount,
+		rng:    rng,
+	}
+}
+
+// Update folds one pushed value and sigma into the replica.
+func (g *GlobalModel) Update(v window.Point, sigma float64) {
+	if g.fill < len(g.slots) {
+		g.slots[g.fill] = v.Clone()
+		g.fill++
+	} else {
+		g.slots[g.rng.Intn(len(g.slots))] = v.Clone()
+	}
+	for i := range g.sigmas {
+		g.sigmas[i] = sigma
+	}
+	g.dirty = true
+}
+
+// Ready reports whether the replica has enough state to answer queries.
+func (g *GlobalModel) Ready() bool { return g.fill >= 2 }
+
+// Updates returns the number of slots currently populated.
+func (g *GlobalModel) Fill() int { return g.fill }
+
+// Model returns the kernel model over the replica, rebuilding lazily.
+func (g *GlobalModel) Model() *kernel.Estimator {
+	if !g.Ready() {
+		return nil
+	}
+	if g.model == nil || g.dirty {
+		m, err := kernel.FromSample(g.slots[:g.fill], g.sigmas, g.wcount)
+		if err != nil {
+			panic(err)
+		}
+		g.model = m
+		g.dirty = false
+	}
+	return g.model
+}
+
+// MGDDLeaf is the leaf process of the MGDD algorithm (Figure 4): it
+// maintains local estimation state for sample propagation, keeps a replica
+// of the global model, and flags arrivals whose MDEF relative to the
+// global model is significant. Only leaves detect, because MDEF outliers
+// are non-decomposable (Section 8).
+type MGDDLeaf struct {
+	id     tagsim.NodeID
+	parent tagsim.NodeID
+	hasUp  bool
+	src    stream.Source
+	est    *Estimator
+	global *GlobalModel
+	cache  *mdef.CachedCounter
+	prm    mdef.Params
+	f      float64
+	rng    *rand.Rand
+
+	// Flagged observes every detected outlier.
+	Flagged func(v window.Point, epoch int)
+	// OnArrival observes every arrival and the decision (evaluation hook).
+	OnArrival func(v window.Point, epoch int, flagged bool)
+}
+
+// NewMGDDLeaf wires an MGDD leaf sensor; totalLeaves sizes the global
+// window the root's model represents.
+func NewMGDDLeaf(id tagsim.NodeID, parent tagsim.NodeID, hasParent bool,
+	src stream.Source, cfg Config, prm mdef.Params, totalLeaves int, rng *rand.Rand) *MGDDLeaf {
+	if err := prm.Validate(); err != nil {
+		panic(err)
+	}
+	if src.Dim() != cfg.Dim {
+		panic("core: source dimensionality does not match config")
+	}
+	if totalLeaves <= 0 {
+		panic("core: totalLeaves must be positive")
+	}
+	return &MGDDLeaf{
+		id:     id,
+		parent: parent,
+		hasUp:  hasParent,
+		src:    src,
+		est:    NewEstimator(cfg, cfg.WindowCap, float64(cfg.WindowCap), rng),
+		global: NewGlobalModel(cfg.SampleSize, cfg.Dim, float64(totalLeaves*cfg.WindowCap), rng),
+		prm:    prm,
+		f:      cfg.SampleFraction,
+		rng:    rng,
+	}
+}
+
+// ID returns the node id.
+func (n *MGDDLeaf) ID() tagsim.NodeID { return n.id }
+
+// Estimator exposes the local estimation state.
+func (n *MGDDLeaf) Estimator() *Estimator { return n.est }
+
+// Global exposes the global-model replica.
+func (n *MGDDLeaf) Global() *GlobalModel { return n.global }
+
+// OnEpoch draws one reading and runs the MGDD LeafProcess on it.
+func (n *MGDDLeaf) OnEpoch(s tagsim.Sender, epoch int) {
+	v := n.src.Next()
+	included := n.est.Observe(v)
+	if included && n.hasUp && n.rng.Float64() < n.f {
+		s.Send(n.parent, KindSample, v, 0)
+	}
+	out := false
+	if m := n.global.Model(); m != nil && n.est.Warmed() {
+		if n.cache == nil || n.cache.Model() != mdef.Counter(m) {
+			n.cache = mdef.NewCachedCounter(m, n.prm.AlphaR)
+		}
+		out = mdef.IsOutlier(n.cache, v, n.prm)
+		if out && n.Flagged != nil {
+			n.Flagged(v, epoch)
+		}
+	}
+	if n.OnArrival != nil {
+		n.OnArrival(v, epoch, out)
+	}
+}
+
+// OnMessage folds global-model updates into the replica.
+func (n *MGDDLeaf) OnMessage(s tagsim.Sender, msg tagsim.Message) {
+	if msg.Kind == KindGlobal {
+		n.global.Update(msg.Value, msg.Aux)
+	}
+}
+
+// MGDDParent is the leader process (Figure 4, BlackProcess): it samples
+// the values received from its subtree; inclusions are forwarded up with
+// probability f. The top leader additionally pushes each inclusion down to
+// its children as a global-model update; intermediate leaders relay those
+// updates toward the leaves (Section 8.1). When JSGate > 0, the top leader
+// suppresses updates until the JS distance between the last-broadcast
+// model and its current model exceeds the gate — the communication
+// optimization of Section 8.1.
+type MGDDParent struct {
+	id       tagsim.NodeID
+	parent   tagsim.NodeID
+	hasUp    bool
+	children []tagsim.NodeID
+	est      *Estimator
+	f        float64
+	rng      *rand.Rand
+
+	// JSGate, when positive, suppresses global updates while the root's
+	// model has not drifted: an adoption is broadcast only when
+	// JS(last broadcast model, current model) exceeds the gate, so leaves
+	// "receive fewer updates, particularly when the distribution of the
+	// underlying measurements is stationary" (Section 8.1). Suppressed
+	// updates are dropped, not queued — the replica is a sample, so a
+	// later broadcast supersedes them.
+	JSGate    float64
+	JSGridPts int
+	lastSent  *kernel.Estimator
+}
+
+// NewMGDDParent wires a leader node. children receive relayed global
+// updates; descLeaves sizes its received-sample window exactly as in D3.
+func NewMGDDParent(id tagsim.NodeID, parent tagsim.NodeID, hasParent bool,
+	children []tagsim.NodeID, descLeaves int, cfg Config, rng *rand.Rand) *MGDDParent {
+	if descLeaves <= 0 {
+		panic("core: parent needs at least one descendant leaf")
+	}
+	receiptsPerSpan := int(float64(descLeaves) * cfg.SampleFraction * float64(cfg.SampleSize))
+	return &MGDDParent{
+		id:        id,
+		parent:    parent,
+		hasUp:     hasParent,
+		children:  append([]tagsim.NodeID(nil), children...),
+		est:       NewEstimator(cfg, receiptsPerSpan, float64(descLeaves*cfg.WindowCap), rng),
+		f:         cfg.SampleFraction,
+		rng:       rng,
+		JSGridPts: 64,
+	}
+}
+
+// ID returns the node id.
+func (n *MGDDParent) ID() tagsim.NodeID { return n.id }
+
+// Estimator exposes the node's estimation state.
+func (n *MGDDParent) Estimator() *Estimator { return n.est }
+
+// OnEpoch is a no-op; leaders are reactive.
+func (n *MGDDParent) OnEpoch(s tagsim.Sender, epoch int) {}
+
+// OnMessage implements BlackProcess.
+func (n *MGDDParent) OnMessage(s tagsim.Sender, msg tagsim.Message) {
+	switch msg.Kind {
+	case KindSample:
+		included := n.est.Observe(msg.Value)
+		if !included {
+			return
+		}
+		if n.hasUp {
+			if n.rng.Float64() < n.f {
+				s.Send(n.parent, KindSample, msg.Value, 0)
+			}
+			return
+		}
+		// Top leader: push the update toward the leaves.
+		sigma := n.rootSigma()
+		if n.JSGate <= 0 {
+			n.broadcast(s, msg.Value, sigma)
+			return
+		}
+		cur := n.est.Model()
+		if cur == nil {
+			return
+		}
+		if n.lastSent == nil || divergence.JS(n.lastSent, cur, n.JSGridPts) > n.JSGate {
+			n.broadcast(s, msg.Value, sigma)
+			n.lastSent = cur
+		}
+	case KindGlobal:
+		// Relay downward toward the leaves.
+		for _, ch := range n.children {
+			s.Send(ch, KindGlobal, msg.Value, msg.Aux)
+		}
+	}
+}
+
+// broadcast sends one global update to every child (who relay further
+// down).
+func (n *MGDDParent) broadcast(s tagsim.Sender, v window.Point, sigma float64) {
+	for _, ch := range n.children {
+		s.Send(ch, KindGlobal, v, sigma)
+	}
+}
+
+// rootSigma condenses the root's per-dimension deviation estimates into
+// the scalar shipped with updates (dimensions share one bandwidth scale in
+// the replica; the kernel rule rescales per dimension identically).
+func (n *MGDDParent) rootSigma() float64 {
+	sds := n.est.StdDevs()
+	sum, cnt := 0.0, 0
+	for _, s := range sds {
+		if s == s && s > 0 { // skip NaN
+			sum += s
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0.05 // conservative default until the sketch warms up
+	}
+	return sum / float64(cnt)
+}

@@ -1,0 +1,254 @@
+package distance
+
+import (
+	"testing"
+	"testing/quick"
+
+	"odds/internal/stats"
+	"odds/internal/window"
+)
+
+func randPts(seed int64, n, d int) []window.Point {
+	r := stats.NewRand(seed)
+	out := make([]window.Point, n)
+	for i := range out {
+		p := make(window.Point, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{Radius: 0.01, Threshold: 45}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{Radius: 0, Threshold: 1},
+		{Radius: -1, Threshold: 1},
+		{Radius: 0.1, Threshold: 0},
+		{Radius: 0.1, Threshold: -3},
+	}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}
+
+func TestCountNaiveIncludesSelf(t *testing.T) {
+	pts := []window.Point{{0.5}, {0.505}, {0.9}}
+	if got := CountNaive(pts, pts[0], 0.01); got != 2 {
+		t.Errorf("count = %d, want 2 (self + near neighbor)", got)
+	}
+}
+
+func TestCountNaiveBoundaryInclusive(t *testing.T) {
+	pts := []window.Point{{0.25}, {0.375}} // distance exactly 0.125 in binary
+	if got := CountNaive(pts, pts[0], 0.125); got != 2 {
+		t.Errorf("boundary point excluded: count = %d, want 2", got)
+	}
+}
+
+func TestBruteForceNaiveSimple(t *testing.T) {
+	// A tight cluster plus one isolated point.
+	pts := []window.Point{{0.50}, {0.501}, {0.502}, {0.9}}
+	flags := BruteForceNaive(pts, Params{Radius: 0.01, Threshold: 3})
+	want := []bool{false, false, false, true}
+	for i := range want {
+		if flags[i] != want[i] {
+			t.Errorf("point %d flag = %v, want %v", i, flags[i], want[i])
+		}
+	}
+}
+
+func TestIndexMatchesNaive1D(t *testing.T) {
+	pts := randPts(1, 400, 1)
+	idx := NewIndex(pts, 0.02)
+	for _, p := range pts[:50] {
+		want := CountNaive(pts, p, 0.02)
+		got := idx.Count(p, 0.02)
+		if got != want {
+			t.Fatalf("Count(%v) = %d, naive %d", p, got, want)
+		}
+	}
+}
+
+func TestIndexMatchesNaive2D(t *testing.T) {
+	pts := randPts(2, 300, 2)
+	idx := NewIndex(pts, 0.05)
+	for _, p := range pts[:50] {
+		want := CountNaive(pts, p, 0.05)
+		got := idx.Count(p, 0.05)
+		if got != want {
+			t.Fatalf("2-d Count(%v) = %d, naive %d", p, got, want)
+		}
+	}
+}
+
+func TestIndexSmallerQueryRadius(t *testing.T) {
+	pts := randPts(3, 200, 1)
+	idx := NewIndex(pts, 0.05)
+	for _, p := range pts[:30] {
+		want := CountNaive(pts, p, 0.03)
+		if got := idx.Count(p, 0.03); got != want {
+			t.Fatalf("smaller-radius count = %d, naive %d", got, want)
+		}
+	}
+}
+
+func TestIndexRejectsOversizeRadius(t *testing.T) {
+	idx := NewIndex(randPts(4, 10, 1), 0.01)
+	defer func() {
+		if recover() == nil {
+			t.Error("oversize radius did not panic")
+		}
+	}()
+	idx.Count(window.Point{0.5}, 0.02)
+}
+
+func TestIndexEmpty(t *testing.T) {
+	idx := NewIndex(nil, 0.01)
+	if idx.Len() != 0 {
+		t.Error("empty index Len != 0")
+	}
+	if got := idx.Count(window.Point{0.5}, 0.01); got != 0 {
+		t.Errorf("empty index count = %d, want 0", got)
+	}
+}
+
+func TestIndexPanicsOnBadInput(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("cell size 0 did not panic")
+			}
+		}()
+		NewIndex(nil, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ragged points did not panic")
+			}
+		}()
+		NewIndex([]window.Point{{0.1}, {0.1, 0.2}}, 0.01)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("query dim mismatch did not panic")
+			}
+		}()
+		idx := NewIndex([]window.Point{{0.1}}, 0.01)
+		idx.Count(window.Point{0.1, 0.2}, 0.01)
+	}()
+}
+
+func TestIndexNegativeCoordinates(t *testing.T) {
+	// Cell flooring must be correct for negative coordinates too (points
+	// near zero with query boxes extending below it).
+	pts := []window.Point{{-0.005}, {0.004}, {0.5}}
+	idx := NewIndex(pts, 0.01)
+	want := CountNaive(pts, pts[0], 0.01)
+	if got := idx.Count(pts[0], 0.01); got != want {
+		t.Errorf("negative-coord count = %d, naive %d", got, want)
+	}
+}
+
+func TestBruteForceAgreesWithNaiveProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%60) + 2
+		pts := randPts(seed, n, 1)
+		p := Params{Radius: 0.03, Threshold: 3}
+		a := BruteForce(pts, p)
+		b := BruteForceNaive(pts, p)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBruteForce2DAgreesWithNaiveProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		pts := randPts(seed, n, 2)
+		p := Params{Radius: 0.05, Threshold: 2}
+		a := BruteForce(pts, p)
+		b := BruteForceNaive(pts, p)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBruteForcePanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad params did not panic")
+		}
+	}()
+	BruteForce(randPts(5, 10, 1), Params{Radius: -1, Threshold: 1})
+}
+
+func TestOutliersSubset(t *testing.T) {
+	pts := randPts(6, 500, 1)
+	// Plant an isolated point far from the bulk.
+	pts = append(pts, window.Point{0.999999})
+	params := Params{Radius: 0.0001, Threshold: 2}
+	outs := Outliers(pts, params)
+	flags := BruteForce(pts, params)
+	nFlagged := 0
+	for _, f := range flags {
+		if f {
+			nFlagged++
+		}
+	}
+	if len(outs) != nFlagged {
+		t.Errorf("Outliers len = %d, flags = %d", len(outs), nFlagged)
+	}
+}
+
+func TestClusterVsIsolatedScenario(t *testing.T) {
+	// The paper's synthetic setting in miniature: dense Gaussian cores plus
+	// sparse uniform noise in [0.5,1]; noise should dominate the outliers.
+	r := stats.NewRand(7)
+	var pts []window.Point
+	for i := 0; i < 2000; i++ {
+		pts = append(pts, window.Point{stats.Clamp(0.3+r.NormFloat64()*0.03, 0, 1)})
+	}
+	var noiseIdx []int
+	for i := 0; i < 10; i++ {
+		noiseIdx = append(noiseIdx, len(pts))
+		pts = append(pts, window.Point{0.5 + r.Float64()*0.5})
+	}
+	flags := BruteForce(pts, Params{Radius: 0.01, Threshold: 45})
+	for _, i := range noiseIdx {
+		if !flags[i] {
+			t.Errorf("noise point %v not flagged", pts[i])
+		}
+	}
+	core := 0
+	for i := 0; i < 2000; i++ {
+		if flags[i] {
+			core++
+		}
+	}
+	if core > 100 {
+		t.Errorf("%d core points flagged, want few", core)
+	}
+}

@@ -1,0 +1,153 @@
+package distance
+
+import (
+	"testing"
+	"testing/quick"
+
+	"odds/internal/stats"
+	"odds/internal/window"
+)
+
+func TestDynIndexAddRemoveCount(t *testing.T) {
+	d := NewDynIndex(0.05, 1)
+	pts := randPts(1, 200, 1)
+	for _, p := range pts {
+		d.Add(p)
+	}
+	if d.Len() != 200 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	for _, p := range pts[:40] {
+		want := CountNaive(pts, p, 0.05)
+		if got := d.Count(p, 0.05); got != want {
+			t.Fatalf("Count = %d, naive %d", got, want)
+		}
+	}
+	// Remove half and re-verify.
+	for _, p := range pts[:100] {
+		if !d.Remove(p) {
+			t.Fatalf("Remove(%v) failed", p)
+		}
+	}
+	rest := pts[100:]
+	if d.Len() != 100 {
+		t.Fatalf("Len after removals = %d", d.Len())
+	}
+	for _, p := range rest[:30] {
+		want := CountNaive(rest, p, 0.05)
+		if got := d.Count(p, 0.05); got != want {
+			t.Fatalf("post-removal Count = %d, naive %d", got, want)
+		}
+	}
+}
+
+func TestDynIndexRemoveMissing(t *testing.T) {
+	d := NewDynIndex(0.05, 1)
+	d.Add(window.Point{0.5})
+	if d.Remove(window.Point{0.6}) {
+		t.Error("removed a point that was never added")
+	}
+	if !d.Remove(window.Point{0.5}) {
+		t.Error("failed to remove present point")
+	}
+	if d.Remove(window.Point{0.5}) {
+		t.Error("double remove succeeded")
+	}
+	if d.Len() != 0 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestDynIndexDuplicates(t *testing.T) {
+	d := NewDynIndex(0.05, 1)
+	p := window.Point{0.5}
+	d.Add(p)
+	d.Add(p.Clone())
+	if got := d.Count(p, 0.05); got != 2 {
+		t.Errorf("duplicate count = %d, want 2", got)
+	}
+	d.Remove(p)
+	if got := d.Count(p, 0.05); got != 1 {
+		t.Errorf("after one removal count = %d, want 1", got)
+	}
+}
+
+func TestDynIndexSlidingWindowEquivalence(t *testing.T) {
+	// Sliding a window over a stream must keep the dynamic index equal to
+	// a fresh index over the same window.
+	r := stats.NewRand(9)
+	const wcap = 64
+	d := NewDynIndex(0.05, 1)
+	var win []window.Point
+	for i := 0; i < 800; i++ {
+		p := window.Point{r.Float64()}
+		win = append(win, p)
+		d.Add(p)
+		if len(win) > wcap {
+			d.Remove(win[0])
+			win = win[1:]
+		}
+		if i%97 == 0 && len(win) > 0 {
+			q := win[r.Intn(len(win))]
+			want := CountNaive(win, q, 0.05)
+			if got := d.Count(q, 0.05); got != want {
+				t.Fatalf("at arrival %d: Count = %d, naive %d", i, got, want)
+			}
+		}
+	}
+}
+
+func TestDynIndexIsOutlier(t *testing.T) {
+	d := NewDynIndex(0.01, 1)
+	for i := 0; i < 50; i++ {
+		d.Add(window.Point{0.3})
+	}
+	d.Add(window.Point{0.9})
+	prm := Params{Radius: 0.01, Threshold: 45}
+	if d.IsOutlier(window.Point{0.3}, prm) {
+		t.Error("dense point flagged")
+	}
+	if !d.IsOutlier(window.Point{0.9}, prm) {
+		t.Error("isolated point not flagged")
+	}
+}
+
+func TestDynIndexPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad cell":   func() { NewDynIndex(0, 1) },
+		"bad dim":    func() { NewDynIndex(0.1, 0) },
+		"add dim":    func() { NewDynIndex(0.1, 1).Add(window.Point{1, 2}) },
+		"remove dim": func() { NewDynIndex(0.1, 1).Remove(window.Point{1, 2}) },
+		"big radius": func() { NewDynIndex(0.1, 1).Count(window.Point{0.5}, 0.2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDynIndexMatchesStaticProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		pts := randPts(seed, n, 2)
+		d := NewDynIndex(0.07, 2)
+		for _, p := range pts {
+			d.Add(p)
+		}
+		idx := NewIndex(pts, 0.07)
+		for _, p := range pts {
+			if d.Count(p, 0.07) != idx.Count(p, 0.07) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,586 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"odds/internal/core"
+	"odds/internal/distance"
+	"odds/internal/histogram"
+	"odds/internal/mdef"
+	"odds/internal/stats"
+	"odds/internal/stream"
+	"odds/internal/wavelet"
+	"odds/internal/window"
+)
+
+// EstimatorKind selects the density representation under evaluation:
+// the paper's kernel method or the equi-depth histogram baseline it is
+// compared against in Figure 7.
+type EstimatorKind int
+
+const (
+	// KindKernel is the paper's method: chain sample + variance sketch +
+	// Epanechnikov kernel model, fully online.
+	KindKernel EstimatorKind = iota
+	// KindHistogram is the favored offline baseline: equi-depth histograms
+	// (a grid histogram in 2-d) built by accessing all window values —
+	// at parents, the union of all descendant windows.
+	KindHistogram
+	// KindSampledHistogram is the fair online histogram: equi-depth over
+	// the chain sample instead of the full window, with the same memory
+	// and online constraints as the kernel method. The paper conjectures
+	// any online histogram performs at most as well as the offline one;
+	// this variant measures it.
+	KindSampledHistogram
+	// KindWavelet is the Haar-wavelet synopsis baseline (Section 4 claims
+	// kernels match wavelets as well as histograms): built offline from
+	// the full window like KindHistogram, retaining |B| coefficients for
+	// comparable memory. 1-d workloads only.
+	KindWavelet
+)
+
+// PRConfig drives the precision/recall experiments (Figures 7–10): a
+// hierarchy of Leaves sensors with the given branching, one stream per
+// leaf, and the detection parameters under test. Evaluation compares every
+// arrival's online decision against the exact offline decision
+// (BruteForce-D / BruteForce-M) for the same window instance, per level.
+type PRConfig struct {
+	Leaves    int
+	Branching int
+	Core      core.Config
+	Dist      distance.Params
+	MDEF      mdef.Params
+	Kind      EstimatorKind
+	// HistBuckets is |B| for the histogram baseline (the paper sets
+	// |B| = |R| for comparable memory).
+	HistBuckets int
+	// HistRebuildEpochs is the epoch interval between histogram rebuilds.
+	HistRebuildEpochs int
+	// Epochs is the stream length per sensor; MeasureFrom the epoch at
+	// which accounting starts (after windows fill).
+	Epochs      int
+	MeasureFrom int
+	Seed        int64
+	// Streams builds the per-leaf source; nil defaults to the paper's
+	// synthetic mixture.
+	Streams func(leaf int, seed int64) stream.Source
+}
+
+func (c *PRConfig) streams(leaf int, seed int64) stream.Source {
+	if c.Streams != nil {
+		return c.Streams(leaf, seed)
+	}
+	return stream.NewMixture(stream.DefaultMixture(), c.Core.Dim, seed)
+}
+
+// levelsOf returns, for a leaf-count and branching, the node counts per
+// level (level 0 = leaves).
+func levelsOf(leaves, branching int) []int {
+	out := []int{leaves}
+	for n := leaves; n > 1; {
+		n = (n + branching - 1) / branching
+		out = append(out, n)
+	}
+	return out
+}
+
+// d3Node is the evaluation-side state for one hierarchy node.
+type d3Node struct {
+	level  int
+	parent *d3Node
+	est    *core.Estimator    // kernel mode detection state
+	idx    *distance.DynIndex // exact truth over this subtree's windows
+	leaves []int              // descendant leaf indexes (histogram rebuilds)
+
+	hist      *histogram.EquiDepth
+	grid      *histogram.Grid
+	wav       *wavelet.Synopsis
+	nextBuild int
+}
+
+// D3Result reports per-level precision/recall and the number of true
+// outliers observed during the measured phase.
+type D3Result struct {
+	PerLevel     []PR
+	TrueOutliers int // truth positives at the leaf level
+}
+
+// RunD3 evaluates the D3 algorithm (kernel or histogram variant) against
+// exact per-arrival ground truth. The control flow mirrors Figure 4: leaf
+// sample inclusions propagate up with probability f; a value reaches level
+// L only if every level below flagged it.
+func RunD3(c PRConfig) D3Result {
+	if err := c.Core.Validate(); err != nil {
+		panic(err)
+	}
+	if err := c.Dist.Validate(); err != nil {
+		panic(err)
+	}
+	if c.Kind == KindWavelet && c.Core.Dim != 1 {
+		panic("experiments: wavelet baseline is 1-d only")
+	}
+	master := stats.NewRand(c.Seed)
+	counts := levelsOf(c.Leaves, c.Branching)
+	depth := len(counts)
+
+	// Build nodes level by level; leaves[i] holds its ancestor chain.
+	nodes := make([][]*d3Node, depth)
+	for lvl := depth - 1; lvl >= 0; lvl-- {
+		nodes[lvl] = make([]*d3Node, counts[lvl])
+		for i := range nodes[lvl] {
+			n := &d3Node{level: lvl, idx: distance.NewDynIndex(c.Dist.Radius, c.Core.Dim)}
+			if lvl < depth-1 {
+				n.parent = nodes[lvl+1][i/c.Branching]
+			}
+			nodes[lvl][i] = n
+		}
+	}
+	for i := 0; i < c.Leaves; i++ {
+		for n := nodes[0][i]; n != nil; n = n.parent {
+			n.leaves = append(n.leaves, i)
+		}
+	}
+
+	leafRngs := make([]*rand.Rand, c.Leaves)
+	srcs := make([]stream.Source, c.Leaves)
+	wins := make([]*window.Sliding, c.Leaves)
+	for i := 0; i < c.Leaves; i++ {
+		leafRngs[i] = stats.SplitRand(master)
+		srcs[i] = c.streams(i, master.Int63())
+		wins[i] = window.New(c.Core.WindowCap, c.Core.Dim)
+	}
+	if c.Kind == KindKernel || c.Kind == KindSampledHistogram {
+		for lvl, row := range nodes {
+			for _, n := range row {
+				if lvl == 0 {
+					n.est = core.NewEstimator(c.Core, c.Core.WindowCap, float64(c.Core.WindowCap), stats.SplitRand(master))
+				} else {
+					recv := int(float64(len(n.leaves)) * c.Core.SampleFraction * float64(c.Core.SampleSize))
+					n.est = core.NewEstimator(c.Core, recv, float64(len(n.leaves)*c.Core.WindowCap), stats.SplitRand(master))
+				}
+			}
+		}
+	}
+
+	rebuild := func(n *d3Node) {
+		if c.Core.Dim == 1 {
+			var vals []float64
+			for _, li := range n.leaves {
+				vals = append(vals, wins[li].Column(0)...)
+			}
+			if len(vals) == 0 {
+				return
+			}
+			if c.Kind == KindWavelet {
+				// 512 base bins resolve the query radius; |B| coefficients
+				// match the histogram's memory budget.
+				w, err := wavelet.New(vals, 9, c.HistBuckets, float64(len(vals)))
+				if err != nil {
+					panic(err)
+				}
+				n.wav = w
+				return
+			}
+			h, err := histogram.NewEquiDepth(vals, c.HistBuckets, float64(len(vals)))
+			if err != nil {
+				panic(err)
+			}
+			n.hist = h
+			return
+		}
+		var pts [][]float64
+		for _, li := range n.leaves {
+			for _, p := range wins[li].Snapshot() {
+				pts = append(pts, p)
+			}
+		}
+		if len(pts) == 0 {
+			return
+		}
+		side := gridSide(c.HistBuckets, c.Core.Dim)
+		g, err := histogram.NewGrid(pts, side, float64(len(pts)))
+		if err != nil {
+			panic(err)
+		}
+		n.grid = g
+	}
+	histFlag := func(n *d3Node, v window.Point) bool {
+		if n.wav != nil {
+			return n.wav.Count(v, c.Dist.Radius) < c.Dist.Threshold
+		}
+		if n.hist != nil {
+			return n.hist.Count(v, c.Dist.Radius) < c.Dist.Threshold
+		}
+		if n.grid != nil {
+			return n.grid.Count(v, c.Dist.Radius) < c.Dist.Threshold
+		}
+		return false
+	}
+	// rebuildSampled refreshes the online sampled histogram of a node from
+	// its chain sample, scaling counts to the node's window size exactly
+	// like the kernel model does.
+	rebuildSampled := func(n *d3Node) {
+		pts := n.est.SamplePoints()
+		if len(pts) == 0 {
+			return
+		}
+		wc := n.est.EffectiveWindowCount()
+		if c.Core.Dim == 1 {
+			vals := make([]float64, len(pts))
+			for i, p := range pts {
+				vals[i] = p[0]
+			}
+			if h, err := histogram.NewEquiDepth(vals, c.HistBuckets, wc); err == nil {
+				n.hist = h
+			}
+			return
+		}
+		raw := make([][]float64, len(pts))
+		for i, p := range pts {
+			raw[i] = p
+		}
+		if g, err := histogram.NewGrid(raw, gridSide(c.HistBuckets, c.Core.Dim), wc); err == nil {
+			n.grid = g
+		}
+	}
+
+	prs := make([]PR, depth)
+	trueOutliers := 0
+	truth := make([]bool, depth)
+	chain := make([]*d3Node, depth)
+	pred := make([]bool, depth)
+
+	for epoch := 0; epoch < c.Epochs; epoch++ {
+		measuring := epoch >= c.MeasureFrom
+		for li := 0; li < c.Leaves; li++ {
+			v := srcs[li].Next()
+			leaf := nodes[0][li]
+			k := 0
+			for n := leaf; n != nil; n = n.parent {
+				chain[k] = n
+				k++
+			}
+
+			// Slide the window: evictions leave every chain index.
+			if wins[li].Full() {
+				old := wins[li].Oldest()
+				for _, n := range chain[:k] {
+					if !n.idx.Remove(old) {
+						panic("experiments: truth index out of sync")
+					}
+				}
+			}
+			wins[li].Push(v)
+			for _, n := range chain[:k] {
+				n.idx.Add(v)
+			}
+			for l, n := range chain[:k] {
+				truth[l] = n.idx.IsOutlier(v, c.Dist)
+			}
+
+			// Online decisions per Figure 4.
+			for i := range pred {
+				pred[i] = false
+			}
+			switch c.Kind {
+			case KindKernel:
+				included := leaf.est.Observe(v)
+				if included && leafRngs[li].Float64() < c.Core.SampleFraction {
+					// Propagate the sampled value up while each level's
+					// sample adopts it and its coin allows.
+					for n := leaf.parent; n != nil; n = n.parent {
+						if !n.est.Observe(v) || leafRngs[li].Float64() >= c.Core.SampleFraction {
+							break
+						}
+					}
+				}
+				flagged := leaf.est.Warmed() && leaf.est.IsDistanceOutlier(v, c.Dist)
+				pred[0] = flagged
+				for l := 1; l < k && flagged; l++ {
+					n := chain[l]
+					flagged = n.est.Warmed() && n.est.IsDistanceOutlier(v, c.Dist)
+					pred[l] = flagged
+				}
+			case KindHistogram, KindWavelet:
+				for _, n := range chain[:k] {
+					if epoch >= n.nextBuild {
+						rebuild(n)
+						n.nextBuild = epoch + c.HistRebuildEpochs
+					}
+				}
+				warm := epoch >= c.MeasureFrom/2
+				flagged := warm && histFlag(leaf, v)
+				pred[0] = flagged
+				for l := 1; l < k && flagged; l++ {
+					flagged = histFlag(chain[l], v)
+					pred[l] = flagged
+				}
+			case KindSampledHistogram:
+				// Same online state upkeep and propagation as the kernel
+				// method; only the density representation differs.
+				included := leaf.est.Observe(v)
+				if included && leafRngs[li].Float64() < c.Core.SampleFraction {
+					for n := leaf.parent; n != nil; n = n.parent {
+						if !n.est.Observe(v) || leafRngs[li].Float64() >= c.Core.SampleFraction {
+							break
+						}
+					}
+				}
+				for _, n := range chain[:k] {
+					if epoch >= n.nextBuild {
+						rebuildSampled(n)
+						n.nextBuild = epoch + c.HistRebuildEpochs
+					}
+				}
+				flagged := leaf.est.Warmed() && histFlag(leaf, v)
+				pred[0] = flagged
+				for l := 1; l < k && flagged; l++ {
+					flagged = histFlag(chain[l], v)
+					pred[l] = flagged
+				}
+			}
+
+			if measuring {
+				for l := 0; l < k; l++ {
+					prs[l].Observe(pred[l], truth[l])
+				}
+				if truth[0] {
+					trueOutliers++
+				}
+			}
+		}
+	}
+	return D3Result{PerLevel: prs, TrueOutliers: trueOutliers}
+}
+
+// gridSide picks the per-dimension cell count giving roughly `buckets`
+// total cells for a d-dimensional grid histogram.
+func gridSide(buckets, dim int) int {
+	side := 1
+	for side2 := side; ; side2++ {
+		cells := 1
+		for i := 0; i < dim; i++ {
+			cells *= side2
+		}
+		if cells > buckets {
+			break
+		}
+		side = side2
+	}
+	if side < 2 {
+		side = 2
+	}
+	return side
+}
+
+// MGDDResult reports the leaf-level precision/recall of MGDD.
+type MGDDResult struct {
+	PR           PR
+	TrueOutliers int
+}
+
+// RunMGDD evaluates the MGDD algorithm against exact per-arrival
+// BruteForce-M ground truth over the union of all leaf windows. Under the
+// kernel kind, sample inclusions propagate to the top leader, whose sample
+// adoptions are pushed to every leaf's global-model replica (Section 8.1);
+// under the histogram kind the global model is an equi-depth histogram
+// over all window values, rebuilt periodically (the favored baseline).
+func RunMGDD(c PRConfig) MGDDResult {
+	if err := c.Core.Validate(); err != nil {
+		panic(err)
+	}
+	if err := c.MDEF.Validate(); err != nil {
+		panic(err)
+	}
+	master := stats.NewRand(c.Seed)
+	counts := levelsOf(c.Leaves, c.Branching)
+	depth := len(counts)
+
+	leafRngs := make([]*rand.Rand, c.Leaves)
+	srcs := make([]stream.Source, c.Leaves)
+	wins := make([]*window.Sliding, c.Leaves)
+	for i := 0; i < c.Leaves; i++ {
+		leafRngs[i] = stats.SplitRand(master)
+		srcs[i] = c.streams(i, master.Int63())
+		wins[i] = window.New(c.Core.WindowCap, c.Core.Dim)
+	}
+
+	truth := mdef.NewDynTruth(c.MDEF, c.Core.Dim)
+	unionCount := float64(c.Leaves * c.Core.WindowCap)
+
+	// Kernel mode state.
+	leafEsts := make([]*core.Estimator, c.Leaves)
+	replicas := make([]*core.GlobalModel, c.Leaves)
+	caches := make([]*mdef.CachedCounter, c.Leaves)
+	var upper []*core.Estimator // one estimator per non-leaf level (path state)
+	if c.Kind == KindKernel {
+		for i := 0; i < c.Leaves; i++ {
+			leafEsts[i] = core.NewEstimator(c.Core, c.Core.WindowCap, float64(c.Core.WindowCap), stats.SplitRand(master))
+			replicas[i] = core.NewGlobalModel(c.Core.SampleSize, c.Core.Dim, unionCount, stats.SplitRand(master))
+		}
+		// Model one representative leader per upper level. Its sample
+		// window is sized by the per-leader descendant count
+		// (branching^lvl), so the steady-state adoption probability per
+		// receipt — and hence the rate of adoptions flowing upward —
+		// matches the aggregate across the real topology's leaders at that
+		// level.
+		desc := 1
+		for lvl := 1; lvl < depth; lvl++ {
+			desc *= c.Branching
+			if desc > c.Leaves {
+				desc = c.Leaves
+			}
+			recv := int(float64(desc) * c.Core.SampleFraction * float64(c.Core.SampleSize))
+			upper = append(upper, core.NewEstimator(c.Core, recv, float64(desc*c.Core.WindowCap), stats.SplitRand(master)))
+		}
+	}
+
+	// Histogram mode state: the global model is held via gcache.
+	var gcache *mdef.CachedCounter
+	nextBuild := 0
+	rebuildGlobal := func() {
+		if c.Core.Dim == 1 {
+			var vals []float64
+			for _, w := range wins {
+				vals = append(vals, w.Column(0)...)
+			}
+			if len(vals) == 0 {
+				return
+			}
+			h, err := histogram.NewEquiDepth(vals, c.HistBuckets, float64(len(vals)))
+			if err != nil {
+				panic(err)
+			}
+			gcache = mdef.NewCachedCounter(h, c.MDEF.AlphaR)
+			return
+		}
+		var pts [][]float64
+		for _, w := range wins {
+			for _, p := range w.Snapshot() {
+				pts = append(pts, p)
+			}
+		}
+		if len(pts) == 0 {
+			return
+		}
+		g, err := histogram.NewGrid(pts, gridSide(c.HistBuckets, c.Core.Dim), float64(len(pts)))
+		if err != nil {
+			panic(err)
+		}
+		gcache = mdef.NewCachedCounter(g, c.MDEF.AlphaR)
+	}
+
+	var pr PR
+	trueOutliers := 0
+	sigmaOf := func(e *core.Estimator) float64 {
+		sds := e.StdDevs()
+		sum, cnt := 0.0, 0
+		for _, s := range sds {
+			if s == s && s > 0 {
+				sum += s
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return 0.05
+		}
+		return sum / float64(cnt)
+	}
+
+	for epoch := 0; epoch < c.Epochs; epoch++ {
+		measuring := epoch >= c.MeasureFrom
+		if c.Kind == KindHistogram && epoch >= nextBuild {
+			rebuildGlobal()
+			nextBuild = epoch + c.HistRebuildEpochs
+		}
+		for li := 0; li < c.Leaves; li++ {
+			v := srcs[li].Next()
+			if wins[li].Full() {
+				if !truth.Remove(wins[li].Oldest()) {
+					panic("experiments: mdef truth out of sync")
+				}
+			}
+			wins[li].Push(v)
+			truth.Add(v)
+			isTrue := truth.IsOutlier(v)
+
+			var flagged bool
+			switch c.Kind {
+			case KindKernel:
+				included := leafEsts[li].Observe(v)
+				if included && leafRngs[li].Float64() < c.Core.SampleFraction {
+					for lvl := 0; lvl < len(upper); lvl++ {
+						if !upper[lvl].Observe(v) {
+							break
+						}
+						if lvl == len(upper)-1 {
+							// Top-leader adoption: push to every replica.
+							sg := sigmaOf(upper[lvl])
+							for _, rep := range replicas {
+								rep.Update(v, sg)
+							}
+						} else if leafRngs[li].Float64() >= c.Core.SampleFraction {
+							break
+						}
+					}
+				}
+				if m := replicas[li].Model(); m != nil && leafEsts[li].Warmed() {
+					if caches[li] == nil || caches[li].Model() != mdef.Counter(m) {
+						caches[li] = mdef.NewCachedCounter(m, c.MDEF.AlphaR)
+					}
+					flagged = mdef.IsOutlier(caches[li], v, c.MDEF)
+				}
+			case KindHistogram:
+				if gcache != nil && epoch >= c.MeasureFrom/2 {
+					flagged = mdef.IsOutlier(gcache, v, c.MDEF)
+				}
+			}
+
+			if measuring {
+				pr.Observe(flagged, isTrue)
+				if isTrue {
+					trueOutliers++
+				}
+			}
+		}
+	}
+	return MGDDResult{PR: pr, TrueOutliers: trueOutliers}
+}
+
+// CalibrateKSigma searches for the significance factor k_σ at which the
+// exact MDEF criterion yields between targetLo and targetHi outliers on a
+// reference window of the workload. The paper uses k_σ = 3 throughout;
+// with the published (r, αr) and a strict aLOCI estimator that setting
+// yields no outliers on the synthetic workload (see EXPERIMENTS.md), so
+// the harness calibrates k_σ once per workload and uses the same value for
+// the detector and its ground truth — the precision/recall comparison is
+// unaffected. If k_σ = 3 already yields at least targetLo outliers it is
+// kept.
+func CalibrateKSigma(pts []window.Point, prm mdef.Params, targetLo, targetHi int) float64 {
+	if targetLo <= 0 || targetHi < targetLo {
+		panic(fmt.Sprintf("experiments: bad calibration target [%d,%d]", targetLo, targetHi))
+	}
+	count := func(k float64) int {
+		p := prm
+		p.KSigma = k
+		return len(mdef.Outliers(pts, p))
+	}
+	if count(3) >= targetLo {
+		return 3
+	}
+	lo, hi := 0.05, 3.0 // count decreases as k grows
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		n := count(mid)
+		switch {
+		case n < targetLo:
+			hi = mid
+		case n > targetHi:
+			lo = mid
+		default:
+			return mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+
+	"odds/internal/core"
+	"odds/internal/distance"
+	"odds/internal/mdef"
+	"odds/internal/stream"
+)
+
+// Workload selects the dataset family for the precision/recall sweeps.
+type Workload int
+
+const (
+	// Synthetic1D is the paper's 1-d Gaussian-mixture-plus-noise stream.
+	Synthetic1D Workload = iota
+	// Synthetic2D is its 2-d counterpart.
+	Synthetic2D
+	// EngineData is the simulated engine dataset (Figure 5 moments).
+	EngineData
+	// EnviroData is the simulated 2-d environmental dataset.
+	EnviroData
+)
+
+// String names the workload.
+func (w Workload) String() string {
+	switch w {
+	case Synthetic1D:
+		return "synthetic-1d"
+	case Synthetic2D:
+		return "synthetic-2d"
+	case EngineData:
+		return "engine"
+	case EnviroData:
+		return "environmental"
+	}
+	return fmt.Sprintf("workload(%d)", int(w))
+}
+
+// Dim returns the workload dimensionality.
+func (w Workload) Dim() int {
+	if w == Synthetic2D || w == EnviroData {
+		return 2
+	}
+	return 1
+}
+
+// SweepConfig carries the common parameters of the Figure 7–10 sweeps.
+// Defaults follow Section 10.2: 32 leaf streams under a leader hierarchy,
+// |W| = 10,000, f = 0.5, (45, 0.01)-outliers and MDEF r = 0.08,
+// αr = 0.01 for the synthetic data; (100, 0.005), r = 0.05, αr = 0.003
+// for the real datasets. Results are averaged over Runs independent runs
+// (the paper uses 12).
+type SweepConfig struct {
+	Workload    Workload
+	Leaves      int
+	Branching   int
+	WindowCap   int
+	Runs        int
+	Epochs      int
+	MeasureFrom int
+	// SampleFracs holds the |R|/|W| values swept (paper Figure 7/9/10:
+	// 0.0125, 0.025, 0.05).
+	SampleFracs []float64
+	// F is the sample fraction f (Figure 8 sweeps it instead).
+	F float64
+	// BandwidthScale calibrates the kernel bandwidth; see EXPERIMENTS.md.
+	BandwidthScale float64
+	// KSigma is the MDEF significance factor used for both the detector
+	// and its ground truth; see EXPERIMENTS.md for why this deviates from
+	// the paper's 3.
+	KSigma float64
+	// HistRebuildEpochs controls the favored histogram baseline's rebuild
+	// cadence.
+	HistRebuildEpochs int
+	Seed              int64
+}
+
+// DefaultSweep returns the paper-parameter configuration for a workload.
+// Runs and stream length are reduced from the paper's 12 × 35,000 to keep
+// a full suite run affordable; pass your own values to match the paper
+// exactly.
+func DefaultSweep(w Workload) SweepConfig {
+	return SweepConfig{
+		Workload:          w,
+		Leaves:            32,
+		Branching:         4,
+		WindowCap:         10000,
+		Runs:              3,
+		Epochs:            15000,
+		MeasureFrom:       10000,
+		SampleFracs:       []float64{0.0125, 0.025, 0.05},
+		F:                 0.5,
+		BandwidthScale:    0.5,
+		KSigma:            0.75,
+		HistRebuildEpochs: 64,
+		Seed:              1,
+	}
+}
+
+// Quick shrinks the sweep for smoke tests and benchmarks.
+func (s SweepConfig) Quick() SweepConfig {
+	s.Leaves = 8
+	s.WindowCap = 2500
+	s.Runs = 1
+	s.Epochs = 4000
+	s.MeasureFrom = 2600
+	return s
+}
+
+// dist returns the (D,r) parameters for the workload.
+func (s SweepConfig) dist() distance.Params {
+	if s.Workload == EngineData || s.Workload == EnviroData {
+		return distance.Params{Radius: 0.005, Threshold: 100 * float64(s.WindowCap) / 10000}
+	}
+	return distance.Params{Radius: 0.01, Threshold: 45 * float64(s.WindowCap) / 10000}
+}
+
+// mdefPrm returns the MDEF parameters for the workload.
+func (s SweepConfig) mdefPrm() mdef.Params {
+	if s.Workload == EngineData || s.Workload == EnviroData {
+		return mdef.Params{R: 0.05, AlphaR: 0.003, KSigma: s.KSigma}
+	}
+	return mdef.Params{R: 0.08, AlphaR: 0.01, KSigma: s.KSigma}
+}
+
+// streams returns the per-leaf source factory for the workload. Engine
+// bursts are rescheduled to land inside the measured phase, as the
+// Oct 28–Nov 1 failure lands inside the paper's dataset.
+func (s SweepConfig) streams() func(leaf int, seed int64) stream.Source {
+	switch s.Workload {
+	case EngineData:
+		burstLen := s.Epochs / 45 // same share as 1100 of 50,000
+		start := s.MeasureFrom + (s.Epochs-s.MeasureFrom)/2
+		return func(leaf int, seed int64) stream.Source {
+			cfg := stream.DefaultEngine()
+			cfg.BurstStart = start + leaf*7 // staggered like real sensors
+			cfg.BurstEnd = cfg.BurstStart + burstLen
+			return stream.NewEngine(cfg, seed)
+		}
+	case EnviroData:
+		return func(leaf int, seed int64) stream.Source {
+			return stream.NewEnviro(stream.DefaultEnviro(), seed)
+		}
+	default:
+		dim := s.Workload.Dim()
+		return func(leaf int, seed int64) stream.Source {
+			return stream.NewMixture(stream.DefaultMixture(), dim, seed)
+		}
+	}
+}
+
+// prConfig assembles the harness configuration for one (sampleFrac, kind)
+// cell of a sweep.
+func (s SweepConfig) prConfig(frac float64, kind EstimatorKind, run int) PRConfig {
+	sample := int(frac * float64(s.WindowCap))
+	if sample < 2 {
+		sample = 2
+	}
+	return PRConfig{
+		Leaves:    s.Leaves,
+		Branching: s.Branching,
+		Core: core.Config{
+			WindowCap:      s.WindowCap,
+			SampleSize:     sample,
+			Eps:            0.2,
+			SampleFraction: s.F,
+			Dim:            s.Workload.Dim(),
+			RebuildEvery:   1,
+			BandwidthScale: s.BandwidthScale,
+		},
+		Dist:              s.dist(),
+		MDEF:              s.mdefPrm(),
+		Kind:              kind,
+		HistBuckets:       sample,
+		HistRebuildEpochs: s.HistRebuildEpochs,
+		Epochs:            s.Epochs,
+		MeasureFrom:       s.MeasureFrom,
+		Seed:              s.Seed + int64(1000*run),
+		Streams:           s.streams(),
+	}
+}
+
+// PRConfigFor exposes the harness configuration of one sweep cell so
+// benchmarks and callers can run a single cell directly.
+func (s SweepConfig) PRConfigFor(frac float64, kind EstimatorKind, run int) PRConfig {
+	return s.prConfig(frac, kind, run)
+}
+
+// d3Sweep runs D3 across runs for one cell, averaging per level.
+func (s SweepConfig) d3Sweep(frac float64, kind EstimatorKind) ([]float64, []float64, int) {
+	depth := len(levelsOf(s.Leaves, s.Branching))
+	perLevel := make([][]PR, depth)
+	truths := 0
+	for run := 0; run < s.Runs; run++ {
+		res := RunD3(s.prConfig(frac, kind, run))
+		for l, pr := range res.PerLevel {
+			perLevel[l] = append(perLevel[l], pr)
+		}
+		truths += res.TrueOutliers
+	}
+	prec := make([]float64, depth)
+	rec := make([]float64, depth)
+	for l := range perLevel {
+		prec[l], rec[l] = meanPR(perLevel[l])
+	}
+	return prec, rec, truths / s.Runs
+}
+
+// mgddSweep runs MGDD across runs for one cell.
+func (s SweepConfig) mgddSweep(frac float64, kind EstimatorKind) (float64, float64, int) {
+	var runs []PR
+	truths := 0
+	for run := 0; run < s.Runs; run++ {
+		res := RunMGDD(s.prConfig(frac, kind, run))
+		runs = append(runs, res.PR)
+		truths += res.TrueOutliers
+	}
+	p, r := meanPR(runs)
+	return p, r, truths / s.Runs
+}
+
+// Fig7 regenerates the Figure 7 sweep: D3 (per level) and MGDD precision/
+// recall on 1-d synthetic data, kernel versus histogram, across |R|/|W|.
+func Fig7(s SweepConfig) *Table {
+	t := &Table{
+		Title:   "Figure 7 — precision/recall, 1-d synthetic, kernel vs histogram",
+		Columns: []string{"estimator", "|R|/|W|", "detector", "precision", "recall", "true-outliers/run"},
+		Notes: []string{
+			"paper: D3 ≈94%/92%, MGDD ≈94%/93%; kernels match or beat histograms on precision",
+			"paper: D3 precision rises with level (Theorem 3 prunes false positives upward)",
+		},
+	}
+	for _, kind := range []EstimatorKind{KindKernel, KindHistogram} {
+		name := "kernel"
+		if kind == KindHistogram {
+			name = "histogram"
+		}
+		for _, frac := range s.SampleFracs {
+			prec, rec, truths := s.d3Sweep(frac, kind)
+			for l := range prec {
+				t.AddRow(name, FmtF(frac, 4), fmt.Sprintf("D3 level %d", l+1),
+					FmtPct(prec[l]), FmtPct(rec[l]), truths)
+			}
+			mp, mr, mtruths := s.mgddSweep(frac, kind)
+			t.AddRow(name, FmtF(frac, 4), "MGDD", FmtPct(mp), FmtPct(mr), mtruths)
+		}
+	}
+	return t
+}
+
+// Fig8 regenerates the Figure 8 sweep: MGDD precision/recall versus the
+// sample fraction f on 1-d synthetic data (kernel estimator).
+func Fig8(s SweepConfig, fractions []float64) *Table {
+	if len(fractions) == 0 {
+		fractions = []float64{0.25, 0.5, 0.75, 1.0}
+	}
+	t := &Table{
+		Title:   "Figure 8 — MGDD precision/recall vs sample fraction f (1-d synthetic, kernel)",
+		Columns: []string{"f", "precision", "recall", "true-outliers/run"},
+		Notes:   []string{"paper: both metrics improve with f, ≈94%/93% at the right settings"},
+	}
+	frac := s.SampleFracs[len(s.SampleFracs)-1]
+	for _, f := range fractions {
+		cfg := s
+		cfg.F = f
+		p, r, truths := cfg.mgddSweep(frac, KindKernel)
+		t.AddRow(FmtF(f, 2), FmtPct(p), FmtPct(r), truths)
+	}
+	return t
+}
+
+// Fig9 regenerates the Figure 9 sweep: D3 (per level) and MGDD on 2-d
+// synthetic data with the kernel estimator, across |R|/|W|.
+func Fig9(s SweepConfig) *Table {
+	s.Workload = Synthetic2D
+	t := &Table{
+		Title:   "Figure 9 — precision/recall, 2-d synthetic (kernel)",
+		Columns: []string{"|R|/|W|", "detector", "precision", "recall", "true-outliers/run"},
+		Notes:   []string{"paper: trends match the 1-d case; precision rises with level"},
+	}
+	for _, frac := range s.SampleFracs {
+		prec, rec, truths := s.d3Sweep(frac, KindKernel)
+		for l := range prec {
+			t.AddRow(FmtF(frac, 4), fmt.Sprintf("D3 level %d", l+1), FmtPct(prec[l]), FmtPct(rec[l]), truths)
+		}
+		mp, mr, mtruths := s.mgddSweep(frac, KindKernel)
+		t.AddRow(FmtF(frac, 4), "MGDD", FmtPct(mp), FmtPct(mr), mtruths)
+	}
+	return t
+}
+
+// Fig10 regenerates the Figure 10 sweeps: the engine (1-d) and
+// environmental (2-d) datasets across |R|/|W| with the kernel estimator.
+func Fig10(s SweepConfig) *Table {
+	t := &Table{
+		Title:   "Figure 10 — precision/recall on the (simulated) real datasets (kernel)",
+		Columns: []string{"dataset", "|R|/|W|", "detector", "precision", "recall", "true-outliers/run"},
+		Notes:   []string{"paper: ≈99% precision, ≈93% recall on the engine data; 2-d comparable to synthetic"},
+	}
+	for _, w := range []Workload{EngineData, EnviroData} {
+		cfg := s
+		cfg.Workload = w
+		for _, frac := range cfg.SampleFracs {
+			prec, rec, truths := cfg.d3Sweep(frac, KindKernel)
+			for l := range prec {
+				t.AddRow(w.String(), FmtF(frac, 4), fmt.Sprintf("D3 level %d", l+1),
+					FmtPct(prec[l]), FmtPct(rec[l]), truths)
+			}
+			mp, mr, mtruths := cfg.mgddSweep(frac, KindKernel)
+			t.AddRow(w.String(), FmtF(frac, 4), "MGDD", FmtPct(mp), FmtPct(mr), mtruths)
+		}
+	}
+	return t
+}

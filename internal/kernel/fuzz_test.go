@@ -1,0 +1,69 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"odds/internal/window"
+)
+
+// FuzzUnmarshalEstimator hardens the model wire format against corrupt
+// inputs: any byte string must either decode into a usable model or
+// return an error — never panic, never produce NaN masses.
+func FuzzUnmarshalEstimator(f *testing.F) {
+	e, err := New([]window.Point{{0.2}, {0.5}, {0.8}}, []float64{0.05}, 100)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, err := e.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0x53, 0x44, 0x44, 0x4f}) // magic only
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalEstimator(data)
+		if err != nil {
+			return
+		}
+		got := m.ProbBox(boxLo(m.Dim()), boxHi(m.Dim()))
+		if math.IsNaN(got) || got < 0 {
+			t.Fatalf("decoded model yields invalid mass %v", got)
+		}
+	})
+}
+
+func boxLo(d int) []float64 { return make([]float64, d) }
+func boxHi(d int) []float64 {
+	out := make([]float64, d)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// FuzzProbBox checks the analytic integrals never produce NaN or negative
+// mass for any query geometry.
+func FuzzProbBox(f *testing.F) {
+	e, err := New([]window.Point{{0.1}, {0.4}, {0.9}}, []float64{0.07}, 1000)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(0.0, 1.0)
+	f.Add(0.5, 0.5)
+	f.Add(-3.0, 7.0)
+	f.Fuzz(func(t *testing.T, lo, hi float64) {
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			return
+		}
+		got := e.ProbBox([]float64{lo}, []float64{hi})
+		if math.IsNaN(got) || got < -1e-12 || got > 1+1e-9 {
+			t.Fatalf("ProbBox(%v,%v) = %v", lo, hi, got)
+		}
+		naive := e.ProbBoxNaive([]float64{lo}, []float64{hi})
+		if math.Abs(got-naive) > 1e-9 {
+			t.Fatalf("fast path diverges from naive: %v vs %v", got, naive)
+		}
+	})
+}

@@ -1,0 +1,284 @@
+// Package kernel implements the paper's core contribution substrate: an
+// Epanechnikov kernel density estimator over a sample R of the sliding
+// window (Section 4), with analytic box-probability queries that answer
+// range queries N(p,r) = P[p-r,p+r]·|W| in O(d|R|) time (Theorem 2), and a
+// sorted fast path for 1-d data that touches only the kernels intersecting
+// the query range, O(log|R| + |R'|).
+//
+// Values must be normalized to [0,1]^d. Each sample point t contributes a
+// product kernel
+//
+//	k(x) = (3/4)^d · (1/ΠB_i) · Π (1 - ((x_i-t_i)/B_i)^2)   for |x_i-t_i| ≤ B_i
+//
+// whose per-dimension integral is the cubic
+// K(u) = 0.75·(u - u³/3) + 0.5 on u ∈ [-1,1], making box probabilities
+// exact and cheap — the property the paper exploits for online operation.
+//
+// Bandwidths follow Scott's rule (the single parameter the method
+// estimates): B_i = √5 · σ_i · |R|^(-1/(d+4)), with σ_i supplied by the
+// sliding-window variance sketch.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"odds/internal/window"
+)
+
+// minBandwidth guards against degenerate (zero-variance) dimensions; a
+// kernel narrower than this behaves as a point mass on the [0,1] domain.
+const minBandwidth = 1e-9
+
+// ErrNoSample is returned when constructing an estimator from an empty
+// sample.
+var ErrNoSample = errors.New("kernel: empty sample")
+
+// Bandwidths applies Scott's rule to per-dimension standard deviations:
+// B_i = √5 · σ_i · n^(-1/(d+4)) where n is the sample size and d the
+// dimensionality. Non-finite or non-positive σ fall back to minBandwidth.
+func Bandwidths(sigmas []float64, n int) []float64 {
+	d := len(sigmas)
+	out := make([]float64, d)
+	if n <= 0 {
+		n = 1
+	}
+	factor := math.Sqrt(5) * math.Pow(float64(n), -1/float64(d+4))
+	for i, s := range sigmas {
+		b := s * factor
+		if math.IsNaN(b) || b < minBandwidth {
+			b = minBandwidth
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// Estimator is an immutable kernel density model: a set of centers (the
+// sample R), per-dimension bandwidths, and the window count |W| that range
+// queries scale probabilities by. Build one with New or FromSample and
+// rebuild when the sample or bandwidths change; queries are safe for
+// concurrent use.
+type Estimator struct {
+	centers []window.Point
+	bw      []float64
+	wcount  float64
+	dim     int
+
+	// sorted1d holds center coordinates in ascending order when dim == 1,
+	// enabling the O(log|R| + |R'|) query path of Theorem 2.
+	sorted1d []float64
+}
+
+// New constructs an estimator from sample centers, per-dimension
+// bandwidths, and the effective window count |W| used to scale range
+// queries into neighbor counts. The centers slice is copied; the points
+// themselves are shared and must not be mutated by the caller.
+func New(centers []window.Point, bandwidths []float64, windowCount float64) (*Estimator, error) {
+	if len(centers) == 0 {
+		return nil, ErrNoSample
+	}
+	dim := len(centers[0])
+	if dim == 0 {
+		return nil, errors.New("kernel: zero-dimensional centers")
+	}
+	if len(bandwidths) != dim {
+		return nil, fmt.Errorf("kernel: %d bandwidths for %d dimensions", len(bandwidths), dim)
+	}
+	for i, p := range centers {
+		if len(p) != dim {
+			return nil, fmt.Errorf("kernel: center %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	bw := make([]float64, dim)
+	for i, b := range bandwidths {
+		if math.IsNaN(b) || b < minBandwidth {
+			b = minBandwidth
+		}
+		bw[i] = b
+	}
+	if windowCount <= 0 || math.IsNaN(windowCount) {
+		return nil, fmt.Errorf("kernel: window count %v must be positive", windowCount)
+	}
+	e := &Estimator{
+		centers: append([]window.Point(nil), centers...),
+		bw:      bw,
+		wcount:  windowCount,
+		dim:     dim,
+	}
+	if dim == 1 {
+		e.sorted1d = make([]float64, len(centers))
+		for i, p := range centers {
+			e.sorted1d[i] = p[0]
+		}
+		sort.Float64s(e.sorted1d)
+	}
+	return e, nil
+}
+
+// FromSample builds an estimator directly from a sample and per-dimension
+// standard deviations, applying Scott's rule for the bandwidths. This is
+// the construction every sensor performs online: chain sample + variance
+// sketch in, density model out.
+func FromSample(pts []window.Point, sigmas []float64, windowCount float64) (*Estimator, error) {
+	if len(pts) == 0 {
+		return nil, ErrNoSample
+	}
+	if len(sigmas) != len(pts[0]) {
+		return nil, fmt.Errorf("kernel: %d sigmas for %d dimensions", len(sigmas), len(pts[0]))
+	}
+	return New(pts, Bandwidths(sigmas, len(pts)), windowCount)
+}
+
+// Dim returns the dimensionality of the model.
+func (e *Estimator) Dim() int { return e.dim }
+
+// SampleSize returns |R|, the number of kernel centers.
+func (e *Estimator) SampleSize() int { return len(e.centers) }
+
+// WindowCount returns |W|, the count range queries scale by.
+func (e *Estimator) WindowCount() float64 { return e.wcount }
+
+// Bandwidth returns the bandwidth of dimension i.
+func (e *Estimator) Bandwidth(i int) float64 { return e.bw[i] }
+
+// Centers returns the kernel centers. The slice is shared; callers must
+// not mutate it.
+func (e *Estimator) Centers() []window.Point { return e.centers }
+
+// Density evaluates the estimated probability density f(x) (Equation 1).
+// Points outside every kernel's support yield 0.
+func (e *Estimator) Density(x window.Point) float64 {
+	if len(x) != e.dim {
+		panic(fmt.Sprintf("kernel: point dim %d, model dim %d", len(x), e.dim))
+	}
+	sum := 0.0
+	for _, t := range e.centers {
+		term := 1.0
+		for i := 0; i < e.dim; i++ {
+			u := (x[i] - t[i]) / e.bw[i]
+			if u <= -1 || u >= 1 {
+				term = 0
+				break
+			}
+			term *= 0.75 * (1 - u*u) / e.bw[i]
+		}
+		sum += term
+	}
+	return sum / float64(len(e.centers))
+}
+
+// epaCDFSegment integrates the unit Epanechnikov kernel over [u1, u2]
+// (arguments already scaled and clipped to [-1,1]).
+func epaCDFSegment(u1, u2 float64) float64 {
+	f := func(u float64) float64 { return 0.75 * (u - u*u*u/3) }
+	return f(u2) - f(u1)
+}
+
+// intervalMass returns the mass one kernel centered at t with bandwidth b
+// places on [lo, hi].
+func intervalMass(t, b, lo, hi float64) float64 {
+	u1 := (lo - t) / b
+	u2 := (hi - t) / b
+	if u1 >= 1 || u2 <= -1 || u2 <= u1 {
+		return 0
+	}
+	if u1 < -1 {
+		u1 = -1
+	}
+	if u2 > 1 {
+		u2 = 1
+	}
+	return epaCDFSegment(u1, u2)
+}
+
+// ProbBox returns the estimated probability mass of the axis-aligned box
+// [lo, hi] (Equation 5). Degenerate boxes (hi ≤ lo in any dimension)
+// return 0.
+func (e *Estimator) ProbBox(lo, hi []float64) float64 {
+	if len(lo) != e.dim || len(hi) != e.dim {
+		panic(fmt.Sprintf("kernel: box dims %d,%d, model dim %d", len(lo), len(hi), e.dim))
+	}
+	if e.dim == 1 {
+		return e.prob1D(lo[0], hi[0])
+	}
+	sum := 0.0
+	for _, t := range e.centers {
+		term := 1.0
+		for i := 0; i < e.dim; i++ {
+			m := intervalMass(t[i], e.bw[i], lo[i], hi[i])
+			if m == 0 {
+				term = 0
+				break
+			}
+			term *= m
+		}
+		sum += term
+	}
+	return sum / float64(len(e.centers))
+}
+
+// ProbBoxNaive answers the same query as ProbBox but always scans every
+// kernel — the O(d|R|) cost of Theorem 2 without the 1-d sorted fast
+// path. It exists so the fast-path ablation benchmark can measure the
+// speedup; library code should call ProbBox.
+func (e *Estimator) ProbBoxNaive(lo, hi []float64) float64 {
+	if len(lo) != e.dim || len(hi) != e.dim {
+		panic(fmt.Sprintf("kernel: box dims %d,%d, model dim %d", len(lo), len(hi), e.dim))
+	}
+	sum := 0.0
+	for _, t := range e.centers {
+		term := 1.0
+		for i := 0; i < e.dim; i++ {
+			m := intervalMass(t[i], e.bw[i], lo[i], hi[i])
+			if m == 0 {
+				term = 0
+				break
+			}
+			term *= m
+		}
+		sum += term
+	}
+	return sum / float64(len(e.centers))
+}
+
+// prob1D is the sorted fast path: only kernels with center in
+// [lo-B, hi+B] can intersect the query interval.
+func (e *Estimator) prob1D(lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	b := e.bw[0]
+	s := e.sorted1d
+	first := sort.SearchFloat64s(s, lo-b)
+	sum := 0.0
+	for i := first; i < len(s) && s[i] < hi+b; i++ {
+		sum += intervalMass(s[i], b, lo, hi)
+	}
+	return sum / float64(len(s))
+}
+
+// Prob returns the probability mass of the centered box [p-r, p+r].
+func (e *Estimator) Prob(p window.Point, r float64) float64 {
+	lo := make([]float64, e.dim)
+	hi := make([]float64, e.dim)
+	for i := range lo {
+		lo[i] = p[i] - r
+		hi[i] = p[i] + r
+	}
+	return e.ProbBox(lo, hi)
+}
+
+// Count answers the range query N(p,r) = P[p-r,p+r]·|W| (Equation 4): the
+// estimated number of window values within distance r of p under the L∞
+// metric the paper's box queries induce.
+func (e *Estimator) Count(p window.Point, r float64) float64 {
+	return e.Prob(p, r) * e.wcount
+}
+
+// CountBox is Count for an explicit box.
+func (e *Estimator) CountBox(lo, hi []float64) float64 {
+	return e.ProbBox(lo, hi) * e.wcount
+}

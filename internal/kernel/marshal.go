@@ -1,0 +1,107 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"odds/internal/window"
+)
+
+// The Section 9 applications have sensors transmitting their estimator
+// models — a parent "can compute the difference between the estimator
+// models received from its children, to determine if any of them is
+// faulty". MarshalBinary and UnmarshalEstimator provide the wire format:
+// a fixed header (magic, dimensionality, window count), the per-dimension
+// bandwidths, then the kernel centers, all little-endian float64. The
+// size is dominated by the d·|R| center coordinates, i.e. exactly the
+// O(d|R|) the paper charges for a model.
+
+const marshalMagic = uint32(0x4f444453) // "ODDS"
+
+// MarshaledSize returns the encoded size in bytes.
+func (e *Estimator) MarshaledSize() int {
+	return 4 + 4 + 8 + 8*e.dim + 4 + 8*e.dim*len(e.centers)
+}
+
+// MarshalBinary encodes the model.
+func (e *Estimator) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, e.MarshaledSize())
+	buf = binary.LittleEndian.AppendUint32(buf, marshalMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.dim))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.wcount))
+	for _, b := range e.bw {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.centers)))
+	for _, c := range e.centers {
+		for _, x := range c {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalEstimator decodes a model encoded by MarshalBinary.
+func UnmarshalEstimator(data []byte) (*Estimator, error) {
+	read32 := func() (uint32, error) {
+		if len(data) < 4 {
+			return 0, fmt.Errorf("kernel: truncated model encoding")
+		}
+		v := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		return v, nil
+	}
+	readF := func() (float64, error) {
+		if len(data) < 8 {
+			return 0, fmt.Errorf("kernel: truncated model encoding")
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data))
+		data = data[8:]
+		return v, nil
+	}
+	magic, err := read32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != marshalMagic {
+		return nil, fmt.Errorf("kernel: bad model magic %#x", magic)
+	}
+	dim32, err := read32()
+	if err != nil {
+		return nil, err
+	}
+	dim := int(dim32)
+	if dim <= 0 || dim > 1<<10 {
+		return nil, fmt.Errorf("kernel: implausible dimensionality %d", dim)
+	}
+	wcount, err := readF()
+	if err != nil {
+		return nil, err
+	}
+	bw := make([]float64, dim)
+	for i := range bw {
+		if bw[i], err = readF(); err != nil {
+			return nil, err
+		}
+	}
+	n32, err := read32()
+	if err != nil {
+		return nil, err
+	}
+	n := int(n32)
+	if n <= 0 || len(data) != 8*dim*n {
+		return nil, fmt.Errorf("kernel: center payload %d bytes, want %d", len(data), 8*dim*n)
+	}
+	centers := make([]window.Point, n)
+	for i := range centers {
+		c := make(window.Point, dim)
+		for j := range c {
+			if c[j], err = readF(); err != nil {
+				return nil, err
+			}
+		}
+		centers[i] = c
+	}
+	return New(centers, bw, wcount)
+}

@@ -1,0 +1,101 @@
+package mdef
+
+import (
+	"math"
+	"testing"
+
+	"odds/internal/window"
+)
+
+// countingModel counts calls so cache hits are observable.
+type countingModel struct {
+	dim   int
+	calls int
+}
+
+func (m *countingModel) Dim() int { return m.dim }
+func (m *countingModel) CountBox(lo, hi []float64) float64 {
+	m.calls++
+	v := 1.0
+	for i := range lo {
+		v *= hi[i] - lo[i]
+	}
+	return v * 100
+}
+
+func TestCachedCounterMemoizesAlignedCells(t *testing.T) {
+	inner := &countingModel{dim: 1}
+	c := NewCachedCounter(inner, 0.01)
+	lo, hi := []float64{0.02 * 7}, []float64{0.02 * 8}
+	a := c.CountBox(lo, hi)
+	b := c.CountBox(lo, hi)
+	if a != b {
+		t.Errorf("cached result changed: %v vs %v", a, b)
+	}
+	if inner.calls != 1 {
+		t.Errorf("inner called %d times, want 1", inner.calls)
+	}
+	if c.CacheSize() != 1 {
+		t.Errorf("CacheSize = %d, want 1", c.CacheSize())
+	}
+}
+
+func TestCachedCounterPassThroughUnaligned(t *testing.T) {
+	inner := &countingModel{dim: 1}
+	c := NewCachedCounter(inner, 0.01)
+	lo, hi := []float64{0.013}, []float64{0.033} // not a grid cell
+	c.CountBox(lo, hi)
+	c.CountBox(lo, hi)
+	if inner.calls != 2 {
+		t.Errorf("unaligned queries should not be cached: %d calls", inner.calls)
+	}
+	if c.CacheSize() != 0 {
+		t.Errorf("CacheSize = %d, want 0", c.CacheSize())
+	}
+}
+
+func TestCachedCounterNegativeCells(t *testing.T) {
+	inner := &countingModel{dim: 1}
+	c := NewCachedCounter(inner, 0.01)
+	lo, hi := []float64{-0.04}, []float64{-0.02}
+	a := c.CountBox(lo, hi)
+	b := c.CountBox(lo, hi)
+	if a != b || inner.calls != 1 {
+		t.Error("negative-index cells should cache too")
+	}
+}
+
+func TestCachedCounter2DDistinctKeys(t *testing.T) {
+	inner := &countingModel{dim: 2}
+	c := NewCachedCounter(inner, 0.01)
+	c.CountBox([]float64{0.02, 0.04}, []float64{0.04, 0.06})
+	c.CountBox([]float64{0.04, 0.02}, []float64{0.06, 0.04}) // transposed cell
+	if c.CacheSize() != 2 {
+		t.Errorf("CacheSize = %d, want 2 (distinct cells)", c.CacheSize())
+	}
+}
+
+func TestCachedCounterAgreesWithEvaluate(t *testing.T) {
+	m := clusterModel(t, nil, 500)
+	cached := NewCachedCounter(m, testParams.AlphaR)
+	for _, x := range []float64{0.3, 0.33, 0.3, 0.36} {
+		p := window.Point{x}
+		a := Evaluate(m, p, testParams)
+		b := Evaluate(cached, p, testParams)
+		if math.Abs(a.MDEF-b.MDEF) > 1e-12 || a.Outlier != b.Outlier {
+			t.Errorf("cached Evaluate differs at %v: %+v vs %+v", x, a, b)
+		}
+	}
+	if cached.CacheSize() == 0 {
+		t.Error("Evaluate through cache did not populate it")
+	}
+}
+
+func TestNewCachedCounterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad alphaR did not panic")
+		}
+	}()
+	NewCachedCounter(&countingModel{dim: 1}, 0)
+}

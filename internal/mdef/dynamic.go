@@ -1,0 +1,158 @@
+package mdef
+
+import (
+	"math"
+
+	"odds/internal/distance"
+	"odds/internal/window"
+)
+
+// DynTruth maintains the exact structures BruteForce-M needs —
+// domain-aligned cell occupancies (cells of side 2αr) and an exact
+// αr-neighborhood index — incrementally, so the evaluation harness can
+// compute the exact MDEF verdict for every arrival against the current
+// window without re-scanning it.
+type DynTruth struct {
+	prm Params
+	dim int
+	idx *distance.DynIndex
+	occ map[string]float64
+	n   int
+}
+
+// NewDynTruth returns empty ground-truth state for dim-dimensional data.
+func NewDynTruth(prm Params, dim int) *DynTruth {
+	if err := prm.Validate(); err != nil {
+		panic(err)
+	}
+	if dim <= 0 {
+		panic("mdef: dim must be positive")
+	}
+	return &DynTruth{
+		prm: prm,
+		dim: dim,
+		idx: distance.NewDynIndex(prm.AlphaR, dim),
+		occ: make(map[string]float64),
+	}
+}
+
+// Len returns the number of tracked points.
+func (d *DynTruth) Len() int { return d.n }
+
+func (d *DynTruth) cellOf(p window.Point, coords []int) string {
+	w := 2 * d.prm.AlphaR
+	for i, x := range p {
+		coords[i] = int(math.Floor(x / w))
+	}
+	return keyOf(coords)
+}
+
+// keyOf mirrors the encoding used by BruteForce.
+func keyOf(coords []int) string {
+	b := make([]byte, 0, len(coords)*5)
+	for _, c := range coords {
+		u := uint32(c<<1) ^ uint32(c>>31)
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24), ',')
+	}
+	return string(b)
+}
+
+// Add tracks one point (a window arrival).
+func (d *DynTruth) Add(p window.Point) {
+	coords := make([]int, d.dim)
+	d.occ[d.cellOf(p, coords)]++
+	d.idx.Add(p)
+	d.n++
+}
+
+// Remove un-tracks one point (a window eviction). It returns false when
+// the point was not tracked.
+func (d *DynTruth) Remove(p window.Point) bool {
+	if !d.idx.Remove(p) {
+		return false
+	}
+	coords := make([]int, d.dim)
+	k := d.cellOf(p, coords)
+	if d.occ[k] <= 1 {
+		delete(d.occ, k)
+	} else {
+		d.occ[k]--
+	}
+	d.n--
+	return true
+}
+
+// Evaluate returns the exact MDEF verdict for p against the tracked set —
+// the per-arrival BruteForce-M decision.
+func (d *DynTruth) Evaluate(p window.Point) Result {
+	np := float64(d.idx.Count(p, d.prm.AlphaR))
+	firsts := make([]int, d.dim)
+	lasts := make([]int, d.dim)
+	for i := range p {
+		firsts[i], lasts[i] = cellRange(p[i]-d.prm.R, p[i]+d.prm.R, d.prm.AlphaR)
+	}
+	coords := make([]int, d.dim)
+	var counts []float64
+	var walk func(dim int)
+	walk = func(dim int) {
+		if dim == d.dim {
+			if c := d.occ[keyOf(coords)]; c > 0 {
+				counts = append(counts, c)
+			}
+			return
+		}
+		for c := firsts[dim]; c <= lasts[dim]; c++ {
+			coords[dim] = c
+			walk(dim + 1)
+		}
+	}
+	walk(0)
+	avg, sig := cellStats(counts)
+	res := Result{Count: np, AvgN: avg}
+	if avg <= 0 {
+		return res
+	}
+	res.MDEF = 1 - np/avg
+	res.SigMDEF = sig / avg
+	res.Outlier = res.MDEF > d.prm.KSigma*res.SigMDEF
+	return res
+}
+
+// IsOutlier returns the exact flag decision for p. It avoids the full
+// neighborhood count: the criterion MDEF > k_σ·σ_MDEF rearranges to
+// n(p,αr) < n̂ − k_σ·σ_n̂, so an early-exit count against that bound
+// suffices.
+func (d *DynTruth) IsOutlier(p window.Point) bool {
+	firsts := make([]int, d.dim)
+	lasts := make([]int, d.dim)
+	for i := range p {
+		firsts[i], lasts[i] = cellRange(p[i]-d.prm.R, p[i]+d.prm.R, d.prm.AlphaR)
+	}
+	coords := make([]int, d.dim)
+	var counts []float64
+	var walk func(dim int)
+	walk = func(dim int) {
+		if dim == d.dim {
+			if c := d.occ[keyOf(coords)]; c > 0 {
+				counts = append(counts, c)
+			}
+			return
+		}
+		for c := firsts[dim]; c <= lasts[dim]; c++ {
+			coords[dim] = c
+			walk(dim + 1)
+		}
+	}
+	walk(0)
+	avg, sig := cellStats(counts)
+	if avg <= 0 {
+		return false
+	}
+	bound := avg - d.prm.KSigma*sig
+	if bound <= 0 {
+		return false // even n(p,αr)=0 cannot satisfy the criterion
+	}
+	limit := int(math.Ceil(bound))
+	np := float64(d.idx.CountUpTo(p, d.prm.AlphaR, limit))
+	return np < bound
+}

@@ -1,0 +1,106 @@
+package mdef
+
+import (
+	"testing"
+
+	"odds/internal/kernel"
+	"odds/internal/stats"
+	"odds/internal/window"
+)
+
+var multiPrm = MultiParams{RMin: 0.02, RMax: 0.16, RStep: 2, Alpha: 0.125, KSigma: 3}
+
+func TestMultiParamsValidate(t *testing.T) {
+	if err := multiPrm.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []MultiParams{
+		{RMin: 0, RMax: 0.1, RStep: 2, Alpha: 0.1, KSigma: 3},
+		{RMin: 0.2, RMax: 0.1, RStep: 2, Alpha: 0.1, KSigma: 3},
+		{RMin: 0.01, RMax: 0.1, RStep: 1, Alpha: 0.1, KSigma: 3},
+		{RMin: 0.01, RMax: 0.1, RStep: 2, Alpha: 0, KSigma: 3},
+		{RMin: 0.01, RMax: 0.1, RStep: 2, Alpha: 1.5, KSigma: 3},
+		{RMin: 0.01, RMax: 0.1, RStep: 2, Alpha: 0.1, KSigma: 0},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestMultiParamsRadii(t *testing.T) {
+	radii := multiPrm.Radii()
+	want := []float64{0.02, 0.04, 0.08, 0.16}
+	if len(radii) != len(want) {
+		t.Fatalf("radii = %v", radii)
+	}
+	for i := range want {
+		if diff := radii[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("radii = %v, want %v", radii, want)
+		}
+	}
+}
+
+// multiModel builds a KDE over a dense uniform block plus a point at a
+// given offset from the block edge.
+func multiModel(t *testing.T, isolated float64) *kernel.Estimator {
+	t.Helper()
+	r := stats.NewRand(61)
+	pts := make([]window.Point, 0, 2001)
+	for i := 0; i < 2000; i++ {
+		pts = append(pts, window.Point{0.2 + r.Float64()*0.2})
+	}
+	pts = append(pts, window.Point{isolated})
+	e, err := kernel.New(pts, []float64{0.02}, float64(len(pts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEvaluateMultiFindsScale(t *testing.T) {
+	// A point 0.05 past the block edge: invisible at r=0.02 (its sampling
+	// neighborhood is empty), detected once r reaches the block.
+	m := multiModel(t, 0.45)
+	res := EvaluateMulti(m, []float64{0.45}, multiPrm)
+	if !res.Outlier {
+		t.Fatalf("multi-scan missed the outlier: %+v", res)
+	}
+	if res.BestR < 0.04 {
+		t.Errorf("BestR = %v; detection should need a radius reaching the block", res.BestR)
+	}
+	if res.Best.MDEF < 0.9 {
+		t.Errorf("best MDEF = %v, want ≈1", res.Best.MDEF)
+	}
+}
+
+func TestEvaluateMultiFixedRadiusMisses(t *testing.T) {
+	// The same point is NOT detected by the single smallest radius alone —
+	// the scenario motivating the scan.
+	m := multiModel(t, 0.45)
+	single := Evaluate(m, window.Point{0.45}, Params{R: 0.02, AlphaR: 0.0025, KSigma: 3})
+	if single.Outlier {
+		t.Skip("smallest radius already detects; scenario not discriminative")
+	}
+	if !IsOutlierMulti(m, []float64{0.45}, multiPrm) {
+		t.Error("scan should detect what the fixed radius misses")
+	}
+}
+
+func TestEvaluateMultiBlockInteriorClean(t *testing.T) {
+	m := multiModel(t, 0.45)
+	if IsOutlierMulti(m, []float64{0.3}, multiPrm) {
+		t.Error("block interior flagged by multi-scan")
+	}
+}
+
+func TestEvaluateMultiPanics(t *testing.T) {
+	m := multiModel(t, 0.45)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad params did not panic")
+		}
+	}()
+	EvaluateMulti(m, []float64{0.3}, MultiParams{})
+}

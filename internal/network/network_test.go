@@ -1,0 +1,316 @@
+package network
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"odds/internal/stats"
+	"odds/internal/tagsim"
+	"odds/internal/window"
+)
+
+func TestNewHierarchyShape(t *testing.T) {
+	// The paper's setup: 32 leaves, branching 4 → levels 32/8/2/1.
+	topo := NewHierarchy(32, 4)
+	want := []int{32, 8, 2, 1}
+	if topo.Depth() != len(want) {
+		t.Fatalf("Depth = %d, want %d", topo.Depth(), len(want))
+	}
+	for i, n := range want {
+		if len(topo.Levels[i]) != n {
+			t.Errorf("level %d size = %d, want %d", i, len(topo.Levels[i]), n)
+		}
+	}
+	if topo.NodeCount() != 43 {
+		t.Errorf("NodeCount = %d, want 43", topo.NodeCount())
+	}
+	if len(topo.Leaves()) != 32 {
+		t.Errorf("Leaves = %d", len(topo.Leaves()))
+	}
+}
+
+func TestHierarchyParentsConsistent(t *testing.T) {
+	topo := NewHierarchy(10, 3)
+	for leader, kids := range topo.Children {
+		for _, k := range kids {
+			if p, ok := topo.Parent(k); !ok || p != leader {
+				t.Errorf("child %d of %d has Parent %d,%v", k, leader, p, ok)
+			}
+		}
+	}
+	if _, ok := topo.Parent(topo.Root()); ok {
+		t.Error("root should have no parent")
+	}
+}
+
+func TestHierarchyPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"leaves=0":    func() { NewHierarchy(0, 2) },
+		"branching<2": func() { NewHierarchy(4, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSingleLeafHierarchy(t *testing.T) {
+	topo := NewHierarchy(1, 2)
+	if topo.Depth() != 1 {
+		t.Fatalf("Depth = %d, want 1 (the leaf is the root)", topo.Depth())
+	}
+	if topo.Root() != topo.Leaves()[0] {
+		t.Error("single leaf should be root")
+	}
+}
+
+func TestDescendantLeavesAndPath(t *testing.T) {
+	topo := NewHierarchy(8, 2) // 8/4/2/1
+	root := topo.Root()
+	if got := topo.DescendantLeaves(root); len(got) != 8 {
+		t.Errorf("root descendants = %d, want 8", len(got))
+	}
+	leaf := topo.Leaves()[0]
+	path := topo.PathToRoot(leaf)
+	if len(path) != 3 {
+		t.Fatalf("path length = %d, want 3", len(path))
+	}
+	if path[len(path)-1] != root {
+		t.Error("path should end at root")
+	}
+	if topo.HopsToRoot(leaf) != 3 {
+		t.Error("HopsToRoot wrong")
+	}
+	if topo.HopsToRoot(root) != 0 {
+		t.Error("root hops should be 0")
+	}
+}
+
+func TestLevelLookup(t *testing.T) {
+	topo := NewHierarchy(4, 2)
+	if topo.Level(topo.Leaves()[0]) != 0 {
+		t.Error("leaf level wrong")
+	}
+	if topo.Level(topo.Root()) != topo.Depth()-1 {
+		t.Error("root level wrong")
+	}
+	if topo.Level(tagsim.NodeID(9999)) != -1 {
+		t.Error("unknown id should be -1")
+	}
+}
+
+func TestNewGridShape(t *testing.T) {
+	topo := NewGrid(4) // 16 leaves, tiers 16/4/1
+	want := []int{16, 4, 1}
+	if topo.Depth() != len(want) {
+		t.Fatalf("Depth = %d, want %d", topo.Depth(), len(want))
+	}
+	for i, n := range want {
+		if len(topo.Levels[i]) != n {
+			t.Errorf("tier %d size = %d, want %d", i, len(topo.Levels[i]), n)
+		}
+	}
+	// Every leaf has a position in the unit plane.
+	for _, leaf := range topo.Leaves() {
+		pos, ok := topo.Pos[leaf]
+		if !ok {
+			t.Fatalf("leaf %d has no position", leaf)
+		}
+		if pos[0] <= 0 || pos[0] >= 1 || pos[1] <= 0 || pos[1] >= 1 {
+			t.Errorf("leaf %d position %v outside plane", leaf, pos)
+		}
+	}
+	// Quad structure: every tier-1 leader has exactly 4 children.
+	for _, leader := range topo.Levels[1] {
+		if len(topo.Children[leader]) != 4 {
+			t.Errorf("leader %d has %d children, want 4", leader, len(topo.Children[leader]))
+		}
+	}
+}
+
+func TestGridChildrenAreSpatiallyCoherent(t *testing.T) {
+	topo := NewGrid(4)
+	for _, leader := range topo.Levels[1] {
+		kids := topo.Children[leader]
+		// The 2x2 block spans a quarter of the plane: max pairwise distance
+		// within a block of cell size 0.25 is 0.25 in each axis.
+		for i := 0; i < len(kids); i++ {
+			for j := i + 1; j < len(kids); j++ {
+				a, b := topo.Pos[kids[i]], topo.Pos[kids[j]]
+				if dx := a[0] - b[0]; dx > 0.26 || dx < -0.26 {
+					t.Fatalf("cell children too far apart in x: %v vs %v", a, b)
+				}
+				if dy := a[1] - b[1]; dy > 0.26 || dy < -0.26 {
+					t.Fatalf("cell children too far apart in y: %v vs %v", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	for _, side := range []int{0, 1, 3, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("side=%d: no panic", side)
+				}
+			}()
+			NewGrid(side)
+		}()
+	}
+}
+
+func TestElectAndRotateLeaders(t *testing.T) {
+	topo := NewGrid(4)
+	rng := stats.NewRand(1)
+	cur := topo.ElectLeaders(rng)
+	for _, lv := range topo.Levels[1:] {
+		for _, leader := range lv {
+			phys, ok := cur[leader]
+			if !ok {
+				t.Fatalf("leader %d unassigned", leader)
+			}
+			found := false
+			for _, l := range topo.DescendantLeaves(leader) {
+				if l == phys {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("leader %d assigned leaf %d outside its cell", leader, phys)
+			}
+		}
+	}
+	next := topo.RotateLeaders(cur, rng)
+	for leader, phys := range next {
+		if len(topo.DescendantLeaves(leader)) > 1 && phys == cur[leader] {
+			t.Errorf("rotation kept incumbent for leader %d", leader)
+		}
+	}
+}
+
+// countNode sends one message up per epoch; parents count.
+type countNode struct {
+	id     tagsim.NodeID
+	parent tagsim.NodeID
+	send   bool
+	got    atomic.Int64
+}
+
+func (n *countNode) ID() tagsim.NodeID { return n.id }
+func (n *countNode) OnEpoch(s tagsim.Sender, e int) {
+	if n.send {
+		s.Send(n.parent, "reading", window.Point{float64(e)}, 0)
+	}
+}
+func (n *countNode) OnMessage(s tagsim.Sender, m tagsim.Message) {
+	n.got.Add(1)
+}
+
+func TestRuntimeDeliversAll(t *testing.T) {
+	topo := NewHierarchy(8, 2)
+	var nodes []tagsim.Node
+	parentOf := func(id tagsim.NodeID) tagsim.NodeID {
+		p, _ := topo.Parent(id)
+		return p
+	}
+	counters := make(map[tagsim.NodeID]*countNode)
+	for _, lv := range topo.Levels {
+		for _, id := range lv {
+			n := &countNode{id: id, parent: parentOf(id), send: topo.Level(id) == 0}
+			counters[id] = n
+			nodes = append(nodes, n)
+		}
+	}
+	rt := NewRuntime(nodes)
+	defer rt.Close()
+	rt.Run(10)
+	// Each of the 8 leaves sends 10 messages; each level-1 leader has 2
+	// leaf children → 20 received.
+	for _, leader := range topo.Levels[1] {
+		if got := counters[leader].got.Load(); got != 20 {
+			t.Errorf("leader %d received %d, want 20", leader, got)
+		}
+	}
+	if rt.Messages() != 80 {
+		t.Errorf("Messages = %d, want 80", rt.Messages())
+	}
+	if rt.Dropped() != 0 {
+		t.Errorf("Dropped = %d", rt.Dropped())
+	}
+}
+
+// relay forwards received messages to its parent, exercising transitive
+// message chains and the quiescence barrier.
+type relay struct {
+	id, parent tagsim.NodeID
+	hasParent  bool
+	send       bool
+	got        atomic.Int64
+}
+
+func (n *relay) ID() tagsim.NodeID { return n.id }
+func (n *relay) OnEpoch(s tagsim.Sender, e int) {
+	if n.send {
+		s.Send(n.parent, "reading", window.Point{float64(e)}, 0)
+	}
+}
+func (n *relay) OnMessage(s tagsim.Sender, m tagsim.Message) {
+	n.got.Add(1)
+	if n.hasParent {
+		s.Send(n.parent, m.Kind, m.Value, m.Aux)
+	}
+}
+
+func TestRuntimeBarrierIncludesCascades(t *testing.T) {
+	topo := NewHierarchy(16, 2) // depth 5
+	counters := make(map[tagsim.NodeID]*relay)
+	var nodes []tagsim.Node
+	for _, lv := range topo.Levels {
+		for _, id := range lv {
+			p, ok := topo.Parent(id)
+			n := &relay{id: id, parent: p, hasParent: ok, send: topo.Level(id) == 0}
+			counters[id] = n
+			nodes = append(nodes, n)
+		}
+	}
+	rt := NewRuntime(nodes)
+	defer rt.Close()
+	const epochs = 20
+	rt.Run(epochs)
+	// Every reading cascades to the root: root receives 16 per epoch.
+	if got := counters[topo.Root()].got.Load(); got != 16*epochs {
+		t.Errorf("root received %d, want %d", got, 16*epochs)
+	}
+}
+
+func TestRuntimeDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate node id did not panic")
+		}
+	}()
+	NewRuntime([]tagsim.Node{&countNode{id: 1}, &countNode{id: 1}})
+}
+
+func TestRuntimeDropsUnknown(t *testing.T) {
+	n := &countNode{id: 1, parent: 42, send: true}
+	rt := NewRuntime([]tagsim.Node{n})
+	defer rt.Close()
+	rt.Run(3)
+	if rt.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", rt.Dropped())
+	}
+}
+
+func TestRuntimeCloseIdempotent(t *testing.T) {
+	rt := NewRuntime([]tagsim.Node{&countNode{id: 1}})
+	rt.Close()
+	rt.Close()
+}

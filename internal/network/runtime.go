@@ -1,0 +1,154 @@
+package network
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"odds/internal/tagsim"
+	"odds/internal/window"
+)
+
+// Runtime runs tagsim.Node behaviors concurrently, one goroutine per node,
+// matching the paper's deployment model where every sensor computes
+// independently. Epochs are barrier-synchronized: Run delivers an epoch
+// tick to every node, then waits until all ticks and every message they
+// (transitively) triggered have been processed, so a Runtime execution is
+// observationally equivalent to the deterministic tagsim engine up to
+// message interleaving.
+type Runtime struct {
+	nodes map[tagsim.NodeID]*mailbox
+	order []tagsim.NodeID
+
+	work     sync.WaitGroup // outstanding ticks + messages
+	messages atomic.Int64
+	dropped  atomic.Int64
+	closed   bool
+}
+
+type item struct {
+	epoch int // valid when tick
+	tick  bool
+	msg   tagsim.Message
+}
+
+// mailbox is an unbounded inbox drained by the node's goroutine.
+type mailbox struct {
+	mu    sync.Mutex
+	queue []item
+	wake  chan struct{}
+	done  chan struct{}
+}
+
+func (m *mailbox) put(it item) {
+	m.mu.Lock()
+	m.queue = append(m.queue, it)
+	m.mu.Unlock()
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (m *mailbox) take() (item, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == 0 {
+		return item{}, false
+	}
+	it := m.queue[0]
+	m.queue = m.queue[1:]
+	return it, true
+}
+
+// NewRuntime starts one goroutine per node. Callers must Close the runtime
+// when done.
+func NewRuntime(nodes []tagsim.Node) *Runtime {
+	r := &Runtime{nodes: make(map[tagsim.NodeID]*mailbox, len(nodes))}
+	for _, n := range nodes {
+		id := n.ID()
+		if _, dup := r.nodes[id]; dup {
+			panic(fmt.Sprintf("network: duplicate node id %d", id))
+		}
+		mb := &mailbox{wake: make(chan struct{}, 1), done: make(chan struct{})}
+		r.nodes[id] = mb
+		r.order = append(r.order, id)
+		go r.loop(n, mb)
+	}
+	return r
+}
+
+// sender implements tagsim.Sender for a node goroutine.
+type sender struct {
+	rt   *Runtime
+	self tagsim.NodeID
+}
+
+// Self returns the executing node.
+func (s *sender) Self() tagsim.NodeID { return s.self }
+
+// Send routes a message to the destination's mailbox. Unknown destinations
+// are counted as dropped, mirroring the tagsim engine.
+func (s *sender) Send(to tagsim.NodeID, kind string, value window.Point, aux float64) {
+	dst, ok := s.rt.nodes[to]
+	if !ok {
+		s.rt.dropped.Add(1)
+		return
+	}
+	s.rt.messages.Add(1)
+	s.rt.work.Add(1)
+	dst.put(item{msg: tagsim.Message{From: s.self, To: to, Kind: kind, Value: value, Aux: aux}})
+}
+
+func (r *Runtime) loop(n tagsim.Node, mb *mailbox) {
+	snd := &sender{rt: r, self: n.ID()}
+	for {
+		it, ok := mb.take()
+		if !ok {
+			select {
+			case <-mb.wake:
+				continue
+			case <-mb.done:
+				return
+			}
+		}
+		if it.tick {
+			n.OnEpoch(snd, it.epoch)
+		} else {
+			n.OnMessage(snd, it.msg)
+		}
+		r.work.Done()
+	}
+}
+
+// Run executes the given number of barrier-synchronized epochs.
+func (r *Runtime) Run(epochs int) {
+	if r.closed {
+		panic("network: Run on closed runtime")
+	}
+	for e := 0; e < epochs; e++ {
+		r.work.Add(len(r.order))
+		for _, id := range r.order {
+			r.nodes[id].put(item{tick: true, epoch: e})
+		}
+		r.work.Wait()
+	}
+}
+
+// Messages returns the number of messages sent so far.
+func (r *Runtime) Messages() int64 { return r.messages.Load() }
+
+// Dropped returns the number of messages addressed to unknown nodes.
+func (r *Runtime) Dropped() int64 { return r.dropped.Load() }
+
+// Close terminates the node goroutines. The runtime must be idle (only
+// call Close after Run has returned).
+func (r *Runtime) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, mb := range r.nodes {
+		close(mb.done)
+	}
+}

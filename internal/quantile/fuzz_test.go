@@ -1,0 +1,38 @@
+package quantile
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzGK stresses the summary with arbitrary insert sequences and probes:
+// queries must stay inside the inserted value range and never panic.
+func FuzzGK(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200, 7}, uint8(128))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, phiRaw uint8) {
+		s := New(0.05)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, b := range raw {
+			x := float64(b) / 255
+			s.Insert(x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		phi := float64(phiRaw) / 255
+		got := s.Query(phi)
+		if len(raw) == 0 {
+			if !math.IsNaN(got) {
+				t.Fatalf("empty summary returned %v", got)
+			}
+			return
+		}
+		if math.IsNaN(got) || got < lo || got > hi {
+			t.Fatalf("Query(%v) = %v outside inserted range [%v,%v]", phi, got, lo, hi)
+		}
+	})
+}

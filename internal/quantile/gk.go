@@ -1,0 +1,209 @@
+// Package quantile implements the Greenwald-Khanna ε-approximate quantile
+// summary. The paper's related work (Section 11) discusses order
+// statistics in sensor networks (Greenwald & Khanna [19], Shrivastava et
+// al. [41]) as the alternative lens on distribution approximation; this
+// package supplies that substrate, and the experiments use it to build a
+// fully-online equi-depth histogram — putting the paper's conjecture that
+// "any similar online technique will perform at most as good" as the
+// offline histogram baseline to an actual test.
+//
+// A summary maintains tuples (v, g, Δ) with Σg = n such that any φ-quantile
+// query is answered within ±ε·n rank error, using O((1/ε)·log(ε·n)) space.
+package quantile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// tuple is one summary entry: value v covers g ranks, with Δ uncertainty.
+type tuple struct {
+	v float64
+	g int
+	d int
+}
+
+// GK is a Greenwald-Khanna summary. The zero value is not usable;
+// construct with New.
+type GK struct {
+	eps     float64
+	tuples  []tuple
+	n       int
+	pending []float64 // buffered inserts, merged in batches for speed
+}
+
+// New returns a summary with rank-error bound eps·n. It panics for eps
+// outside (0, 0.5].
+func New(eps float64) *GK {
+	if !(eps > 0 && eps <= 0.5) {
+		panic(fmt.Sprintf("quantile: eps %v outside (0, 0.5]", eps))
+	}
+	return &GK{eps: eps}
+}
+
+// Eps returns the configured error bound.
+func (s *GK) Eps() float64 { return s.eps }
+
+// N returns the number of inserted observations.
+func (s *GK) N() int { return s.n + len(s.pending) }
+
+// Insert adds one observation.
+func (s *GK) Insert(x float64) {
+	if math.IsNaN(x) {
+		panic("quantile: NaN observation")
+	}
+	s.pending = append(s.pending, x)
+	if len(s.pending) >= s.batchSize() {
+		s.flush()
+	}
+}
+
+func (s *GK) batchSize() int {
+	b := int(1 / (2 * s.eps))
+	if b < 16 {
+		b = 16
+	}
+	return b
+}
+
+// flush merges the pending buffer into the summary and compresses.
+func (s *GK) flush() {
+	if len(s.pending) == 0 {
+		return
+	}
+	sort.Float64s(s.pending)
+	maxD := int(2 * s.eps * float64(s.n+len(s.pending)))
+	merged := make([]tuple, 0, len(s.tuples)+len(s.pending))
+	i, j := 0, 0
+	for i < len(s.tuples) || j < len(s.pending) {
+		if j >= len(s.pending) || (i < len(s.tuples) && s.tuples[i].v <= s.pending[j]) {
+			merged = append(merged, s.tuples[i])
+			i++
+			continue
+		}
+		// New observation: g = 1; Δ is the allowed uncertainty at its
+		// position (0 at the extremes).
+		d := 0
+		if i > 0 && i < len(s.tuples) {
+			d = maxD - 1
+			if d < 0 {
+				d = 0
+			}
+		}
+		merged = append(merged, tuple{v: s.pending[j], g: 1, d: d})
+		j++
+	}
+	s.n += len(s.pending)
+	s.pending = s.pending[:0]
+	s.tuples = merged
+	s.compress()
+}
+
+// compress merges adjacent tuples while g_i + g_{i+1} + Δ_{i+1} stays
+// within the 2εn budget, keeping the summary at O((1/ε)·log(εn)) entries.
+func (s *GK) compress() {
+	if len(s.tuples) < 3 {
+		return
+	}
+	budget := int(2 * s.eps * float64(s.n))
+	out := s.tuples[:1] // never merge away the minimum
+	for i := 1; i < len(s.tuples); i++ {
+		t := s.tuples[i]
+		last := &out[len(out)-1]
+		if len(out) > 1 && i < len(s.tuples)-1 && last.g+t.g+t.d <= budget {
+			t.g += last.g
+			out[len(out)-1] = t
+			continue
+		}
+		out = append(out, t)
+	}
+	s.tuples = out
+}
+
+// Query returns an approximation of the phi-quantile (0 ≤ phi ≤ 1) with
+// rank error at most eps·n. It returns NaN on an empty summary or phi
+// outside [0,1].
+func (s *GK) Query(phi float64) float64 {
+	if phi < 0 || phi > 1 || math.IsNaN(phi) {
+		return math.NaN()
+	}
+	s.flush()
+	if s.n == 0 {
+		return math.NaN()
+	}
+	// The first and last tuples always hold the exact extremes.
+	if phi == 0 {
+		return s.tuples[0].v
+	}
+	if phi == 1 {
+		return s.tuples[len(s.tuples)-1].v
+	}
+	rank := int(math.Ceil(phi * float64(s.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	margin := int(math.Ceil(s.eps * float64(s.n)))
+	// Standard GK lookup: the last tuple whose maximum possible rank stays
+	// within rank+margin.
+	rmin := 0
+	best := s.tuples[0].v
+	for _, t := range s.tuples {
+		rmin += t.g
+		if rmin+t.d > rank+margin {
+			break
+		}
+		best = t.v
+	}
+	return best
+}
+
+// Tuples returns the current summary size (for memory accounting).
+func (s *GK) Tuples() int {
+	s.flush()
+	return len(s.tuples)
+}
+
+// MemoryNumbers returns stored scalars (three per tuple).
+func (s *GK) MemoryNumbers() int { return 3 * s.Tuples() }
+
+// Quantiles returns the values at the given cumulative fractions — the
+// bucket boundaries of an equi-depth histogram with len(phis)-1 buckets.
+func (s *GK) Quantiles(phis []float64) []float64 {
+	out := make([]float64, len(phis))
+	for i, p := range phis {
+		out[i] = s.Query(p)
+	}
+	return out
+}
+
+// Merge combines two summaries into a new one covering both streams —
+// the aggregation step that lets leaders in a sensor hierarchy maintain
+// order statistics over their subtree from their children's summaries
+// (Greenwald & Khanna's power-conserving computation, [19] in the paper).
+// The merged summary answers queries within (eps_a + eps_b)·n rank error;
+// its Eps reflects that.
+func Merge(a, b *GK) *GK {
+	a.flush()
+	b.flush()
+	eps := a.eps + b.eps
+	if eps > 0.5 {
+		eps = 0.5
+	}
+	out := New(eps)
+	out.n = a.n + b.n
+	merged := make([]tuple, 0, len(a.tuples)+len(b.tuples))
+	i, j := 0, 0
+	for i < len(a.tuples) || j < len(b.tuples) {
+		if j >= len(b.tuples) || (i < len(a.tuples) && a.tuples[i].v <= b.tuples[j].v) {
+			merged = append(merged, a.tuples[i])
+			i++
+		} else {
+			merged = append(merged, b.tuples[j])
+			j++
+		}
+	}
+	out.tuples = merged
+	out.compress()
+	return out
+}

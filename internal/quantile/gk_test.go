@@ -1,0 +1,258 @@
+package quantile
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"odds/internal/stats"
+)
+
+func TestNewPanics(t *testing.T) {
+	for _, eps := range []float64{0, -0.1, 0.6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("eps=%v: no panic", eps)
+				}
+			}()
+			New(eps)
+		}()
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := New(0.01)
+	if !math.IsNaN(s.Query(0.5)) {
+		t.Error("empty query should be NaN")
+	}
+	if s.N() != 0 {
+		t.Error("empty N wrong")
+	}
+}
+
+func TestInsertNaNPanics(t *testing.T) {
+	s := New(0.01)
+	defer func() {
+		if recover() == nil {
+			t.Error("NaN insert did not panic")
+		}
+	}()
+	s.Insert(math.NaN())
+}
+
+func TestQueryBadPhi(t *testing.T) {
+	s := New(0.01)
+	s.Insert(1)
+	if !math.IsNaN(s.Query(-0.1)) || !math.IsNaN(s.Query(1.1)) || !math.IsNaN(s.Query(math.NaN())) {
+		t.Error("bad phi should be NaN")
+	}
+}
+
+// rankOf returns the true rank of v in sorted xs (1-based count ≤ v).
+func rankOf(sorted []float64, v float64) int {
+	return sort.SearchFloat64s(sorted, math.Nextafter(v, math.Inf(1)))
+}
+
+func checkErrorBound(t *testing.T, xs []float64, eps float64, phis []float64) {
+	t.Helper()
+	s := New(eps)
+	for _, x := range xs {
+		s.Insert(x)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(xs))
+	for _, phi := range phis {
+		got := s.Query(phi)
+		gotRank := float64(rankOf(sorted, got))
+		wantRank := math.Ceil(phi * n)
+		if math.Abs(gotRank-wantRank) > 2*eps*n+1 {
+			t.Errorf("phi=%v: rank %v, want %v ± %v", phi, gotRank, wantRank, 2*eps*n+1)
+		}
+	}
+}
+
+func TestRankErrorUniform(t *testing.T) {
+	r := stats.NewRand(1)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	checkErrorBound(t, xs, 0.01, []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1})
+}
+
+func TestRankErrorSkewed(t *testing.T) {
+	r := stats.NewRand(2)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = math.Exp(r.NormFloat64())
+	}
+	checkErrorBound(t, xs, 0.02, []float64{0.05, 0.5, 0.95})
+}
+
+func TestRankErrorSortedInput(t *testing.T) {
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	checkErrorBound(t, xs, 0.01, []float64{0.1, 0.5, 0.9})
+}
+
+func TestRankErrorReverseSorted(t *testing.T) {
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = float64(len(xs) - i)
+	}
+	checkErrorBound(t, xs, 0.01, []float64{0.1, 0.5, 0.9})
+}
+
+func TestDuplicateHeavy(t *testing.T) {
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = float64(i % 3)
+	}
+	s := New(0.01)
+	for _, x := range xs {
+		s.Insert(x)
+	}
+	med := s.Query(0.5)
+	if med != 1 {
+		t.Errorf("median of {0,1,2}-repeats = %v, want 1", med)
+	}
+}
+
+func TestSpaceSublinear(t *testing.T) {
+	s := New(0.01)
+	r := stats.NewRand(3)
+	for i := 0; i < 100000; i++ {
+		s.Insert(r.Float64())
+	}
+	if tuples := s.Tuples(); tuples > 2000 {
+		t.Errorf("summary holds %d tuples for n=100000, eps=0.01 — not sublinear", tuples)
+	}
+	if s.MemoryNumbers() != 3*s.Tuples() {
+		t.Error("memory accounting wrong")
+	}
+	if s.N() != 100000 {
+		t.Errorf("N = %d", s.N())
+	}
+}
+
+func TestQuantilesMonotone(t *testing.T) {
+	s := New(0.02)
+	r := stats.NewRand(4)
+	for i := 0; i < 10000; i++ {
+		s.Insert(r.NormFloat64())
+	}
+	qs := s.Quantiles([]float64{0, 0.25, 0.5, 0.75, 1})
+	for i := 1; i < len(qs); i++ {
+		if qs[i] < qs[i-1] {
+			t.Fatalf("quantiles not monotone: %v", qs)
+		}
+	}
+}
+
+func TestMedianMatchesExactProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 10 {
+			return true
+		}
+		s := New(0.05)
+		for _, x := range xs {
+			s.Insert(x)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		got := s.Query(0.5)
+		gotRank := float64(rankOf(sorted, got))
+		want := math.Ceil(0.5 * float64(len(xs)))
+		return math.Abs(gotRank-want) <= 2*0.05*float64(len(xs))+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeAcrossStreams(t *testing.T) {
+	// Two sensors observe disjoint halves of [0,1]; the merged summary
+	// must answer quantiles over the union.
+	r := stats.NewRand(7)
+	a, b := New(0.01), New(0.01)
+	var all []float64
+	for i := 0; i < 8000; i++ {
+		x := r.Float64() / 2
+		a.Insert(x)
+		all = append(all, x)
+	}
+	for i := 0; i < 8000; i++ {
+		x := 0.5 + r.Float64()/2
+		b.Insert(x)
+		all = append(all, x)
+	}
+	m := Merge(a, b)
+	if m.N() != 16000 {
+		t.Fatalf("merged N = %d", m.N())
+	}
+	if m.Eps() <= 0.01 {
+		t.Error("merged eps must widen")
+	}
+	sorted := append([]float64(nil), all...)
+	sort.Float64s(sorted)
+	for _, phi := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		got := m.Query(phi)
+		gotRank := float64(rankOf(sorted, got))
+		want := math.Ceil(phi * 16000)
+		if math.Abs(gotRank-want) > 2*m.Eps()*16000+1 {
+			t.Errorf("phi=%v: rank %v, want %v", phi, gotRank, want)
+		}
+	}
+	// The median of the union must sit near the seam.
+	if med := m.Query(0.5); math.Abs(med-0.5) > 0.03 {
+		t.Errorf("merged median = %v, want ≈0.5", med)
+	}
+}
+
+func TestMergeHierarchy(t *testing.T) {
+	// Three-level aggregation: 4 leaves → 2 mid → 1 root.
+	r := stats.NewRand(8)
+	leaves := make([]*GK, 4)
+	var all []float64
+	for i := range leaves {
+		leaves[i] = New(0.01)
+		for j := 0; j < 4000; j++ {
+			x := r.NormFloat64()
+			leaves[i].Insert(x)
+			all = append(all, x)
+		}
+	}
+	root := Merge(Merge(leaves[0], leaves[1]), Merge(leaves[2], leaves[3]))
+	sorted := append([]float64(nil), all...)
+	sort.Float64s(sorted)
+	got := root.Query(0.5)
+	gotRank := float64(rankOf(sorted, got))
+	want := math.Ceil(0.5 * float64(len(all)))
+	if math.Abs(gotRank-want) > 2*root.Eps()*float64(len(all))+1 {
+		t.Errorf("hierarchical median rank %v, want %v ± %v", gotRank, want, 2*root.Eps()*float64(len(all)))
+	}
+}
+
+func TestExtremesExact(t *testing.T) {
+	s := New(0.05)
+	for _, x := range []float64{5, 1, 9, 3, 7} {
+		s.Insert(x)
+	}
+	if got := s.Query(0); got != 1 {
+		t.Errorf("min = %v, want 1", got)
+	}
+	if got := s.Query(1); got != 9 {
+		t.Errorf("max = %v, want 9", got)
+	}
+}

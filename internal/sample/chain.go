@@ -1,0 +1,229 @@
+// Package sample implements the stream-sampling schemes the paper's
+// estimation framework builds on: chain sampling over sliding windows
+// (Babcock, Datar, Motwani [4]) for the per-sensor sample R of the current
+// window, and classic reservoir sampling for unbounded streams (used by
+// the centralized baseline and the global MGDD model).
+package sample
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"odds/internal/window"
+)
+
+// chainEntry is one element of a slot's replacement chain: a stored future
+// value together with its arrival index.
+type chainEntry struct {
+	idx uint64
+	val window.Point
+}
+
+// slot is one independent chain-sample maintaining a single uniform sample
+// of the last |W| stream items. When the current sample expires, the head
+// of the chain replaces it; the chain is extended whenever the awaited
+// successor index arrives.
+type slot struct {
+	sampleIdx uint64
+	sample    window.Point
+	chain     []chainEntry
+	wantIdx   uint64 // arrival index of the next successor to capture
+}
+
+// Chain maintains a with-replacement uniform sample of size k over a
+// count-based sliding window of capacity |W|, as |R| independent chains.
+// Expected memory is O(k) stored points (the paper's Theorem 1 charges
+// O(d|R|) for this component).
+//
+// Push costs O(1) amortized: the per-slot adoption coins are drawn with
+// geometric skip-sampling (one draw per adopting slot instead of one per
+// slot), and expiry/successor events are indexed by arrival so only the
+// slots with an event at the current arrival are touched.
+type Chain struct {
+	slots []slot
+	w     uint64 // window capacity
+	dim   int
+	n     uint64 // arrivals so far
+	rng   *rand.Rand
+
+	expireAt map[uint64][]int // arrival index → slots whose sample expires
+	wantAt   map[uint64][]int // arrival index → slots awaiting a successor
+}
+
+// NewChain returns a chain sample of size k over windows of capacity wcap,
+// for dim-dimensional points, drawing randomness from rng. It panics on
+// non-positive sizes, matching the window package's contract.
+func NewChain(k, wcap, dim int, rng *rand.Rand) *Chain {
+	if k <= 0 {
+		panic(fmt.Sprintf("sample: size %d must be positive", k))
+	}
+	if wcap <= 0 {
+		panic(fmt.Sprintf("sample: window capacity %d must be positive", wcap))
+	}
+	if dim <= 0 {
+		panic(fmt.Sprintf("sample: dim %d must be positive", dim))
+	}
+	if rng == nil {
+		panic("sample: nil rng")
+	}
+	return &Chain{
+		slots:    make([]slot, k),
+		w:        uint64(wcap),
+		dim:      dim,
+		rng:      rng,
+		expireAt: make(map[uint64][]int),
+		wantAt:   make(map[uint64][]int),
+	}
+}
+
+// Size returns k, the number of sample slots.
+func (c *Chain) Size() int { return len(c.slots) }
+
+// WindowCap returns |W|, the window capacity the sample tracks.
+func (c *Chain) WindowCap() int { return int(c.w) }
+
+// Dim returns the dimensionality of sampled points.
+func (c *Chain) Dim() int { return c.dim }
+
+// Seen returns the number of arrivals pushed so far.
+func (c *Chain) Seen() uint64 { return c.n }
+
+// drawWant schedules slot s to capture a successor drawn uniformly from
+// the window following arrival i.
+func (c *Chain) drawWant(s int, i uint64) {
+	sl := &c.slots[s]
+	sl.wantIdx = i + 1 + uint64(c.rng.Int63n(int64(c.w)))
+	c.wantAt[sl.wantIdx] = append(c.wantAt[sl.wantIdx], s)
+}
+
+// Push feeds the next stream value and reports whether it was adopted as
+// the current sample of at least one slot. The D3 leaf process uses that
+// signal to decide whether to propagate the value to its parent (Figure 4,
+// line 14). The point is cloned at most once.
+func (c *Chain) Push(p window.Point) bool {
+	if len(p) != c.dim {
+		panic(fmt.Sprintf("sample: point dim %d, sample dim %d", len(p), c.dim))
+	}
+	c.n++
+	i := c.n
+	var clone window.Point
+	cloneOf := func() window.Point {
+		if clone == nil {
+			clone = p.Clone()
+		}
+		return clone
+	}
+
+	// 1. Expiries scheduled for this arrival: the chained successor
+	// (guaranteed unexpired) takes over; a slot with no captured successor
+	// yet goes empty until its awaited arrival comes.
+	if lst, ok := c.expireAt[i]; ok {
+		delete(c.expireAt, i)
+		for _, s := range lst {
+			sl := &c.slots[s]
+			if sl.sample == nil || sl.sampleIdx+c.w != i {
+				continue // stale event from a superseded sample
+			}
+			if len(sl.chain) > 0 {
+				head := sl.chain[0]
+				copy(sl.chain, sl.chain[1:])
+				sl.chain = sl.chain[:len(sl.chain)-1]
+				sl.sampleIdx, sl.sample = head.idx, head.val
+				c.expireAt[head.idx+c.w] = append(c.expireAt[head.idx+c.w], s)
+			} else {
+				sl.sample = nil
+			}
+		}
+	}
+
+	// 2. Successor captures scheduled for this arrival: append to the
+	// chain (or, for a slot that went empty, become the sample directly)
+	// and draw the next successor.
+	if lst, ok := c.wantAt[i]; ok {
+		delete(c.wantAt, i)
+		for _, s := range lst {
+			sl := &c.slots[s]
+			if sl.wantIdx != i {
+				continue // stale event
+			}
+			if sl.sample == nil {
+				sl.sampleIdx, sl.sample = i, cloneOf()
+				c.expireAt[i+c.w] = append(c.expireAt[i+c.w], s)
+			} else {
+				sl.chain = append(sl.chain, chainEntry{idx: i, val: cloneOf()})
+			}
+			c.drawWant(s, i)
+		}
+	}
+
+	// 3. Adoptions: each slot takes the new arrival as its sample with
+	// probability 1/min(i,|W|), sampled via geometric skips.
+	included := false
+	adopt := func(s int) {
+		sl := &c.slots[s]
+		sl.sampleIdx, sl.sample = i, cloneOf()
+		sl.chain = sl.chain[:0]
+		c.expireAt[i+c.w] = append(c.expireAt[i+c.w], s)
+		c.drawWant(s, i)
+		included = true
+	}
+	denom := i
+	if denom > c.w {
+		denom = c.w
+	}
+	if denom == 1 {
+		for s := range c.slots {
+			adopt(s)
+		}
+		return included
+	}
+	pAdopt := 1 / float64(denom)
+	lg := math.Log1p(-pAdopt)
+	for j := 0; ; j++ {
+		u := c.rng.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		j += int(math.Log(u) / lg)
+		if j >= len(c.slots) {
+			break
+		}
+		adopt(j)
+	}
+	return included
+}
+
+// Points returns the current sample values. Slots that are momentarily
+// empty (expired with no successor captured yet) are skipped, so the
+// result may be shorter than Size. The returned points are shared; callers
+// must not mutate them.
+func (c *Chain) Points() []window.Point {
+	out := make([]window.Point, 0, len(c.slots))
+	for s := range c.slots {
+		if c.slots[s].sample != nil {
+			out = append(out, c.slots[s].sample)
+		}
+	}
+	return out
+}
+
+// StoredPoints returns the actual number of points held across all slots
+// and chains. The memory experiment (Section 10.3) compares this against
+// the theoretical bound.
+func (c *Chain) StoredPoints() int {
+	n := 0
+	for s := range c.slots {
+		if c.slots[s].sample != nil {
+			n++
+		}
+		n += len(c.slots[s].chain)
+	}
+	return n
+}
+
+// MemoryBytes returns the storage footprint in bytes under the paper's
+// 16-bit architecture assumption (2 bytes per number).
+func (c *Chain) MemoryBytes() int {
+	return c.StoredPoints() * c.dim * 2
+}

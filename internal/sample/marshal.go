@@ -1,0 +1,164 @@
+package sample
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"odds/internal/window"
+)
+
+// Chain samples are part of the estimation state handed over when a
+// cell's leadership rotates (Section 2). MarshalBinary encodes the slots,
+// their chains, and the pending successor schedule; the restored sample
+// continues with a freshly seeded coin source (randomness need not be
+// continuous across a handoff — only the sampled state matters).
+
+const marshalMagic = uint32(0x4f445341) // "ODSA"
+
+func appendPoint(buf []byte, p window.Point) []byte {
+	for _, x := range p {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	return buf
+}
+
+// MarshalBinary encodes the sample.
+func (c *Chain) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 64+len(c.slots)*(32+c.dim*8))
+	buf = binary.LittleEndian.AppendUint32(buf, marshalMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.slots)))
+	buf = binary.LittleEndian.AppendUint64(buf, c.w)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.dim))
+	buf = binary.LittleEndian.AppendUint64(buf, c.n)
+	for i := range c.slots {
+		sl := &c.slots[i]
+		has := uint32(0)
+		if sl.sample != nil {
+			has = 1
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, has)
+		if has == 1 {
+			buf = binary.LittleEndian.AppendUint64(buf, sl.sampleIdx)
+			buf = appendPoint(buf, sl.sample)
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, sl.wantIdx)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sl.chain)))
+		for _, ce := range sl.chain {
+			buf = binary.LittleEndian.AppendUint64(buf, ce.idx)
+			buf = appendPoint(buf, ce.val)
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalChain decodes a sample encoded by MarshalBinary, attaching the
+// given random source for future coin flips.
+func UnmarshalChain(data []byte, rng *rand.Rand) (*Chain, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("sample: nil rng")
+	}
+	fail := func() (*Chain, error) { return nil, fmt.Errorf("sample: truncated chain encoding") }
+	read32 := func() (uint32, bool) {
+		if len(data) < 4 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		return v, true
+	}
+	read64 := func() (uint64, bool) {
+		if len(data) < 8 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		return v, true
+	}
+	magic, ok := read32()
+	if !ok || magic != marshalMagic {
+		return nil, fmt.Errorf("sample: bad chain magic")
+	}
+	k32, ok := read32()
+	if !ok {
+		return fail()
+	}
+	w, ok := read64()
+	if !ok {
+		return fail()
+	}
+	dim32, ok := read32()
+	if !ok {
+		return fail()
+	}
+	n, ok := read64()
+	if !ok {
+		return fail()
+	}
+	k, dim := int(k32), int(dim32)
+	if k <= 0 || k > 1<<24 || dim <= 0 || dim > 1<<10 || w == 0 {
+		return nil, fmt.Errorf("sample: implausible chain header (k=%d dim=%d w=%d)", k, dim, w)
+	}
+	c := NewChain(k, int(w), dim, rng)
+	c.n = n
+	readPoint := func() (window.Point, bool) {
+		p := make(window.Point, dim)
+		for i := range p {
+			v, ok := read64()
+			if !ok {
+				return nil, false
+			}
+			p[i] = math.Float64frombits(v)
+		}
+		return p, true
+	}
+	for i := 0; i < k; i++ {
+		sl := &c.slots[i]
+		has, ok := read32()
+		if !ok {
+			return fail()
+		}
+		if has == 1 {
+			if sl.sampleIdx, ok = read64(); !ok {
+				return fail()
+			}
+			if sl.sample, ok = readPoint(); !ok {
+				return fail()
+			}
+			if sl.sampleIdx > n || sl.sampleIdx+w <= n {
+				return nil, fmt.Errorf("sample: slot %d index %d inconsistent with stream position %d", i, sl.sampleIdx, n)
+			}
+			c.expireAt[sl.sampleIdx+w] = append(c.expireAt[sl.sampleIdx+w], i)
+		}
+		if sl.wantIdx, ok = read64(); !ok {
+			return fail()
+		}
+		if sl.wantIdx > n {
+			c.wantAt[sl.wantIdx] = append(c.wantAt[sl.wantIdx], i)
+		}
+		nc, ok := read32()
+		if !ok {
+			return fail()
+		}
+		if int(nc) > 1<<20 {
+			return nil, fmt.Errorf("sample: implausible chain length %d", nc)
+		}
+		for j := 0; j < int(nc); j++ {
+			var ce chainEntry
+			if ce.idx, ok = read64(); !ok {
+				return fail()
+			}
+			if ce.val, ok = readPoint(); !ok {
+				return fail()
+			}
+			sl.chain = append(sl.chain, ce)
+			// Chain entries expire with the sample they succeed; their own
+			// expiry events are scheduled when they take over.
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("sample: %d trailing bytes", len(data))
+	}
+	return c, nil
+}

@@ -1,0 +1,100 @@
+package sample
+
+import (
+	"testing"
+
+	"odds/internal/stats"
+	"odds/internal/window"
+)
+
+func TestChainMarshalRoundTrip(t *testing.T) {
+	c := NewChain(16, 200, 2, stats.NewRand(1))
+	src := stats.NewRand(2)
+	for i := 0; i < 1500; i++ {
+		c.Push(window.Point{src.Float64(), src.Float64()})
+	}
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalChain(data, stats.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != c.Size() || back.WindowCap() != c.WindowCap() ||
+		back.Dim() != c.Dim() || back.Seen() != c.Seen() {
+		t.Fatal("header mismatch after round trip")
+	}
+	// The restored sample holds exactly the same points.
+	a, b := c.Points(), back.Points()
+	if len(a) != len(b) {
+		t.Fatalf("sample sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("sample %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if back.StoredPoints() != c.StoredPoints() {
+		t.Errorf("stored points differ: %d vs %d", back.StoredPoints(), c.StoredPoints())
+	}
+}
+
+func TestChainRestoredContinuesValidly(t *testing.T) {
+	// After a handoff the restored sample must keep the window invariant:
+	// samples always inside the current window.
+	const wcap = 100
+	c := NewChain(8, wcap, 1, stats.NewRand(4))
+	arrival := 0
+	for i := 0; i < 500; i++ {
+		arrival++
+		c.Push(window.Point{float64(arrival)})
+	}
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalChain(data, stats.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		arrival++
+		back.Push(window.Point{float64(arrival)})
+		lo := float64(arrival - wcap + 1)
+		for _, p := range back.Points() {
+			if p[0] < lo || p[0] > float64(arrival) {
+				t.Fatalf("restored sample %v outside window [%v,%v]", p[0], lo, float64(arrival))
+			}
+		}
+	}
+	// Eventually all pre-handoff points rotate out.
+	for _, p := range back.Points() {
+		if p[0] <= 500 {
+			t.Errorf("stale pre-handoff sample %v survived full window turnover", p[0])
+		}
+	}
+}
+
+func TestUnmarshalChainRejectsGarbage(t *testing.T) {
+	c := NewChain(4, 50, 1, stats.NewRand(6))
+	for i := 0; i < 100; i++ {
+		c.Push(window.Point{float64(i)})
+	}
+	data, _ := c.MarshalBinary()
+	rng := stats.NewRand(7)
+	cases := map[string][]byte{
+		"empty":     nil,
+		"bad magic": append([]byte{9, 9, 9, 9}, data[4:]...),
+		"truncated": data[:len(data)-3],
+		"trailing":  append(append([]byte(nil), data...), 1),
+	}
+	for name, d := range cases {
+		if _, err := UnmarshalChain(d, rng); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := UnmarshalChain(data, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+
+	"odds/internal/window"
+)
+
+// Reservoir maintains a classic size-k uniform sample (without replacement)
+// over an unbounded stream. The centralized baseline and the top-level
+// leader's global model use it when no window semantics are needed.
+type Reservoir struct {
+	buf []window.Point
+	k   int
+	dim int
+	n   uint64
+	rng *rand.Rand
+}
+
+// NewReservoir returns a reservoir sample of size k over dim-dimensional
+// points.
+func NewReservoir(k, dim int, rng *rand.Rand) *Reservoir {
+	if k <= 0 {
+		panic(fmt.Sprintf("sample: reservoir size %d must be positive", k))
+	}
+	if dim <= 0 {
+		panic(fmt.Sprintf("sample: dim %d must be positive", dim))
+	}
+	if rng == nil {
+		panic("sample: nil rng")
+	}
+	return &Reservoir{buf: make([]window.Point, 0, k), k: k, dim: dim, rng: rng}
+}
+
+// Size returns k.
+func (r *Reservoir) Size() int { return r.k }
+
+// Seen returns the number of arrivals pushed so far.
+func (r *Reservoir) Seen() uint64 { return r.n }
+
+// Push feeds the next stream value and reports whether it entered the
+// sample.
+func (r *Reservoir) Push(p window.Point) bool {
+	if len(p) != r.dim {
+		panic(fmt.Sprintf("sample: point dim %d, reservoir dim %d", len(p), r.dim))
+	}
+	r.n++
+	if len(r.buf) < r.k {
+		r.buf = append(r.buf, p.Clone())
+		return true
+	}
+	j := r.rng.Int63n(int64(r.n))
+	if j < int64(r.k) {
+		r.buf[j] = p.Clone()
+		return true
+	}
+	return false
+}
+
+// Points returns the current sample. The returned points are shared;
+// callers must not mutate them.
+func (r *Reservoir) Points() []window.Point {
+	out := make([]window.Point, len(r.buf))
+	copy(out, r.buf)
+	return out
+}

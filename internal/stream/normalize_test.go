@@ -1,0 +1,158 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"odds/internal/window"
+)
+
+func TestNormalizerRoundTrip(t *testing.T) {
+	n := NewNormalizer([]float64{-40, 900}, []float64{60, 1100})
+	raw := []float64{20, 1013}
+	p := n.Normalize(raw)
+	if !p.InUnitCube() {
+		t.Fatalf("normalized point %v outside unit cube", p)
+	}
+	back := n.Denormalize(p)
+	for i := range raw {
+		if math.Abs(back[i]-raw[i]) > 1e-9 {
+			t.Errorf("round trip dim %d: %v → %v", i, raw[i], back[i])
+		}
+	}
+}
+
+func TestNormalizerClamps(t *testing.T) {
+	n := NewNormalizer([]float64{0}, []float64{10})
+	if got := n.Normalize([]float64{-5})[0]; got != 0 {
+		t.Errorf("below-range → %v, want 0", got)
+	}
+	if got := n.Normalize([]float64{15})[0]; got != 1 {
+		t.Errorf("above-range → %v, want 1", got)
+	}
+}
+
+func TestNormalizerPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":      func() { NewNormalizer(nil, nil) },
+		"ragged":     func() { NewNormalizer([]float64{0}, []float64{1, 2}) },
+		"inverted":   func() { NewNormalizer([]float64{1}, []float64{0}) },
+		"degenerate": func() { NewNormalizer([]float64{1}, []float64{1}) },
+		"norm dim":   func() { NewNormalizer([]float64{0}, []float64{1}).Normalize([]float64{1, 2}) },
+		"denorm dim": func() { NewNormalizer([]float64{0}, []float64{1}).Denormalize(window.Point{1, 2}) },
+		"wrap dim":   func() { NewNormalizer([]float64{0}, []float64{1}).Wrap(NewMixture(DefaultMixture(), 2, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNormalizerWrap(t *testing.T) {
+	// A "raw" source in physical units built from the mixture by scaling.
+	n := NewNormalizer([]float64{0, 0}, []float64{100, 10})
+	raw := NewMixture(DefaultMixture(), 2, 3)
+	wrapped := n.Wrap(&scaleSource{inner: raw, factors: []float64{100, 10}})
+	if wrapped.Dim() != 2 {
+		t.Fatal("wrapped dim wrong")
+	}
+	for i := 0; i < 100; i++ {
+		if p := wrapped.Next(); !p.InUnitCube() {
+			t.Fatalf("wrapped point %v outside unit cube", p)
+		}
+	}
+}
+
+type scaleSource struct {
+	inner   Source
+	factors []float64
+}
+
+func (s *scaleSource) Dim() int { return s.inner.Dim() }
+func (s *scaleSource) Next() window.Point {
+	p := s.inner.Next()
+	for i := range p {
+		p[i] *= s.factors[i]
+	}
+	return p
+}
+
+func TestNormalizerRoundTripProperty(t *testing.T) {
+	n := NewNormalizer([]float64{-10}, []float64{10})
+	f := func(xRaw int16) bool {
+		x := float64(xRaw) / 3277 // within range
+		back := n.Denormalize(n.Normalize([]float64{x}))
+		return math.Abs(back[0]-x) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplayBasics(t *testing.T) {
+	pts := []window.Point{{0.1}, {0.2}, {0.3}}
+	r := NewReplay(pts, false)
+	if r.Dim() != 1 || r.Remaining() != 3 {
+		t.Fatal("replay accessors wrong")
+	}
+	for i, want := range []float64{0.1, 0.2, 0.3} {
+		if got := r.Next()[0]; got != want {
+			t.Errorf("replay %d = %v, want %v", i, got, want)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Error("Remaining after drain wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("exhausted replay did not panic")
+		}
+	}()
+	r.Next()
+}
+
+func TestReplayLoop(t *testing.T) {
+	r := NewReplay([]window.Point{{0.1}, {0.2}}, true)
+	seq := []float64{0.1, 0.2, 0.1, 0.2, 0.1}
+	for i, want := range seq {
+		if got := r.Next()[0]; got != want {
+			t.Fatalf("loop %d = %v, want %v", i, got, want)
+		}
+	}
+	if r.Remaining() != 2 {
+		t.Error("looping Remaining wrong")
+	}
+}
+
+func TestReplayClones(t *testing.T) {
+	pts := []window.Point{{0.5}}
+	r := NewReplay(pts, true)
+	p := r.Next()
+	p[0] = 9
+	if r.Next()[0] != 0.5 {
+		t.Error("replay aliases returned points")
+	}
+}
+
+func TestReplayPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { NewReplay(nil, false) },
+		"zero dim": func() { NewReplay([]window.Point{{}}, false) },
+		"ragged":   func() { NewReplay([]window.Point{{0.1}, {0.1, 0.2}}, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,332 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"odds/internal/stats"
+)
+
+func TestTakeAndColumn(t *testing.T) {
+	m := NewMixture(DefaultMixture(), 2, 1)
+	pts := Take(m, 10)
+	if len(pts) != 10 || len(pts[0]) != 2 {
+		t.Fatalf("Take shape wrong: %d x %d", len(pts), len(pts[0]))
+	}
+	col := Column(NewMixture(DefaultMixture(), 2, 1), 10, 1)
+	for i := range col {
+		if col[i] != pts[i][1] {
+			t.Fatal("Column disagrees with Take on same seed")
+		}
+	}
+}
+
+func TestMixtureDeterministic(t *testing.T) {
+	a := Take(NewMixture(DefaultMixture(), 1, 42), 100)
+	b := Take(NewMixture(DefaultMixture(), 1, 42), 100)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := Take(NewMixture(DefaultMixture(), 1, 43), 100)
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestMixtureInUnitCube(t *testing.T) {
+	for _, dim := range []int{1, 2, 3} {
+		m := NewMixture(DefaultMixture(), dim, 7)
+		for i := 0; i < 5000; i++ {
+			if p := m.Next(); !p.InUnitCube() {
+				t.Fatalf("dim %d: point %v outside unit cube", dim, p)
+			}
+		}
+	}
+}
+
+func TestMixtureShape(t *testing.T) {
+	xs := Column(NewMixture(DefaultMixture(), 1, 11), 40000, 0)
+	nNoise := 0
+	var core stats.Moments
+	for _, x := range xs {
+		if x > 0.55 {
+			nNoise++
+		} else {
+			core.Add(x)
+		}
+	}
+	// Noise fraction ~0.5% (×0.9 since noise spans [0.5,1] and we cut at 0.55).
+	frac := float64(nNoise) / float64(len(xs))
+	if frac < 0.002 || frac > 0.008 {
+		t.Errorf("noise fraction = %v, want ≈0.0045", frac)
+	}
+	// Core mean is the average of the component means ≈ 0.3667.
+	if math.Abs(core.Mean()-0.3667) > 0.01 {
+		t.Errorf("core mean = %v, want ≈0.3667", core.Mean())
+	}
+}
+
+func TestMixturePanics(t *testing.T) {
+	cfg := DefaultMixture()
+	for name, fn := range map[string]func(){
+		"no means": func() {
+			c := cfg
+			c.Means = nil
+			NewMixture(c, 1, 1)
+		},
+		"bad sigma": func() {
+			c := cfg
+			c.Sigma = 0
+			NewMixture(c, 1, 1)
+		},
+		"bad noise frac": func() {
+			c := cfg
+			c.NoiseFrac = 1.5
+			NewMixture(c, 1, 1)
+		},
+		"inverted noise": func() {
+			c := cfg
+			c.NoiseLo, c.NoiseHi = 1, 0.5
+			NewMixture(c, 1, 1)
+		},
+		"dim 0": func() { NewMixture(cfg, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestShiftingSchedule(t *testing.T) {
+	s := NewShifting([]float64{0.3, 0.5}, 0.05, 100, 3)
+	if s.CurrentMean() != 0.3 {
+		t.Fatal("first phase mean wrong")
+	}
+	for i := 0; i < 100; i++ {
+		s.Next()
+	}
+	if s.CurrentMean() != 0.5 {
+		t.Error("second phase mean wrong")
+	}
+	for i := 0; i < 100; i++ {
+		s.Next()
+	}
+	if s.CurrentMean() != 0.3 {
+		t.Error("schedule should wrap around")
+	}
+	if s.Sigma() != 0.05 || s.Dim() != 1 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestShiftingPhaseMeans(t *testing.T) {
+	s := DefaultShifting(5)
+	var first, second stats.Moments
+	for i := 0; i < 4096; i++ {
+		first.Add(s.Next()[0])
+	}
+	for i := 0; i < 4096; i++ {
+		second.Add(s.Next()[0])
+	}
+	if math.Abs(first.Mean()-0.3) > 0.01 {
+		t.Errorf("phase 1 mean = %v, want 0.3", first.Mean())
+	}
+	if math.Abs(second.Mean()-0.5) > 0.01 {
+		t.Errorf("phase 2 mean = %v, want 0.5", second.Mean())
+	}
+}
+
+func TestShiftingPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no means":   func() { NewShifting(nil, 0.05, 10, 1) },
+		"bad sigma":  func() { NewShifting([]float64{0.3}, 0, 10, 1) },
+		"bad period": func() { NewShifting([]float64{0.3}, 0.05, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestEngineMatchesFigure5 checks the generator against the paper's
+// published engine moments (Figure 5) with tolerances appropriate for a
+// single 50,000-value realization.
+func TestEngineMatchesFigure5(t *testing.T) {
+	xs := Column(NewEngine(DefaultEngine(), 1), 50000, 0)
+	s, err := stats.Describe(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min < 0.02-1e-9 || s.Max > 0.427+1e-9 {
+		t.Errorf("range [%v,%v] outside [0.020,0.427]", s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-0.410) > 0.01 {
+		t.Errorf("mean = %v, want 0.410±0.01", s.Mean)
+	}
+	if math.Abs(s.Median-0.419) > 0.01 {
+		t.Errorf("median = %v, want 0.419±0.01", s.Median)
+	}
+	if math.Abs(s.StdDev-0.053) > 0.01 {
+		t.Errorf("stddev = %v, want 0.053±0.01", s.StdDev)
+	}
+	if s.Skew > -5 || s.Skew < -9 {
+		t.Errorf("skew = %v, want ≈-6.8", s.Skew)
+	}
+}
+
+func TestEngineBurstProducesDeviations(t *testing.T) {
+	cfg := DefaultEngine()
+	e := NewEngine(cfg, 2)
+	dipsIn, dipsOut := 0, 0
+	for i := 0; i < 50000; i++ {
+		x := e.Next()[0]
+		if x < 0.3 {
+			if i >= cfg.BurstStart && i < cfg.BurstEnd {
+				dipsIn++
+			} else {
+				dipsOut++
+			}
+		}
+	}
+	burstLen := cfg.BurstEnd - cfg.BurstStart
+	inRate := float64(dipsIn) / float64(burstLen)
+	outRate := float64(dipsOut) / float64(50000-burstLen)
+	if inRate < 5*outRate {
+		t.Errorf("burst dip rate %v not clearly above background %v", inRate, outRate)
+	}
+}
+
+func TestEngineSmoothBetweenDips(t *testing.T) {
+	cfg := DefaultEngine()
+	cfg.DipProb = 0
+	cfg.BurstDipProb = 0
+	e := NewEngine(cfg, 3)
+	prev := e.Next()[0]
+	for i := 0; i < 5000; i++ {
+		x := e.Next()[0]
+		if math.Abs(x-prev) > 0.08 {
+			t.Fatalf("normal-regime jump %v→%v too large", prev, x)
+		}
+		prev = x
+	}
+}
+
+func TestEnginePanics(t *testing.T) {
+	cfg := DefaultEngine()
+	for name, mut := range map[string]func(*EngineConfig){
+		"bad AR":        func(c *EngineConfig) { c.AR = 1 },
+		"bad dip prob":  func(c *EngineConfig) { c.DipProb = -0.1 },
+		"inverted dips": func(c *EngineConfig) { c.DipLo, c.DipHi = 0.2, 0.1 },
+		"inverted clip": func(c *EngineConfig) { c.Min, c.Max = 0.5, 0.4 },
+	} {
+		c := cfg
+		mut(&c)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			NewEngine(c, 1)
+		}()
+	}
+}
+
+// TestEnviroMatchesFigure5 checks the 2-d environmental generator against
+// the paper's published pressure and dew-point moments.
+func TestEnviroMatchesFigure5(t *testing.T) {
+	pts := Take(NewEnviro(DefaultEnviro(), 2), 35000)
+	var ps, ds []float64
+	for _, p := range pts {
+		ps = append(ps, p[0])
+		ds = append(ds, p[1])
+	}
+	sp, _ := stats.Describe(ps)
+	sd, _ := stats.Describe(ds)
+	if sp.Min < 0.422-1e-9 || sp.Max > 0.848+1e-9 {
+		t.Errorf("pressure range [%v,%v] outside [0.422,0.848]", sp.Min, sp.Max)
+	}
+	if math.Abs(sp.Mean-0.677) > 0.02 {
+		t.Errorf("pressure mean = %v, want 0.677±0.02", sp.Mean)
+	}
+	if math.Abs(sp.StdDev-0.063) > 0.015 {
+		t.Errorf("pressure sd = %v, want 0.063±0.015", sp.StdDev)
+	}
+	if sp.Skew > 0.2 || sp.Skew < -1.2 {
+		t.Errorf("pressure skew = %v, want mildly negative", sp.Skew)
+	}
+	if sd.Min < 0.113-1e-9 || sd.Max > 0.282+1e-9 {
+		t.Errorf("dew range [%v,%v] outside [0.113,0.282]", sd.Min, sd.Max)
+	}
+	if math.Abs(sd.Mean-0.213) > 0.015 {
+		t.Errorf("dew mean = %v, want 0.213±0.015", sd.Mean)
+	}
+	if math.Abs(sd.StdDev-0.027) > 0.01 {
+		t.Errorf("dew sd = %v, want 0.027±0.01", sd.StdDev)
+	}
+}
+
+func TestEnviroStationsDiffer(t *testing.T) {
+	a := Take(NewEnviro(DefaultEnviro(), 1), 50)
+	b := Take(NewEnviro(DefaultEnviro(), 2), 50)
+	same := true
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different stations produced identical streams")
+	}
+}
+
+func TestEnviroPanics(t *testing.T) {
+	cfg := DefaultEnviro()
+	for name, mut := range map[string]func(*EnviroConfig){
+		"bad season": func(c *EnviroConfig) { c.SeasonPeriod = 0 },
+		"bad day":    func(c *EnviroConfig) { c.DayPeriod = 0 },
+		"bad AR":     func(c *EnviroConfig) { c.AR = 1.0 },
+		"bad front":  func(c *EnviroConfig) { c.FrontProb = 2 },
+	} {
+		c := cfg
+		mut(&c)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			NewEnviro(c, 1)
+		}()
+	}
+}
+
+func TestEnviroDim(t *testing.T) {
+	e := NewEnviro(DefaultEnviro(), 1)
+	if e.Dim() != 2 {
+		t.Errorf("Dim = %d, want 2", e.Dim())
+	}
+	if p := e.Next(); len(p) != 2 {
+		t.Errorf("point dim = %d, want 2", len(p))
+	}
+}

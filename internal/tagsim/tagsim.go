@@ -1,0 +1,239 @@
+// Package tagsim is the reproduction's stand-in for the TAG simulator the
+// paper builds on (Section 10, Implementation): a deterministic,
+// epoch-driven sensor-network simulator with per-message accounting and
+// continuous-query semantics.
+//
+// Each epoch models one sensing interval (the paper assumes one reading
+// per second and per sensor): every node's OnEpoch fires in a fixed order,
+// and messages sent during the epoch are delivered — possibly cascading —
+// before the next epoch begins, mirroring TAG's epoch-synchronized
+// communication. Statistics record every message by kind, which is exactly
+// what the Figure 11 communication-cost experiment consumes.
+//
+// The simulator is deterministic: node order is fixed and nodes are
+// expected to draw randomness from their own seeded sources, so identical
+// runs produce identical message counts and detections.
+package tagsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"odds/internal/window"
+)
+
+// NodeID identifies a node in the simulation.
+type NodeID int
+
+// Message is one radio transmission between two nodes.
+type Message struct {
+	From, To NodeID
+	Kind     string
+	Value    window.Point // payload reading, if any
+	Aux      float64      // auxiliary scalar payload (e.g. a sigma update)
+}
+
+// Sender lets a node behavior transmit messages; it is implemented by
+// this package's epoch-driven simulator and by the network package's
+// concurrent goroutine runtime, so the same node code runs on either.
+type Sender interface {
+	// Self returns the node the callback is executing on.
+	Self() NodeID
+	// Send transmits a message; delivery semantics (same-epoch cascade vs
+	// asynchronous) are the engine's.
+	Send(to NodeID, kind string, value window.Point, aux float64)
+}
+
+// Node is the behavior the simulator drives.
+type Node interface {
+	// ID returns the node's identity; it must be unique and stable.
+	ID() NodeID
+	// OnEpoch is invoked once per epoch, before message delivery.
+	OnEpoch(s Sender, epoch int)
+	// OnMessage delivers one message addressed to this node.
+	OnMessage(s Sender, msg Message)
+}
+
+// Stats accumulates message accounting for a run.
+type Stats struct {
+	Epochs  int
+	Total   int
+	ByKind  map[string]int
+	Dropped int // messages addressed to unknown nodes
+	Lost    int // messages destroyed by injected radio loss
+}
+
+// PerSecond returns the average messages per epoch (the paper equates one
+// epoch with one second).
+func (s Stats) PerSecond() float64 {
+	if s.Epochs == 0 {
+		return 0
+	}
+	return float64(s.Total) / float64(s.Epochs)
+}
+
+// KindPerSecond returns the per-epoch rate of one message kind.
+func (s Stats) KindPerSecond(kind string) float64 {
+	if s.Epochs == 0 {
+		return 0
+	}
+	return float64(s.ByKind[kind]) / float64(s.Epochs)
+}
+
+// Simulator owns the nodes and the in-flight message queue.
+type Simulator struct {
+	nodes  map[NodeID]Node
+	order  []NodeID
+	queue  []Message
+	stats  Stats
+	silent map[string]bool // kinds excluded from accounting
+
+	lossProb float64 // per-message radio loss probability
+	lossRng  *rand.Rand
+}
+
+// New returns an empty simulator.
+func New() *Simulator {
+	return &Simulator{
+		nodes:  make(map[NodeID]Node),
+		silent: make(map[string]bool),
+		stats:  Stats{ByKind: make(map[string]int)},
+	}
+}
+
+// Add registers a node. It panics on duplicate IDs — a wiring bug.
+func (s *Simulator) Add(n Node) {
+	id := n.ID()
+	if _, dup := s.nodes[id]; dup {
+		panic(fmt.Sprintf("tagsim: duplicate node id %d", id))
+	}
+	s.nodes[id] = n
+	s.order = append(s.order, id)
+}
+
+// NodeCount returns the number of registered nodes.
+func (s *Simulator) NodeCount() int { return len(s.nodes) }
+
+// ExcludeKind removes a message kind from the statistics (still
+// delivered). The Figure 11 experiment excludes outlier reports, "since
+// these are infrequent".
+func (s *Simulator) ExcludeKind(kind string) { s.silent[kind] = true }
+
+// SetLoss injects radio failures: every transmitted message is destroyed
+// independently with probability p (counted as sent, and in Lost). The
+// detection algorithms are designed to degrade gracefully under loss —
+// samples and updates are probabilistic refreshes, not protocol state —
+// and the failure-injection tests exercise exactly that.
+func (s *Simulator) SetLoss(p float64, rng *rand.Rand) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("tagsim: loss probability %v outside [0,1]", p))
+	}
+	if p > 0 && rng == nil {
+		panic("tagsim: loss requires a random source")
+	}
+	s.lossProb, s.lossRng = p, rng
+}
+
+// Context is the send/record surface handed to node callbacks.
+type Context struct {
+	sim  *Simulator
+	self NodeID
+}
+
+// Self returns the node the context belongs to.
+func (c *Context) Self() NodeID { return c.self }
+
+// Send enqueues a message from the context's node. Delivery happens within
+// the current epoch.
+func (c *Context) Send(to NodeID, kind string, value window.Point, aux float64) {
+	c.sim.enqueue(Message{From: c.self, To: to, Kind: kind, Value: value, Aux: aux})
+}
+
+func (s *Simulator) enqueue(m Message) {
+	if !s.silent[m.Kind] {
+		s.stats.Total++
+		s.stats.ByKind[m.Kind]++
+	}
+	if s.lossProb > 0 && s.lossRng.Float64() < s.lossProb {
+		s.stats.Lost++
+		return
+	}
+	s.queue = append(s.queue, m)
+}
+
+// maxCascade bounds intra-epoch message cascades; a well-formed hierarchy
+// needs at most its depth, so hitting the bound indicates a routing loop.
+const maxCascade = 1 << 20
+
+// Step runs a single epoch: every node's OnEpoch in registration order,
+// then message delivery to quiescence.
+func (s *Simulator) Step(epoch int) {
+	for _, id := range s.order {
+		ctx := &Context{sim: s, self: id}
+		s.nodes[id].OnEpoch(ctx, epoch)
+	}
+	s.drain()
+	s.stats.Epochs++
+}
+
+func (s *Simulator) drain() {
+	delivered := 0
+	for len(s.queue) > 0 {
+		m := s.queue[0]
+		s.queue = s.queue[1:]
+		dst, ok := s.nodes[m.To]
+		if !ok {
+			s.stats.Dropped++
+			continue
+		}
+		ctx := &Context{sim: s, self: m.To}
+		dst.OnMessage(ctx, m)
+		delivered++
+		if delivered > maxCascade {
+			panic("tagsim: message cascade exceeded bound; routing loop?")
+		}
+	}
+}
+
+// Run executes the given number of epochs.
+func (s *Simulator) Run(epochs int) {
+	for e := 0; e < epochs; e++ {
+		s.Step(e)
+	}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (s *Simulator) Stats() Stats {
+	cp := s.stats
+	cp.ByKind = make(map[string]int, len(s.stats.ByKind))
+	for k, v := range s.stats.ByKind {
+		cp.ByKind[k] = v
+	}
+	return cp
+}
+
+// ResetStats zeroes the accounting (e.g. after a warm-up phase) without
+// touching node state.
+func (s *Simulator) ResetStats() {
+	s.stats = Stats{ByKind: make(map[string]int)}
+}
+
+// Disseminate models continuous-query injection (Section 10): the query
+// travels from the root along the tree, one message per link, and every
+// node receives it. It returns the number of messages used.
+func (s *Simulator) Disseminate(root NodeID, children func(NodeID) []NodeID, kind string) int {
+	n := 0
+	var walk func(from, at NodeID)
+	walk = func(from, at NodeID) {
+		if from != at {
+			s.enqueue(Message{From: from, To: at, Kind: kind})
+			n++
+		}
+		for _, ch := range children(at) {
+			walk(at, ch)
+		}
+	}
+	walk(root, root)
+	s.drain()
+	return n
+}

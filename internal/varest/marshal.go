@@ -1,0 +1,77 @@
+package varest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Leader rotation (Section 2 of the paper: the leadership role rotates
+// among the nodes of a cell for energy balance) requires handing the
+// incumbent's estimation state to its successor. MarshalBinary encodes a
+// sketch compactly — header plus four scalars per bucket, the same
+// O((1/eps)·log|W|) the sketch occupies in memory.
+
+const marshalMagic = uint32(0x4f445645) // "ODVE"
+
+// MarshalBinary encodes the sketch.
+func (e *Estimator) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+8+8+8+4+32*len(e.buckets))
+	buf = binary.LittleEndian.AppendUint32(buf, marshalMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, e.w)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.eps))
+	buf = binary.LittleEndian.AppendUint64(buf, e.now)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.buckets)))
+	for _, b := range e.buckets {
+		buf = binary.LittleEndian.AppendUint64(buf, b.first)
+		buf = binary.LittleEndian.AppendUint64(buf, b.last)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b.mean))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b.v))
+	}
+	return buf, nil
+}
+
+// UnmarshalEstimator decodes a sketch encoded by MarshalBinary. The
+// restored sketch continues exactly where the original stopped.
+func UnmarshalEstimator(data []byte) (*Estimator, error) {
+	if len(data) < 4+8+8+8+4 {
+		return nil, fmt.Errorf("varest: truncated sketch encoding")
+	}
+	if binary.LittleEndian.Uint32(data) != marshalMagic {
+		return nil, fmt.Errorf("varest: bad sketch magic")
+	}
+	data = data[4:]
+	w := binary.LittleEndian.Uint64(data)
+	data = data[8:]
+	eps := math.Float64frombits(binary.LittleEndian.Uint64(data))
+	data = data[8:]
+	now := binary.LittleEndian.Uint64(data)
+	data = data[8:]
+	nb := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if w == 0 || w > 1<<40 || !(eps > 0 && eps <= 1) {
+		return nil, fmt.Errorf("varest: implausible header (w=%d eps=%v)", w, eps)
+	}
+	if len(data) != 32*nb {
+		return nil, fmt.Errorf("varest: bucket payload %d bytes, want %d", len(data), 32*nb)
+	}
+	e := New(int(w), eps)
+	e.now = now
+	e.buckets = make([]bucket, nb)
+	var prevLast uint64
+	for i := range e.buckets {
+		b := bucket{
+			first: binary.LittleEndian.Uint64(data),
+			last:  binary.LittleEndian.Uint64(data[8:]),
+			mean:  math.Float64frombits(binary.LittleEndian.Uint64(data[16:])),
+			v:     math.Float64frombits(binary.LittleEndian.Uint64(data[24:])),
+		}
+		data = data[32:]
+		if b.last < b.first || b.last > now || (i > 0 && b.first != prevLast+1) {
+			return nil, fmt.Errorf("varest: bucket %d range [%d,%d] inconsistent", i, b.first, b.last)
+		}
+		prevLast = b.last
+		e.buckets[i] = b
+	}
+	return e, nil
+}

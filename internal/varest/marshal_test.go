@@ -1,0 +1,70 @@
+package varest
+
+import (
+	"math"
+	"testing"
+
+	"odds/internal/stats"
+)
+
+func TestSketchMarshalRoundTrip(t *testing.T) {
+	e := New(500, 0.2)
+	r := stats.NewRand(1)
+	for i := 0; i < 2000; i++ {
+		e.Push(r.NormFloat64()*2 + 5)
+	}
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalEstimator(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.WindowCap() != 500 || back.Eps() != 0.2 || back.Seen() != e.Seen() {
+		t.Fatal("header mismatch")
+	}
+	if math.Abs(back.Mean()-e.Mean()) > 1e-12 {
+		t.Errorf("mean differs: %v vs %v", back.Mean(), e.Mean())
+	}
+	if math.Abs(back.Variance()-e.Variance()) > 1e-12 {
+		t.Errorf("variance differs: %v vs %v", back.Variance(), e.Variance())
+	}
+	// The restored sketch continues identically (it is deterministic).
+	for i := 0; i < 1000; i++ {
+		x := r.NormFloat64()
+		e.Push(x)
+		back.Push(x)
+	}
+	if math.Abs(back.Variance()-e.Variance()) > 1e-12 {
+		t.Errorf("post-handoff variance differs: %v vs %v", back.Variance(), e.Variance())
+	}
+}
+
+func TestSketchUnmarshalRejectsGarbage(t *testing.T) {
+	e := New(100, 0.2)
+	for i := 0; i < 300; i++ {
+		e.Push(float64(i % 7))
+	}
+	data, _ := e.MarshalBinary()
+	cases := map[string][]byte{
+		"empty":     nil,
+		"bad magic": append([]byte{1, 2, 3, 4}, data[4:]...),
+		"truncated": data[:len(data)-7],
+	}
+	for name, d := range cases {
+		if _, err := UnmarshalEstimator(d); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Corrupt a bucket range (first > last) — the consistency check must
+	// catch it. Bucket payload starts at offset 32; first/last are the
+	// first 16 bytes of each 32-byte bucket record.
+	bad := append([]byte(nil), data...)
+	for i := 32; i < 40; i++ {
+		bad[i] = 0xFF
+	}
+	if _, err := UnmarshalEstimator(bad); err == nil {
+		t.Error("inconsistent bucket accepted")
+	}
+}

@@ -1,0 +1,307 @@
+package varest
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"odds/internal/stats"
+)
+
+// exactWindow computes the true windowed mean/variance for reference.
+type exactWindow struct {
+	buf []float64
+	cap int
+}
+
+func (w *exactWindow) push(x float64) {
+	w.buf = append(w.buf, x)
+	if len(w.buf) > w.cap {
+		w.buf = w.buf[1:]
+	}
+}
+
+func (w *exactWindow) meanVar() (float64, float64) {
+	var m stats.Moments
+	for _, x := range w.buf {
+		m.Add(x)
+	}
+	return m.Mean(), m.Variance()
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"wcap=0":  func() { New(0, 0.2) },
+		"eps=0":   func() { New(10, 0) },
+		"eps>1":   func() { New(10, 1.5) },
+		"eps neg": func() { New(10, -0.2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEmptyEstimator(t *testing.T) {
+	e := New(10, 0.2)
+	if !math.IsNaN(e.Mean()) || !math.IsNaN(e.Variance()) || !math.IsNaN(e.StdDev()) {
+		t.Error("empty estimator should report NaN")
+	}
+	if e.Count() != 0 || e.Buckets() != 0 {
+		t.Error("empty estimator state wrong")
+	}
+}
+
+func TestExactBeforeAnyMergePressure(t *testing.T) {
+	e := New(100, 0.2)
+	vals := []float64{1, 2, 3, 4, 5}
+	w := &exactWindow{cap: 100}
+	for _, x := range vals {
+		e.Push(x)
+		w.push(x)
+	}
+	mu, v := w.meanVar()
+	if math.Abs(e.Mean()-mu) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", e.Mean(), mu)
+	}
+	if math.Abs(e.Variance()-v) > 1e-9*v+1e-12 {
+		t.Errorf("Variance = %v, want %v", e.Variance(), v)
+	}
+}
+
+func TestConstantStreamCompressesFully(t *testing.T) {
+	e := New(1000, 0.2)
+	for i := 0; i < 5000; i++ {
+		e.Push(7.5)
+	}
+	if e.Variance() != 0 {
+		t.Errorf("Variance = %v, want 0", e.Variance())
+	}
+	if math.Abs(e.Mean()-7.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 7.5", e.Mean())
+	}
+	if e.Buckets() > 3 {
+		t.Errorf("constant stream uses %d buckets, want ≤3", e.Buckets())
+	}
+}
+
+func TestCountExact(t *testing.T) {
+	e := New(50, 0.2)
+	for i := 1; i <= 120; i++ {
+		e.Push(float64(i))
+		want := i
+		if want > 50 {
+			want = 50
+		}
+		if e.Count() != want {
+			t.Fatalf("after %d pushes Count = %d, want %d", i, e.Count(), want)
+		}
+	}
+}
+
+func TestVarianceWithinEps(t *testing.T) {
+	const wcap = 1000
+	for _, eps := range []float64{0.1, 0.2, 0.5} {
+		e := New(wcap, eps)
+		w := &exactWindow{cap: wcap}
+		r := stats.NewRand(42)
+		maxRel := 0.0
+		for i := 0; i < 12000; i++ {
+			x := r.NormFloat64()*2 + 10
+			e.Push(x)
+			w.push(x)
+			if i > wcap && i%97 == 0 {
+				_, trueV := w.meanVar()
+				rel := math.Abs(e.Variance()-trueV) / trueV
+				if rel > maxRel {
+					maxRel = rel
+				}
+			}
+		}
+		if maxRel > eps {
+			t.Errorf("eps=%v: max relative variance error %v exceeds eps", eps, maxRel)
+		}
+	}
+}
+
+func TestVarianceTracksDistributionShift(t *testing.T) {
+	const wcap = 512
+	e := New(wcap, 0.2)
+	w := &exactWindow{cap: wcap}
+	r := stats.NewRand(7)
+	for i := 0; i < 4000; i++ {
+		var x float64
+		if i < 2000 {
+			x = r.NormFloat64() * 0.5
+		} else {
+			x = 100 + r.NormFloat64()*5
+		}
+		e.Push(x)
+		w.push(x)
+	}
+	_, trueV := w.meanVar()
+	rel := math.Abs(e.Variance()-trueV) / trueV
+	if rel > 0.25 {
+		t.Errorf("post-shift relative error %v too large", rel)
+	}
+}
+
+func TestStdDevIsSqrtVariance(t *testing.T) {
+	e := New(100, 0.2)
+	r := stats.NewRand(3)
+	for i := 0; i < 500; i++ {
+		e.Push(r.Float64())
+	}
+	if math.Abs(e.StdDev()-math.Sqrt(e.Variance())) > 1e-12 {
+		t.Error("StdDev != sqrt(Variance)")
+	}
+}
+
+func TestBucketCountLogarithmic(t *testing.T) {
+	e := New(10000, 0.2)
+	r := stats.NewRand(5)
+	maxB := 0
+	for i := 0; i < 60000; i++ {
+		e.Push(r.NormFloat64())
+		if e.Buckets() > maxB {
+			maxB = e.Buckets()
+		}
+	}
+	if maxB > e.hardCap {
+		t.Errorf("bucket count %d exceeded hard cap %d", maxB, e.hardCap)
+	}
+	// The Section 10.3 observation: actual usage is well below the bound.
+	if 4*maxB > e.BoundNumbers() {
+		t.Errorf("memory numbers %d exceed bound %d", 4*maxB, e.BoundNumbers())
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	e := New(100, 0.2)
+	for i := 0; i < 300; i++ {
+		e.Push(float64(i % 17))
+	}
+	if e.MemoryNumbers() != 4*e.Buckets() {
+		t.Errorf("MemoryNumbers = %d, want %d", e.MemoryNumbers(), 4*e.Buckets())
+	}
+	if e.MemoryBytes() != 2*e.MemoryNumbers() {
+		t.Errorf("MemoryBytes = %d, want %d", e.MemoryBytes(), 2*e.MemoryNumbers())
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	e := New(64, 0.25)
+	if e.WindowCap() != 64 || e.Eps() != 0.25 {
+		t.Errorf("accessors wrong: %d %v", e.WindowCap(), e.Eps())
+	}
+	e.Push(1)
+	if e.Seen() != 1 {
+		t.Errorf("Seen = %d, want 1", e.Seen())
+	}
+}
+
+func TestMergeParallelAxis(t *testing.T) {
+	// Two buckets: {1,2} and {3,4,5}. Combined variance of {1..5} is 2.
+	a := bucket{first: 1, last: 2, mean: 1.5, v: 0.5}
+	b := bucket{first: 3, last: 5, mean: 4, v: 2}
+	m := merge(a, b)
+	if m.n() != 5 {
+		t.Fatalf("merged n = %d, want 5", m.n())
+	}
+	if math.Abs(m.mean-3) > 1e-12 {
+		t.Errorf("merged mean = %v, want 3", m.mean)
+	}
+	if math.Abs(m.v-10) > 1e-12 { // population var 2 → V = 10
+		t.Errorf("merged V = %v, want 10", m.v)
+	}
+}
+
+// Property: the mean estimate is always within the min/max of recent data,
+// and variance is never negative.
+func TestEstimatesSaneProperty(t *testing.T) {
+	f := func(raw []float64, capRaw uint8, seed int64) bool {
+		wcap := int(capRaw%64) + 2
+		e := New(wcap, 0.2)
+		vals := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				vals = append(vals, x)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range vals {
+			e.Push(x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if e.Variance() < 0 {
+			return false
+		}
+		return e.Mean() >= lo-1e-9 && e.Mean() <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiBasics(t *testing.T) {
+	m := NewMulti(2, 100, 0.2)
+	if m.Dim() != 2 {
+		t.Fatalf("Dim = %d", m.Dim())
+	}
+	r := stats.NewRand(11)
+	var mx, my stats.Moments
+	for i := 0; i < 100; i++ {
+		x, y := r.Float64(), r.Float64()*10
+		m.Push([]float64{x, y})
+		mx.Add(x)
+		my.Add(y)
+	}
+	sds := m.StdDevs()
+	if math.Abs(sds[0]-mx.StdDev()) > 0.1*mx.StdDev() {
+		t.Errorf("dim0 sd = %v, want ~%v", sds[0], mx.StdDev())
+	}
+	if math.Abs(sds[1]-my.StdDev()) > 0.1*my.StdDev() {
+		t.Errorf("dim1 sd = %v, want ~%v", sds[1], my.StdDev())
+	}
+	means := m.Means()
+	if math.Abs(means[0]-mx.Mean()) > 0.05 || math.Abs(means[1]-my.Mean()) > 0.5 {
+		t.Errorf("means = %v", means)
+	}
+	if m.MemoryNumbers() <= 0 || m.MemoryBytes() != 2*m.MemoryNumbers() {
+		t.Error("memory accounting wrong")
+	}
+	if m.BoundNumbers() <= m.MemoryNumbers() {
+		t.Error("bound should exceed actual usage on smooth data")
+	}
+}
+
+func TestMultiPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewMulti(0,...) did not panic")
+			}
+		}()
+		NewMulti(0, 10, 0.2)
+	}()
+	m := NewMulti(2, 10, 0.2)
+	defer func() {
+		if recover() == nil {
+			t.Error("dim mismatch did not panic")
+		}
+	}()
+	m.Push([]float64{1})
+}

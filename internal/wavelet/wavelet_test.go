@@ -1,0 +1,208 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+
+	"odds/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 6, 16, 100); err != ErrNoData {
+		t.Error("empty data accepted")
+	}
+	if _, err := New([]float64{0.5}, 0, 16, 100); err == nil {
+		t.Error("levels=0 accepted")
+	}
+	if _, err := New([]float64{0.5}, 25, 16, 100); err == nil {
+		t.Error("levels=25 accepted")
+	}
+	if _, err := New([]float64{0.5}, 6, 0, 100); err == nil {
+		t.Error("b=0 accepted")
+	}
+	if _, err := New([]float64{0.5}, 6, 16, 0); err == nil {
+		t.Error("windowCount=0 accepted")
+	}
+}
+
+func TestLosslessWhenAllCoefficientsKept(t *testing.T) {
+	r := stats.NewRand(1)
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	const levels = 5 // 32 bins
+	s, err := New(vals, levels, 1<<levels, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the full coefficient budget the synopsis equals the histogram:
+	// bin masses must sum to 1 and each dyadic range must match an exact
+	// bin count.
+	total := s.ProbBox([]float64{0}, []float64{1})
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("total mass = %v", total)
+	}
+	exactIn := func(lo, hi float64) float64 {
+		n := 0
+		for _, v := range vals {
+			if v >= lo && v < hi {
+				n++
+			}
+		}
+		return float64(n) / float64(len(vals))
+	}
+	for _, q := range [][2]float64{{0, 0.5}, {0.25, 0.75}, {0.5, 0.53125}} {
+		got := s.ProbBox([]float64{q[0]}, []float64{q[1]})
+		want := exactIn(q[0], q[1])
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("lossless query %v: %v vs %v", q, got, want)
+		}
+	}
+}
+
+func TestCompressionKeepsShape(t *testing.T) {
+	r := stats.NewRand(2)
+	vals := make([]float64, 20000)
+	for i := range vals {
+		vals[i] = stats.Clamp(0.3+r.NormFloat64()*0.05, 0, 1)
+	}
+	// 256 bins, keep only 32 coefficients.
+	s, err := New(vals, 8, 32, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Coefficients() > 32 {
+		t.Fatalf("kept %d coefficients", s.Coefficients())
+	}
+	core := s.ProbBox([]float64{0.2}, []float64{0.4})
+	if core < 0.9 {
+		t.Errorf("core mass = %v, want ≈1", core)
+	}
+	tail := s.ProbBox([]float64{0.7}, []float64{1})
+	if tail > 0.05 {
+		t.Errorf("tail mass = %v, want ≈0", tail)
+	}
+	if s.MemoryNumbers() != 2*s.Coefficients() {
+		t.Error("memory accounting wrong")
+	}
+}
+
+func TestCountScaling(t *testing.T) {
+	vals := []float64{0.1, 0.2, 0.3, 0.4}
+	s, err := New(vals, 4, 16, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Count([]float64{0.5}, 0.6); math.Abs(got-1000) > 1e-6 {
+		t.Errorf("full-range count = %v, want 1000", got)
+	}
+	if s.Dim() != 1 || s.WindowCount() != 1000 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestDegenerateAndClampedQueries(t *testing.T) {
+	s, _ := New([]float64{0.5, 0.6, -0.2, 1.7}, 4, 16, 4)
+	if got := s.ProbBox([]float64{0.5}, []float64{0.5}); got != 0 {
+		t.Errorf("empty interval = %v", got)
+	}
+	if got := s.ProbBox([]float64{-1}, []float64{2}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("over-wide interval = %v, want 1 (out-of-range values clamp)", got)
+	}
+}
+
+func TestPanicsOnWrongDim(t *testing.T) {
+	s, _ := New([]float64{0.5}, 4, 8, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("2-d box accepted")
+		}
+	}()
+	s.ProbBox([]float64{0, 0}, []float64{1, 1})
+}
+
+func TestAccuracyComparableToEquiWidthHistogram(t *testing.T) {
+	// On the paper's synthetic mixture the compressed synopsis should
+	// answer the (45, 0.01) range queries within a usable band of the
+	// exact counts in dense regions.
+	r := stats.NewRand(3)
+	vals := make([]float64, 10000)
+	for i := range vals {
+		mu := []float64{0.3, 0.35, 0.45}[r.Intn(3)]
+		vals[i] = stats.Clamp(mu+r.NormFloat64()*0.03, 0, 1)
+	}
+	s, err := New(vals, 9, 64, 10000) // 512 bins, 64 coefficients
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := func(lo, hi float64) float64 {
+		n := 0
+		for _, v := range vals {
+			if v >= lo && v <= hi {
+				n++
+			}
+		}
+		return float64(n)
+	}
+	for _, p := range []float64{0.3, 0.35, 0.4, 0.45} {
+		got := s.Count([]float64{p}, 0.01)
+		want := exact(p-0.01, p+0.01)
+		if want > 200 && math.Abs(got-want)/want > 0.5 {
+			t.Errorf("count at %v: %v vs exact %v", p, got, want)
+		}
+	}
+}
+
+// Property: whatever the coefficient budget, reconstructed mass stays
+// close to 1 (thresholding drops detail coefficients, never the average;
+// clamping negative artifacts can only add mass locally).
+func TestMassApproximatelyConservedProperty(t *testing.T) {
+	r := stats.NewRand(11)
+	for trial := 0; trial < 30; trial++ {
+		n := 200 + r.Intn(2000)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64()
+		}
+		b := 1 + r.Intn(64)
+		s, err := New(vals, 7, b, float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := s.ProbBox([]float64{0}, []float64{1})
+		if total < 0.85 || total > 1.3 {
+			t.Fatalf("trial %d (b=%d): total mass %v far from 1", trial, b, total)
+		}
+	}
+}
+
+// Property: mass is additive over adjacent intervals.
+func TestWaveletAdditiveProperty(t *testing.T) {
+	r := stats.NewRand(13)
+	vals := make([]float64, 3000)
+	for i := range vals {
+		vals[i] = stats.Clamp(0.4+r.NormFloat64()*0.1, 0, 1)
+	}
+	s, err := New(vals, 8, 48, float64(len(vals)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := r.Float64(), r.Float64(), r.Float64()
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b, c = c, b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		whole := s.ProbBox([]float64{a}, []float64{c})
+		parts := s.ProbBox([]float64{a}, []float64{b}) + s.ProbBox([]float64{b}, []float64{c})
+		if math.Abs(whole-parts) > 1e-9 {
+			t.Fatalf("additivity violated: %v vs %v", whole, parts)
+		}
+	}
+}

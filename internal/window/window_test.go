@@ -1,0 +1,215 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func p1(x float64) Point { return Point{x} }
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	for _, c := range []struct{ cap, dim int }{{0, 1}, {-1, 1}, {1, 0}, {1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c.cap, c.dim)
+				}
+			}()
+			New(c.cap, c.dim)
+		}()
+	}
+}
+
+func TestPushFillAndEvict(t *testing.T) {
+	w := New(3, 1)
+	for i := 1; i <= 5; i++ {
+		w.Push(p1(float64(i)))
+	}
+	if w.Len() != 3 || !w.Full() {
+		t.Fatalf("Len = %d, Full = %v", w.Len(), w.Full())
+	}
+	if w.Seen() != 5 {
+		t.Errorf("Seen = %d, want 5", w.Seen())
+	}
+	want := []float64{3, 4, 5}
+	for i, x := range want {
+		if got := w.At(i)[0]; got != x {
+			t.Errorf("At(%d) = %v, want %v", i, got, x)
+		}
+	}
+	if w.Oldest()[0] != 3 || w.Newest()[0] != 5 {
+		t.Errorf("Oldest/Newest = %v/%v", w.Oldest()[0], w.Newest()[0])
+	}
+}
+
+func TestPushClones(t *testing.T) {
+	w := New(2, 2)
+	p := Point{0.1, 0.2}
+	w.Push(p)
+	p[0] = 9
+	if w.At(0)[0] != 0.1 {
+		t.Error("Push did not clone input")
+	}
+}
+
+func TestPushDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("dim mismatch did not panic")
+		}
+	}()
+	New(2, 2).Push(Point{1})
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	w := New(2, 1)
+	w.Push(p1(1))
+	for _, i := range []int{-1, 1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", i)
+				}
+			}()
+			w.At(i)
+		}()
+	}
+}
+
+func TestEmptyAccessors(t *testing.T) {
+	w := New(2, 1)
+	if w.Oldest() != nil || w.Newest() != nil {
+		t.Error("empty window should return nil points")
+	}
+	if w.Len() != 0 || w.Full() {
+		t.Error("empty window state wrong")
+	}
+}
+
+func TestOnEvictReceivesOldest(t *testing.T) {
+	w := New(2, 1)
+	var evicted []float64
+	w.OnEvict(func(p Point) { evicted = append(evicted, p[0]) })
+	for i := 1; i <= 4; i++ {
+		w.Push(p1(float64(i)))
+	}
+	if len(evicted) != 2 || evicted[0] != 1 || evicted[1] != 2 {
+		t.Errorf("evicted = %v, want [1 2]", evicted)
+	}
+}
+
+func TestSnapshotOrderAndColumn(t *testing.T) {
+	w := New(3, 2)
+	w.Push(Point{1, 10})
+	w.Push(Point{2, 20})
+	w.Push(Point{3, 30})
+	w.Push(Point{4, 40})
+	snap := w.Snapshot()
+	if len(snap) != 3 || snap[0][0] != 2 || snap[2][0] != 4 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	col := w.Column(1)
+	if len(col) != 3 || col[0] != 20 || col[2] != 40 {
+		t.Errorf("Column(1) = %v", col)
+	}
+}
+
+func TestColumnOutOfRangePanics(t *testing.T) {
+	w := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Column(2) did not panic")
+		}
+	}()
+	w.Column(2)
+}
+
+func TestUnion(t *testing.T) {
+	a, b := New(2, 1), New(2, 1)
+	a.Push(p1(1))
+	a.Push(p1(2))
+	b.Push(p1(3))
+	u := Union(a, b)
+	if len(u) != 3 || u[0][0] != 1 || u[2][0] != 3 {
+		t.Errorf("Union = %v", u)
+	}
+	if got := Union(); len(got) != 0 {
+		t.Errorf("Union() = %v, want empty", got)
+	}
+}
+
+func TestPointHelpers(t *testing.T) {
+	p := Point{0.5, 0.7}
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Error("clone not equal")
+	}
+	q[0] = 0.6
+	if p.Equal(q) {
+		t.Error("mutated clone still equal")
+	}
+	if p.Equal(Point{0.5}) {
+		t.Error("different dims reported equal")
+	}
+	if !p.InUnitCube() {
+		t.Error("p should be in unit cube")
+	}
+	if (Point{1.1, 0}).InUnitCube() || (Point{-0.1}).InUnitCube() {
+		t.Error("out-of-cube point accepted")
+	}
+}
+
+// Property: after any sequence of pushes, the window holds exactly the last
+// min(len(seq), cap) values in order.
+func TestWindowProperty(t *testing.T) {
+	f := func(vals []float64, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		w := New(capacity, 1)
+		for _, v := range vals {
+			w.Push(p1(v))
+		}
+		wantLen := len(vals)
+		if wantLen > capacity {
+			wantLen = capacity
+		}
+		if w.Len() != wantLen {
+			return false
+		}
+		start := len(vals) - wantLen
+		for i := 0; i < wantLen; i++ {
+			if w.At(i)[0] != vals[start+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: eviction stream + current contents == full input stream.
+func TestEvictionCompletenessProperty(t *testing.T) {
+	f := func(vals []float64, capRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		w := New(capacity, 1)
+		var out []float64
+		w.OnEvict(func(p Point) { out = append(out, p[0]) })
+		for _, v := range vals {
+			w.Push(p1(v))
+		}
+		w.Do(func(p Point) { out = append(out, p[0]) })
+		if len(out) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if out[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

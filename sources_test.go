@@ -1,0 +1,100 @@
+package odds
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalizerExported(t *testing.T) {
+	n := NewNormalizer([]float64{-40, 950}, []float64{60, 1050})
+	p := n.Normalize([]float64{10, 1000})
+	if !p.InUnitCube() {
+		t.Fatalf("normalized %v outside unit cube", p)
+	}
+	back := n.Denormalize(p)
+	if math.Abs(back[0]-10) > 1e-9 || math.Abs(back[1]-1000) > 1e-9 {
+		t.Errorf("round trip = %v", back)
+	}
+}
+
+func TestReplaySourceExported(t *testing.T) {
+	trace := []Point{{0.1}, {0.2}, {0.3}}
+	src := NewReplaySource(trace, true)
+	if src.Dim() != 1 {
+		t.Fatal("dim wrong")
+	}
+	for i := 0; i < 7; i++ {
+		want := trace[i%3][0]
+		if got := src.Next()[0]; got != want {
+			t.Fatalf("replay %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestReplayFeedsDetector(t *testing.T) {
+	// Record a trace from the mixture, replay it through a detector: the
+	// end-to-end real-data adoption path.
+	trace := TakeSource(NewMixtureSource(1, 21), 4000)
+	det, err := NewDetector(smallConfig(1), DistanceParams{Radius: 0.01, Threshold: 10}, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewReplaySource(trace, false)
+	flagged := 0
+	for i := 0; i < len(trace); i++ {
+		if det.Observe(src.Next()) {
+			flagged++
+		}
+	}
+	if flagged == 0 {
+		t.Error("no outliers on replayed trace")
+	}
+}
+
+func TestEvaluateMultiExported(t *testing.T) {
+	det, err := NewMDEFDetector(smallConfig(1), MDEFParams{R: 0.08, AlphaR: 0.01, KSigma: 3}, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform block stream so multi-scale MDEF has homogeneous ground.
+	src := NewReplaySource(uniformTrace(3000), true)
+	for i := 0; i < 3000; i++ {
+		det.Observe(src.Next())
+	}
+	m := det.est.Model()
+	if m == nil {
+		t.Fatal("no model")
+	}
+	prm := MDEFMultiParams{RMin: 0.02, RMax: 0.16, RStep: 2, Alpha: 0.125, KSigma: 3}
+	out, bestR := EvaluateMulti(m, Point{0.45}, prm)
+	if !out {
+		t.Error("point past block edge not flagged by multi-scan")
+	}
+	if bestR <= 0 {
+		t.Error("bestR not reported")
+	}
+	if in, _ := EvaluateMulti(m, Point{0.3}, prm); in {
+		t.Error("block interior flagged")
+	}
+}
+
+func uniformTrace(n int) []Point {
+	out := make([]Point, n)
+	for i := range out {
+		out[i] = Point{0.2 + 0.2*float64(i%997)/997}
+	}
+	return out
+}
+
+func TestDescribeExported(t *testing.T) {
+	s, err := Describe([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if _, err := Describe(nil); err == nil {
+		t.Error("empty Describe should error")
+	}
+}
