@@ -4,7 +4,10 @@ GO ?= go
 
 .PHONY: all build test race cover bench experiments quick-experiments fmt vet clean
 
-all: build test
+# The default verify path includes the race detector: the parallel
+# evaluation harness and the concurrent runtime are only correct if the
+# whole tree stays race-clean.
+all: build test race
 
 build:
 	$(GO) build ./...

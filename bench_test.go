@@ -7,7 +7,9 @@
 package odds
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"odds/internal/distance"
@@ -218,6 +220,96 @@ func BenchmarkBruteForceDGroundTruth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		distance.BruteForce(pts, prm)
 	}
+}
+
+// --- Parallel harness ------------------------------------------------------
+
+// parallelWorkerCounts are the worker settings the speedup benchmarks
+// sweep: the serial baseline and the machine's parallelism. On a
+// single-core host the pool cannot beat serial, so the sweep measures
+// the parallel path's overhead (workers=4 oversubscribed) instead —
+// which is the number that must stay small for the harness to be safe
+// to enable by default.
+func parallelWorkerCounts() []int {
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		return []int{1, p}
+	}
+	return []int{1, 4}
+}
+
+// BenchmarkParallelRunD3 measures the per-sensor parallel evaluation
+// harness on the multi-sensor figure shape (32 leaves, kernel estimator,
+// the Figure 8–10 drivers). Results are bit-identical across worker
+// counts — only wall-clock changes — so the serial/parallel ratio is the
+// harness speedup.
+func BenchmarkParallelRunD3(b *testing.B) {
+	s := quickSweep(experiments.Synthetic1D)
+	s.Leaves = 32
+	for _, workers := range parallelWorkerCounts() {
+		cfg := s.PRConfigFor(0.05, experiments.KindKernel, 0)
+		cfg.Workers = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.RunD3(cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelRunMGDD is the MGDD counterpart of the harness
+// speedup measurement.
+func BenchmarkParallelRunMGDD(b *testing.B) {
+	s := quickSweep(experiments.Synthetic1D)
+	s.Leaves = 32
+	for _, workers := range parallelWorkerCounts() {
+		cfg := s.PRConfigFor(0.05, experiments.KindKernel, 0)
+		cfg.Workers = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.RunMGDD(cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelDeployment measures Deployment.RunParallel against
+// Run on a 32-sensor D3 hierarchy; reports and message stats stay
+// bit-identical to the serial engine.
+func BenchmarkParallelDeployment(b *testing.B) {
+	mk := func() *Deployment {
+		d, err := NewDeployment(DeploymentConfig{
+			Algorithm: D3,
+			Sources:   benchSources(32),
+			Branching: 4,
+			Core:      Config{WindowCap: 2000, SampleSize: 200, Eps: 0.2, SampleFraction: 0.5, Dim: 1, RebuildEvery: 1},
+			Dist:      DistanceParams{Radius: 0.01, Threshold: 10},
+			Seed:      17,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+	for _, workers := range parallelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := mk()
+				if workers == 1 {
+					d.Run(3000)
+				} else {
+					d.RunParallel(3000, workers)
+				}
+			}
+		})
+	}
+}
+
+func benchSources(n int) []Source {
+	out := make([]Source, n)
+	for i := range out {
+		out[i] = NewMixtureSource(1, int64(300+i))
+	}
+	return out
 }
 
 // --- Ablations ------------------------------------------------------------

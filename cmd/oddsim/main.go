@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"odds/internal/experiments"
@@ -21,10 +22,11 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|mem|ablation|all")
-		quick = flag.Bool("quick", false, "reduced scale (small windows, single run)")
-		runs  = flag.Int("runs", 0, "override run count (paper: 12)")
-		seed  = flag.Int64("seed", 1, "master seed")
+		exp     = flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|mem|ablation|all")
+		quick   = flag.Bool("quick", false, "reduced scale (small windows, single run)")
+		runs    = flag.Int("runs", 0, "override run count (paper: 12)")
+		seed    = flag.Int64("seed", 1, "master seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the sweeps (1 = serial; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -46,6 +48,7 @@ func main() {
 		if *runs > 0 {
 			s.Runs = *runs
 		}
+		s.Workers = *workers
 		s.Seed = *seed
 		return s
 	}

@@ -7,6 +7,7 @@ import (
 
 	"odds/internal/core"
 	"odds/internal/network"
+	"odds/internal/parallel"
 	"odds/internal/stats"
 	"odds/internal/tagsim"
 )
@@ -84,9 +85,13 @@ type Deployment struct {
 	topo    *network.Topology
 	sim     *tagsim.Simulator
 	nodes   []tagsim.Node
-	mu      sync.Mutex // guards reports (concurrent runs flag in parallel)
+	mu      sync.Mutex // guards reports and buf (concurrent runs flag in parallel)
 	reports []Report
-	epochs  int
+	// buf, when non-nil, redirects reports into per-node slots during a
+	// RunParallel epoch phase; flushing them in slot order before message
+	// delivery reproduces the serial report order exactly.
+	buf    [][]Report
+	epochs int
 }
 
 // NewDeployment wires the deployment. Reported outliers accumulate and
@@ -154,9 +159,15 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	}
 
 	record := func(node tagsim.NodeID, level int) func(Point, int) {
+		slot := len(d.nodes) // the index addNode assigns next
 		return func(v Point, epoch int) {
 			d.mu.Lock()
-			d.reports = append(d.reports, Report{Node: int(node), Level: level, Value: v, Epoch: epoch})
+			r := Report{Node: int(node), Level: level, Value: v, Epoch: epoch}
+			if d.buf != nil {
+				d.buf[slot] = append(d.buf[slot], r)
+			} else {
+				d.reports = append(d.reports, r)
+			}
 			d.mu.Unlock()
 		}
 	}
@@ -210,6 +221,35 @@ func (d *Deployment) addNode(n tagsim.Node) {
 // (one reading per sensor per epoch).
 func (d *Deployment) Run(epochs int) {
 	d.sim.Run(epochs)
+	d.epochs += epochs
+}
+
+// RunParallel executes the given number of epochs like Run, stepping the
+// nodes' per-epoch work across at most workers goroutines (workers <= 0
+// selects GOMAXPROCS; 1 falls back to Run). Unlike RunConcurrent it stays
+// fully deterministic: for a fixed seed, Reports and Messages are
+// bit-identical to Run. Sends and outlier reports raised during the
+// concurrent phase are buffered per node and flushed in node order before
+// message delivery, which itself remains serial.
+func (d *Deployment) RunParallel(epochs, workers int) {
+	pool := parallel.New(workers)
+	if pool.Workers() <= 1 {
+		d.Run(epochs)
+		return
+	}
+	for e := 0; e < epochs; e++ {
+		d.mu.Lock()
+		d.buf = make([][]Report, len(d.nodes))
+		d.mu.Unlock()
+		d.sim.StepParallel(e, pool, func() {
+			d.mu.Lock()
+			for _, b := range d.buf {
+				d.reports = append(d.reports, b...)
+			}
+			d.buf = nil
+			d.mu.Unlock()
+		})
+	}
 	d.epochs += epochs
 }
 

@@ -95,8 +95,46 @@ func TestEstimatorModelCaching(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		e.Observe(src.Next())
 	}
-	if e.Model() != m1 {
+	m2 := e.Model()
+	// During warm-up the cached model is rescaled to the drifting
+	// effective |W| — a new O(1) wrapper, not a rebuild: the kernel
+	// centers must still be the first build's.
+	if m2.SampleSize() != m1.SampleSize() || &m2.Centers()[0] != &m1.Centers()[0] {
 		t.Error("model rebuilt despite RebuildEvery")
+	}
+	if got, want := m2.WindowCount(), e.EffectiveWindowCount(); got != want {
+		t.Errorf("cached model |W| = %v, want effective %v", got, want)
+	}
+}
+
+// TestEstimatorModelTracksWarmupWindowCount walks an estimator through its
+// warm-up and checks that the cached model's |W| scaling follows the
+// effective window count on every arrival, even when the sample itself is
+// unchanged. Before the rescale fix, a cached model kept the filled
+// fraction of its build epoch, undercounting neighbors for values that
+// arrived between sample inclusions.
+func TestEstimatorModelTracksWarmupWindowCount(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.RebuildEvery = 1000000
+	e := NewEstimator(cfg, cfg.WindowCap, float64(cfg.WindowCap), stats.NewRand(9))
+	src := stream.NewMixture(stream.DefaultMixture(), 1, 10)
+	for i := 0; i < cfg.WindowCap+cfg.WindowCap/4; i++ {
+		e.Observe(src.Next())
+		m := e.Model()
+		if m == nil {
+			t.Fatalf("no model after %d arrivals", i+1)
+		}
+		if got, want := m.WindowCount(), e.EffectiveWindowCount(); got != want {
+			t.Fatalf("arrival %d: model |W| = %v, effective = %v", i+1, got, want)
+		}
+	}
+	// Past warm-up the effective count is the configured |W| and the
+	// cached pointer must be stable call-to-call (no per-call copies).
+	if e.Model() != e.Model() {
+		t.Error("model pointer unstable after warm-up")
+	}
+	if got := e.Model().WindowCount(); got != float64(cfg.WindowCap) {
+		t.Errorf("steady-state |W| = %v, want %v", got, cfg.WindowCap)
 	}
 }
 

@@ -13,7 +13,12 @@ import (
 // (Section 5): a chain sample of the window, a sliding-window variance
 // sketch, and a kernel density model derived from them. The model is
 // cached and rebuilt lazily when the sample has changed, at most once per
-// RebuildEvery arrivals.
+// RebuildEvery arrivals; during warm-up the cached model's |W| scaling is
+// rescaled (O(1)) to track the effective window count between rebuilds.
+//
+// Concurrency: an Estimator is single-goroutine-owned — Observe and
+// Model mutate it. The *kernel.Estimator a Model call returns is
+// immutable and may be queried from other goroutines.
 type Estimator struct {
 	cfg    Config
 	smp    *sample.Chain
@@ -21,6 +26,7 @@ type Estimator struct {
 	wcount float64 // |W| used to scale range queries (union size at parents)
 
 	model      *kernel.Estimator
+	modelWc    float64 // EffectiveWindowCount the cached model scales by
 	dirty      bool
 	sinceBuild int
 	arrivals   uint64
@@ -99,8 +105,17 @@ func (e *Estimator) Model() *kernel.Estimator {
 			panic(err)
 		}
 		e.model = m
+		e.modelWc = wc
 		e.dirty = false
 		e.sinceBuild = 0
+	} else if wc := e.EffectiveWindowCount(); wc != e.modelWc {
+		// The sample hasn't changed but the effective |W| has — during
+		// warm-up every arrival grows the filled fraction, and a cached
+		// model built a few arrivals ago would keep scaling queries by the
+		// stale, smaller count (undercounting neighbors and over-flagging
+		// outliers). Rescaling is O(1); centers and bandwidths are shared.
+		e.model = e.model.WithWindowCount(wc)
+		e.modelWc = wc
 	}
 	return e.model
 }

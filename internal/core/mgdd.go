@@ -16,7 +16,8 @@ import (
 // incremental updates — one newly-sampled value plus its current sigma —
 // down the tree; replicas fold each update in by replacing a random slot,
 // which keeps the replica an (approximately) uniform sample of what the
-// root holds without shipping the whole sample.
+// root holds without shipping the whole sample. A GlobalModel is
+// single-goroutine-owned (it owns an rng and a cached model).
 type GlobalModel struct {
 	slots  []window.Point
 	fill   int

@@ -12,6 +12,11 @@ import (
 // maintain exact per-arrival ground truth (the BruteForce-D decision for
 // every new value against the current window) in amortized constant time
 // instead of rebuilding an index per window instance.
+//
+// Concurrency: a DynIndex is single-goroutine-owned. In the parallel
+// evaluation harness, leaf-level indexes are per-sensor state (touched
+// in the concurrent phase) while parent-level indexes are shared and
+// live strictly in the ordered aggregation phase.
 type DynIndex struct {
 	cell  float64
 	dim   int

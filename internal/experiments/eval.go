@@ -8,6 +8,7 @@ import (
 	"odds/internal/distance"
 	"odds/internal/histogram"
 	"odds/internal/mdef"
+	"odds/internal/parallel"
 	"odds/internal/stats"
 	"odds/internal/stream"
 	"odds/internal/wavelet"
@@ -61,7 +62,18 @@ type PRConfig struct {
 	// which accounting starts (after windows fill).
 	Epochs      int
 	MeasureFrom int
-	Seed        int64
+	// Workers bounds the number of goroutines stepping leaf sensors
+	// concurrently each epoch; 0 or 1 runs fully serially. The parallel
+	// path splits every epoch into a concurrent per-sensor phase (source
+	// draw, window slide, leaf truth, leaf estimation, leaf decision — all
+	// leaf-local state) and an ordered aggregation phase (parent truth
+	// indexes, sample propagation, parent models), so for a fixed seed it
+	// produces results identical to the serial path. Only the online
+	// estimator kinds (KindKernel, KindSampledHistogram) parallelize: the
+	// offline baselines rebuild from other sensors' raw windows mid-epoch
+	// and are therefore inherently order-dependent across leaves.
+	Workers int
+	Seed    int64
 	// Streams builds the per-leaf source; nil defaults to the paper's
 	// synthetic mixture.
 	Streams func(leaf int, seed int64) stream.Source
@@ -251,103 +263,176 @@ func RunD3(c PRConfig) D3Result {
 	chain := make([]*d3Node, depth)
 	pred := make([]bool, depth)
 
-	for epoch := 0; epoch < c.Epochs; epoch++ {
-		measuring := epoch >= c.MeasureFrom
-		for li := 0; li < c.Leaves; li++ {
-			v := srcs[li].Next()
-			leaf := nodes[0][li]
-			k := 0
-			for n := leaf; n != nil; n = n.parent {
-				chain[k] = n
-				k++
-			}
+	// Every epoch splits into two phases. The per-sensor phase touches only
+	// state owned by one leaf (its source, window, truth index, estimation
+	// state, histogram, and rng), so the parallel path may run it on any
+	// worker; the aggregation phase walks leaves in index order and owns all
+	// shared state (parent truth indexes, parent estimators and histograms,
+	// the propagation coin sequence beyond the first flip). Running
+	// leafPhase(li) immediately followed by aggregate(li) per leaf is
+	// operation-for-operation the original serial evaluation, which is what
+	// makes the parallel path output-identical: leafPhase reads nothing
+	// another leaf writes, and aggregate runs in the same order either way.
+	type d3Step struct {
+		v         window.Point
+		old       window.Point // point evicted this epoch (nil while filling)
+		propagate bool         // leaf's f-coin, drawn only on sample inclusion
+		leafTruth bool
+		leafPred  bool
+	}
 
-			// Slide the window: evictions leave every chain index.
-			if wins[li].Full() {
-				old := wins[li].Oldest()
-				for _, n := range chain[:k] {
-					if !n.idx.Remove(old) {
-						panic("experiments: truth index out of sync")
-					}
-				}
+	leafPhase := func(li, epoch int) d3Step {
+		st := d3Step{v: srcs[li].Next()}
+		leaf := nodes[0][li]
+		if wins[li].Full() {
+			st.old = wins[li].Oldest()
+			if !leaf.idx.Remove(st.old) {
+				panic("experiments: truth index out of sync")
 			}
-			wins[li].Push(v)
-			for _, n := range chain[:k] {
-				n.idx.Add(v)
-			}
-			for l, n := range chain[:k] {
-				truth[l] = n.idx.IsOutlier(v, c.Dist)
-			}
+		}
+		wins[li].Push(st.v)
+		leaf.idx.Add(st.v)
+		st.leafTruth = leaf.idx.IsOutlier(st.v, c.Dist)
 
-			// Online decisions per Figure 4.
-			for i := range pred {
-				pred[i] = false
+		switch c.Kind {
+		case KindKernel:
+			if leaf.est.Observe(st.v) {
+				st.propagate = leafRngs[li].Float64() < c.Core.SampleFraction
 			}
-			switch c.Kind {
-			case KindKernel:
-				included := leaf.est.Observe(v)
-				if included && leafRngs[li].Float64() < c.Core.SampleFraction {
-					// Propagate the sampled value up while each level's
-					// sample adopts it and its coin allows.
-					for n := leaf.parent; n != nil; n = n.parent {
-						if !n.est.Observe(v) || leafRngs[li].Float64() >= c.Core.SampleFraction {
-							break
-						}
-					}
-				}
-				flagged := leaf.est.Warmed() && leaf.est.IsDistanceOutlier(v, c.Dist)
-				pred[0] = flagged
-				for l := 1; l < k && flagged; l++ {
-					n := chain[l]
-					flagged = n.est.Warmed() && n.est.IsDistanceOutlier(v, c.Dist)
-					pred[l] = flagged
-				}
-			case KindHistogram, KindWavelet:
-				for _, n := range chain[:k] {
-					if epoch >= n.nextBuild {
-						rebuild(n)
-						n.nextBuild = epoch + c.HistRebuildEpochs
-					}
-				}
-				warm := epoch >= c.MeasureFrom/2
-				flagged := warm && histFlag(leaf, v)
-				pred[0] = flagged
-				for l := 1; l < k && flagged; l++ {
-					flagged = histFlag(chain[l], v)
-					pred[l] = flagged
-				}
-			case KindSampledHistogram:
-				// Same online state upkeep and propagation as the kernel
-				// method; only the density representation differs.
-				included := leaf.est.Observe(v)
-				if included && leafRngs[li].Float64() < c.Core.SampleFraction {
-					for n := leaf.parent; n != nil; n = n.parent {
-						if !n.est.Observe(v) || leafRngs[li].Float64() >= c.Core.SampleFraction {
-							break
-						}
-					}
-				}
-				for _, n := range chain[:k] {
-					if epoch >= n.nextBuild {
-						rebuildSampled(n)
-						n.nextBuild = epoch + c.HistRebuildEpochs
-					}
-				}
-				flagged := leaf.est.Warmed() && histFlag(leaf, v)
-				pred[0] = flagged
-				for l := 1; l < k && flagged; l++ {
-					flagged = histFlag(chain[l], v)
-					pred[l] = flagged
-				}
+			st.leafPred = leaf.est.Warmed() && leaf.est.IsDistanceOutlier(st.v, c.Dist)
+		case KindHistogram, KindWavelet:
+			if epoch >= leaf.nextBuild {
+				rebuild(leaf)
+				leaf.nextBuild = epoch + c.HistRebuildEpochs
 			}
+			warm := epoch >= c.MeasureFrom/2
+			st.leafPred = warm && histFlag(leaf, st.v)
+		case KindSampledHistogram:
+			// Same online state upkeep as the kernel method; only the
+			// density representation differs.
+			if leaf.est.Observe(st.v) {
+				st.propagate = leafRngs[li].Float64() < c.Core.SampleFraction
+			}
+			if epoch >= leaf.nextBuild {
+				rebuildSampled(leaf)
+				leaf.nextBuild = epoch + c.HistRebuildEpochs
+			}
+			st.leafPred = leaf.est.Warmed() && histFlag(leaf, st.v)
+		}
+		return st
+	}
 
-			if measuring {
-				for l := 0; l < k; l++ {
-					prs[l].Observe(pred[l], truth[l])
+	aggregate := func(li, epoch int, st d3Step, measuring bool) {
+		leaf := nodes[0][li]
+		k := 0
+		for n := leaf; n != nil; n = n.parent {
+			chain[k] = n
+			k++
+		}
+
+		// Slide the shared truth indexes: evictions leave every ancestor.
+		truth[0] = st.leafTruth
+		for l := 1; l < k; l++ {
+			n := chain[l]
+			if st.old != nil {
+				if !n.idx.Remove(st.old) {
+					panic("experiments: truth index out of sync")
 				}
-				if truth[0] {
-					trueOutliers++
+			}
+			n.idx.Add(st.v)
+			truth[l] = n.idx.IsOutlier(st.v, c.Dist)
+		}
+
+		// Online decisions per Figure 4.
+		for i := range pred {
+			pred[i] = false
+		}
+		switch c.Kind {
+		case KindKernel:
+			if st.propagate {
+				// Propagate the sampled value up while each level's sample
+				// adopts it and its coin allows.
+				for n := leaf.parent; n != nil; n = n.parent {
+					if !n.est.Observe(st.v) || leafRngs[li].Float64() >= c.Core.SampleFraction {
+						break
+					}
 				}
+			}
+			flagged := st.leafPred
+			pred[0] = flagged
+			for l := 1; l < k && flagged; l++ {
+				n := chain[l]
+				flagged = n.est.Warmed() && n.est.IsDistanceOutlier(st.v, c.Dist)
+				pred[l] = flagged
+			}
+		case KindHistogram, KindWavelet:
+			for _, n := range chain[1:k] {
+				if epoch >= n.nextBuild {
+					rebuild(n)
+					n.nextBuild = epoch + c.HistRebuildEpochs
+				}
+			}
+			flagged := st.leafPred
+			pred[0] = flagged
+			for l := 1; l < k && flagged; l++ {
+				flagged = histFlag(chain[l], st.v)
+				pred[l] = flagged
+			}
+		case KindSampledHistogram:
+			if st.propagate {
+				for n := leaf.parent; n != nil; n = n.parent {
+					if !n.est.Observe(st.v) || leafRngs[li].Float64() >= c.Core.SampleFraction {
+						break
+					}
+				}
+			}
+			for _, n := range chain[1:k] {
+				if epoch >= n.nextBuild {
+					rebuildSampled(n)
+					n.nextBuild = epoch + c.HistRebuildEpochs
+				}
+			}
+			flagged := st.leafPred
+			pred[0] = flagged
+			for l := 1; l < k && flagged; l++ {
+				flagged = histFlag(chain[l], st.v)
+				pred[l] = flagged
+			}
+		}
+
+		if measuring {
+			for l := 0; l < k; l++ {
+				prs[l].Observe(pred[l], truth[l])
+			}
+			if truth[0] {
+				trueOutliers++
+			}
+		}
+	}
+
+	// The offline baselines (KindHistogram, KindWavelet) rebuild parent
+	// synopses from the raw windows of every descendant leaf, so a parent
+	// rebuild triggered at leaf li must see leaves > li without the current
+	// epoch's value — an inherently serial dependency. The online kinds
+	// keep all cross-leaf state behind the aggregation phase and
+	// parallelize exactly.
+	parallelOK := c.Kind == KindKernel || c.Kind == KindSampledHistogram
+	if c.Workers > 1 && parallelOK && c.Leaves > 1 {
+		pool := parallel.New(c.Workers)
+		steps := make([]d3Step, c.Leaves)
+		for epoch := 0; epoch < c.Epochs; epoch++ {
+			e := epoch
+			pool.For(c.Leaves, func(li int) { steps[li] = leafPhase(li, e) })
+			measuring := epoch >= c.MeasureFrom
+			for li := 0; li < c.Leaves; li++ {
+				aggregate(li, epoch, steps[li], measuring)
+			}
+		}
+	} else {
+		for epoch := 0; epoch < c.Epochs; epoch++ {
+			measuring := epoch >= c.MeasureFrom
+			for li := 0; li < c.Leaves; li++ {
+				aggregate(li, epoch, leafPhase(li, epoch), measuring)
 			}
 		}
 	}
@@ -488,60 +573,102 @@ func RunMGDD(c PRConfig) MGDDResult {
 		return sum / float64(cnt)
 	}
 
+	// The epoch splits exactly like RunD3: a per-sensor phase touching only
+	// leaf-local state (source, window, local estimation), and an ordered
+	// aggregation phase owning everything shared — the union ground truth,
+	// the leader-path estimators, the replica pushes, and the replica-model
+	// queries (a leaf's replica may have been updated by an earlier leaf's
+	// propagation in the same epoch, so decision order matters).
+	type mgddStep struct {
+		v         window.Point
+		old       window.Point // point evicted this epoch (nil while filling)
+		propagate bool         // leaf's f-coin, drawn only on sample inclusion
+	}
+
+	leafPhase := func(li int) mgddStep {
+		st := mgddStep{v: srcs[li].Next()}
+		if wins[li].Full() {
+			st.old = wins[li].Oldest()
+		}
+		wins[li].Push(st.v)
+		if c.Kind == KindKernel {
+			if leafEsts[li].Observe(st.v) {
+				st.propagate = leafRngs[li].Float64() < c.Core.SampleFraction
+			}
+		}
+		return st
+	}
+
+	aggregate := func(li, epoch int, st mgddStep, measuring bool) {
+		if st.old != nil {
+			if !truth.Remove(st.old) {
+				panic("experiments: mdef truth out of sync")
+			}
+		}
+		truth.Add(st.v)
+		isTrue := truth.IsOutlier(st.v)
+
+		var flagged bool
+		switch c.Kind {
+		case KindKernel:
+			if st.propagate {
+				for lvl := 0; lvl < len(upper); lvl++ {
+					if !upper[lvl].Observe(st.v) {
+						break
+					}
+					if lvl == len(upper)-1 {
+						// Top-leader adoption: push to every replica.
+						sg := sigmaOf(upper[lvl])
+						for _, rep := range replicas {
+							rep.Update(st.v, sg)
+						}
+					} else if leafRngs[li].Float64() >= c.Core.SampleFraction {
+						break
+					}
+				}
+			}
+			if m := replicas[li].Model(); m != nil && leafEsts[li].Warmed() {
+				if caches[li] == nil || caches[li].Model() != mdef.Counter(m) {
+					caches[li] = mdef.NewCachedCounter(m, c.MDEF.AlphaR)
+				}
+				flagged = mdef.IsOutlier(caches[li], st.v, c.MDEF)
+			}
+		case KindHistogram:
+			if gcache != nil && epoch >= c.MeasureFrom/2 {
+				flagged = mdef.IsOutlier(gcache, st.v, c.MDEF)
+			}
+		}
+
+		if measuring {
+			pr.Observe(flagged, isTrue)
+			if isTrue {
+				trueOutliers++
+			}
+		}
+	}
+
+	var pool *parallel.Pool
+	var steps []mgddStep
+	if c.Workers > 1 && c.Leaves > 1 {
+		pool = parallel.New(c.Workers)
+		steps = make([]mgddStep, c.Leaves)
+	}
 	for epoch := 0; epoch < c.Epochs; epoch++ {
 		measuring := epoch >= c.MeasureFrom
 		if c.Kind == KindHistogram && epoch >= nextBuild {
+			// Rebuilt before any leaf pushes this epoch, so the global
+			// histogram sees the same windows on either path.
 			rebuildGlobal()
 			nextBuild = epoch + c.HistRebuildEpochs
 		}
-		for li := 0; li < c.Leaves; li++ {
-			v := srcs[li].Next()
-			if wins[li].Full() {
-				if !truth.Remove(wins[li].Oldest()) {
-					panic("experiments: mdef truth out of sync")
-				}
+		if pool != nil {
+			pool.For(c.Leaves, func(li int) { steps[li] = leafPhase(li) })
+			for li := 0; li < c.Leaves; li++ {
+				aggregate(li, epoch, steps[li], measuring)
 			}
-			wins[li].Push(v)
-			truth.Add(v)
-			isTrue := truth.IsOutlier(v)
-
-			var flagged bool
-			switch c.Kind {
-			case KindKernel:
-				included := leafEsts[li].Observe(v)
-				if included && leafRngs[li].Float64() < c.Core.SampleFraction {
-					for lvl := 0; lvl < len(upper); lvl++ {
-						if !upper[lvl].Observe(v) {
-							break
-						}
-						if lvl == len(upper)-1 {
-							// Top-leader adoption: push to every replica.
-							sg := sigmaOf(upper[lvl])
-							for _, rep := range replicas {
-								rep.Update(v, sg)
-							}
-						} else if leafRngs[li].Float64() >= c.Core.SampleFraction {
-							break
-						}
-					}
-				}
-				if m := replicas[li].Model(); m != nil && leafEsts[li].Warmed() {
-					if caches[li] == nil || caches[li].Model() != mdef.Counter(m) {
-						caches[li] = mdef.NewCachedCounter(m, c.MDEF.AlphaR)
-					}
-					flagged = mdef.IsOutlier(caches[li], v, c.MDEF)
-				}
-			case KindHistogram:
-				if gcache != nil && epoch >= c.MeasureFrom/2 {
-					flagged = mdef.IsOutlier(gcache, v, c.MDEF)
-				}
-			}
-
-			if measuring {
-				pr.Observe(flagged, isTrue)
-				if isTrue {
-					trueOutliers++
-				}
+		} else {
+			for li := 0; li < c.Leaves; li++ {
+				aggregate(li, epoch, leafPhase(li), measuring)
 			}
 		}
 	}

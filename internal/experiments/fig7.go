@@ -6,6 +6,7 @@ import (
 	"odds/internal/core"
 	"odds/internal/distance"
 	"odds/internal/mdef"
+	"odds/internal/parallel"
 	"odds/internal/stream"
 )
 
@@ -74,7 +75,13 @@ type SweepConfig struct {
 	// HistRebuildEpochs controls the favored histogram baseline's rebuild
 	// cadence.
 	HistRebuildEpochs int
-	Seed              int64
+	// Workers bounds the sweep's concurrency; 0 or 1 keeps everything
+	// serial. A cell's independent runs execute concurrently (each run is
+	// fully seeded on its own, so results are identical to serial for any
+	// worker count); a single-run cell hands the workers down to the
+	// per-sensor parallel harness (PRConfig.Workers) instead.
+	Workers int
+	Seed    int64
 }
 
 // DefaultSweep returns the paper-parameter configuration for a workload.
@@ -158,6 +165,12 @@ func (s SweepConfig) prConfig(frac float64, kind EstimatorKind, run int) PRConfi
 	if sample < 2 {
 		sample = 2
 	}
+	workers := 0
+	if s.Runs <= 1 {
+		// With one run per cell there is no run-level parallelism to
+		// exploit; push the workers into the per-sensor harness instead.
+		workers = s.Workers
+	}
 	return PRConfig{
 		Leaves:    s.Leaves,
 		Branching: s.Branching,
@@ -177,6 +190,7 @@ func (s SweepConfig) prConfig(frac float64, kind EstimatorKind, run int) PRConfi
 		HistRebuildEpochs: s.HistRebuildEpochs,
 		Epochs:            s.Epochs,
 		MeasureFrom:       s.MeasureFrom,
+		Workers:           workers,
 		Seed:              s.Seed + int64(1000*run),
 		Streams:           s.streams(),
 	}
@@ -188,13 +202,35 @@ func (s SweepConfig) PRConfigFor(frac float64, kind EstimatorKind, run int) PRCo
 	return s.prConfig(frac, kind, run)
 }
 
-// d3Sweep runs D3 across runs for one cell, averaging per level.
+// runPool returns the pool for run-level parallelism, or nil when the
+// sweep is serial (or has a single run, which parallelizes per sensor
+// inside RunD3/RunMGDD instead).
+func (s SweepConfig) runPool() *parallel.Pool {
+	if s.Workers > 1 && s.Runs > 1 {
+		return parallel.New(s.Workers)
+	}
+	return nil
+}
+
+// d3Sweep runs D3 across runs for one cell, averaging per level. Runs are
+// independent (each carries its own derived seed), so they execute
+// concurrently under SweepConfig.Workers with results indexed by run —
+// identical to the serial order for any worker count.
 func (s SweepConfig) d3Sweep(frac float64, kind EstimatorKind) ([]float64, []float64, int) {
 	depth := len(levelsOf(s.Leaves, s.Branching))
+	results := make([]D3Result, s.Runs)
+	if pool := s.runPool(); pool != nil {
+		pool.For(s.Runs, func(run int) {
+			results[run] = RunD3(s.prConfig(frac, kind, run))
+		})
+	} else {
+		for run := 0; run < s.Runs; run++ {
+			results[run] = RunD3(s.prConfig(frac, kind, run))
+		}
+	}
 	perLevel := make([][]PR, depth)
 	truths := 0
-	for run := 0; run < s.Runs; run++ {
-		res := RunD3(s.prConfig(frac, kind, run))
+	for _, res := range results {
 		for l, pr := range res.PerLevel {
 			perLevel[l] = append(perLevel[l], pr)
 		}
@@ -210,10 +246,19 @@ func (s SweepConfig) d3Sweep(frac float64, kind EstimatorKind) ([]float64, []flo
 
 // mgddSweep runs MGDD across runs for one cell.
 func (s SweepConfig) mgddSweep(frac float64, kind EstimatorKind) (float64, float64, int) {
+	results := make([]MGDDResult, s.Runs)
+	if pool := s.runPool(); pool != nil {
+		pool.For(s.Runs, func(run int) {
+			results[run] = RunMGDD(s.prConfig(frac, kind, run))
+		})
+	} else {
+		for run := 0; run < s.Runs; run++ {
+			results[run] = RunMGDD(s.prConfig(frac, kind, run))
+		}
+	}
 	var runs []PR
 	truths := 0
-	for run := 0; run < s.Runs; run++ {
-		res := RunMGDD(s.prConfig(frac, kind, run))
+	for _, res := range results {
 		runs = append(runs, res.PR)
 		truths += res.TrueOutliers
 	}

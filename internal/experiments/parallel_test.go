@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// eqSweep shrinks the quick sweep further: equality tests run every
+// configuration twice (serial and parallel), so they trade statistical
+// power — which they don't need — for wall-clock.
+func eqSweep() SweepConfig {
+	s := quickSweep()
+	s.WindowCap = 600
+	s.Epochs = 1500
+	s.MeasureFrom = 900
+	return s
+}
+
+// TestRunD3ParallelMatchesSerial is the acceptance criterion of the
+// parallel harness: for a fixed seed, the per-sensor parallel path must
+// reproduce the serial figures bit-for-bit, across worker counts.
+func TestRunD3ParallelMatchesSerial(t *testing.T) {
+	for _, kind := range []EstimatorKind{KindKernel, KindSampledHistogram, KindHistogram} {
+		cfg := eqSweep().prConfig(0.05, kind, 0)
+		serial := RunD3(cfg)
+		for _, workers := range []int{2, 4, 16} {
+			cfg.Workers = workers
+			if par := RunD3(cfg); !reflect.DeepEqual(serial, par) {
+				t.Errorf("kind=%v workers=%d: parallel D3 result diverged from serial\nserial: %+v\nparallel: %+v",
+					kind, workers, serial, par)
+			}
+		}
+	}
+}
+
+func TestRunMGDDParallelMatchesSerial(t *testing.T) {
+	for _, kind := range []EstimatorKind{KindKernel, KindHistogram} {
+		cfg := eqSweep().prConfig(0.05, kind, 0)
+		serial := RunMGDD(cfg)
+		for _, workers := range []int{2, 4, 16} {
+			cfg.Workers = workers
+			if par := RunMGDD(cfg); !reflect.DeepEqual(serial, par) {
+				t.Errorf("kind=%v workers=%d: parallel MGDD result diverged from serial\nserial: %+v\nparallel: %+v",
+					kind, workers, serial, par)
+			}
+		}
+	}
+}
+
+// TestSweepRunLevelParallelMatchesSerial covers the other axis: multi-run
+// sweep cells parallelize across runs, and the per-run seeds make each
+// run independent of scheduling.
+func TestSweepRunLevelParallelMatchesSerial(t *testing.T) {
+	s := eqSweep()
+	s.Runs = 2
+	p := s
+	p.Workers = 4
+
+	prec1, rec1, tr1 := s.d3Sweep(0.05, KindKernel)
+	prec2, rec2, tr2 := p.d3Sweep(0.05, KindKernel)
+	if !reflect.DeepEqual(prec1, prec2) || !reflect.DeepEqual(rec1, rec2) || tr1 != tr2 {
+		t.Errorf("d3Sweep diverged under run-level parallelism:\nserial  %v %v %d\nparallel %v %v %d",
+			prec1, rec1, tr1, prec2, rec2, tr2)
+	}
+
+	mp1, mr1, mt1 := s.mgddSweep(0.05, KindKernel)
+	mp2, mr2, mt2 := p.mgddSweep(0.05, KindKernel)
+	if mp1 != mp2 || mr1 != mr2 || mt1 != mt2 {
+		t.Errorf("mgddSweep diverged under run-level parallelism: (%v %v %d) vs (%v %v %d)",
+			mp1, mr1, mt1, mp2, mr2, mt2)
+	}
+}

@@ -38,7 +38,10 @@ var ErrNoSample = errors.New("kernel: empty sample")
 
 // Bandwidths applies Scott's rule to per-dimension standard deviations:
 // B_i = √5 · σ_i · n^(-1/(d+4)) where n is the sample size and d the
-// dimensionality. Non-finite or non-positive σ fall back to minBandwidth.
+// dimensionality. Non-finite (NaN or ±Inf) or non-positive σ fall back to
+// minBandwidth — an infinite σ from an overflowed variance sketch would
+// otherwise produce an infinite bandwidth that passes the lower-bound
+// clamp and silently flattens every query to zero mass.
 func Bandwidths(sigmas []float64, n int) []float64 {
 	d := len(sigmas)
 	out := make([]float64, d)
@@ -48,7 +51,7 @@ func Bandwidths(sigmas []float64, n int) []float64 {
 	factor := math.Sqrt(5) * math.Pow(float64(n), -1/float64(d+4))
 	for i, s := range sigmas {
 		b := s * factor
-		if math.IsNaN(b) || b < minBandwidth {
+		if math.IsNaN(b) || math.IsInf(b, 0) || b < minBandwidth {
 			b = minBandwidth
 		}
 		out[i] = b
@@ -94,13 +97,13 @@ func New(centers []window.Point, bandwidths []float64, windowCount float64) (*Es
 	}
 	bw := make([]float64, dim)
 	for i, b := range bandwidths {
-		if math.IsNaN(b) || b < minBandwidth {
+		if math.IsNaN(b) || math.IsInf(b, 0) || b < minBandwidth {
 			b = minBandwidth
 		}
 		bw[i] = b
 	}
-	if windowCount <= 0 || math.IsNaN(windowCount) {
-		return nil, fmt.Errorf("kernel: window count %v must be positive", windowCount)
+	if windowCount <= 0 || math.IsNaN(windowCount) || math.IsInf(windowCount, 0) {
+		return nil, fmt.Errorf("kernel: window count %v must be positive and finite", windowCount)
 	}
 	e := &Estimator{
 		centers: append([]window.Point(nil), centers...),
@@ -130,6 +133,25 @@ func FromSample(pts []window.Point, sigmas []float64, windowCount float64) (*Est
 		return nil, fmt.Errorf("kernel: %d sigmas for %d dimensions", len(sigmas), len(pts[0]))
 	}
 	return New(pts, Bandwidths(sigmas, len(pts)), windowCount)
+}
+
+// WithWindowCount returns an estimator identical to e except that range
+// queries scale by wc. The copy shares centers, bandwidths, and the
+// sorted fast path with the receiver (all immutable), so the call is
+// O(1); when wc equals the current count the receiver itself is
+// returned. The online detector uses this to keep a cached model's |W|
+// tracking the effective window count while the window is still filling,
+// without paying for a rebuild.
+func (e *Estimator) WithWindowCount(wc float64) *Estimator {
+	if wc <= 0 || math.IsNaN(wc) || math.IsInf(wc, 0) {
+		panic(fmt.Sprintf("kernel: window count %v must be positive and finite", wc))
+	}
+	if wc == e.wcount {
+		return e
+	}
+	cp := *e
+	cp.wcount = wc
+	return &cp
 }
 
 // Dim returns the dimensionality of the model.

@@ -356,3 +356,101 @@ func TestProbAdditiveProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestBandwidthsInfiniteSigmaClamped is the regression test for the +Inf
+// guard: an overflowed variance sketch can hand Scott's rule an infinite
+// σ, and +Inf passed the old `IsNaN(b) || b < minBandwidth` check —
+// producing an infinite bandwidth whose kernels place zero mass
+// everywhere.
+func TestBandwidthsInfiniteSigmaClamped(t *testing.T) {
+	for _, sigma := range []float64{math.Inf(1), math.Inf(-1), math.NaN(), -1, 0} {
+		bw := Bandwidths([]float64{sigma, 0.1}, 100)
+		if bw[0] != minBandwidth {
+			t.Errorf("sigma=%v: bandwidth = %v, want minBandwidth clamp", sigma, bw[0])
+		}
+		if !(bw[1] > 0) || math.IsInf(bw[1], 0) {
+			t.Errorf("finite sigma corrupted: %v", bw[1])
+		}
+	}
+}
+
+func TestNewClampsNonFiniteBandwidth(t *testing.T) {
+	e, err := New(pts1(0.5), []float64{math.Inf(1)}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bandwidth(0) != minBandwidth {
+		t.Errorf("bandwidth = %v, want minBandwidth", e.Bandwidth(0))
+	}
+	// Queries must stay usable: the clamped kernel is a point mass, so a
+	// box around the center carries all the mass.
+	if p := e.Prob(window.Point{0.5}, 0.01); math.Abs(p-1) > 1e-9 {
+		t.Errorf("prob around center = %v, want 1", p)
+	}
+	if _, err := New(pts1(0.5), []float64{0.1}, math.Inf(1)); err == nil {
+		t.Error("infinite window count accepted")
+	}
+}
+
+func TestWithWindowCount(t *testing.T) {
+	e, err := New(pts1(0.2, 0.5, 0.8), []float64{0.05}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.WithWindowCount(100) != e {
+		t.Error("unchanged count should return the receiver")
+	}
+	r := e.WithWindowCount(200)
+	if r.WindowCount() != 200 || e.WindowCount() != 100 {
+		t.Errorf("counts = %v, %v; want 200, 100", r.WindowCount(), e.WindowCount())
+	}
+	if &r.Centers()[0] != &e.Centers()[0] {
+		t.Error("rescale copied centers")
+	}
+	p := window.Point{0.5}
+	if got, want := r.Count(p, 0.1), 2*e.Count(p, 0.1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("rescaled count = %v, want %v", got, want)
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("WithWindowCount(%v) did not panic", bad)
+				}
+			}()
+			e.WithWindowCount(bad)
+		}()
+	}
+}
+
+// TestEstimatorConcurrentQueries backs the concurrency contract in the
+// type's documentation: a built model is immutable and queries from many
+// goroutines must be race-free (verified under go test -race).
+func TestEstimatorConcurrentQueries(t *testing.T) {
+	rng := stats.NewRand(3)
+	var centers []window.Point
+	for i := 0; i < 500; i++ {
+		centers = append(centers, window.Point{rng.Float64()})
+	}
+	e, err := FromSample(centers, []float64{0.1}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan float64, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			sum := 0.0
+			for i := 0; i < 2000; i++ {
+				x := float64(i%100) / 100
+				sum += e.Count(window.Point{x}, 0.05) + e.Density(window.Point{x})
+			}
+			done <- sum
+		}(g)
+	}
+	first := <-done
+	for g := 1; g < 8; g++ {
+		if got := <-done; got != first {
+			t.Errorf("goroutine results diverged: %v vs %v", got, first)
+		}
+	}
+}

@@ -10,7 +10,8 @@ import (
 // kernel model only changes when the sample is rebuilt, so consecutive
 // arrivals hit the cache and the per-arrival cost drops from
 // O(d|R|/(2αr)) to a handful of map lookups. Build a fresh CachedCounter
-// whenever the model instance changes.
+// whenever the model instance changes. The cache mutates on reads and is
+// single-goroutine-owned.
 type CachedCounter struct {
 	m      Counter
 	alphaR float64

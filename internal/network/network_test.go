@@ -1,6 +1,7 @@
 package network
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -313,4 +314,36 @@ func TestRuntimeCloseIdempotent(t *testing.T) {
 	rt := NewRuntime([]tagsim.Node{&countNode{id: 1}})
 	rt.Close()
 	rt.Close()
+}
+
+// TestRuntimeConcurrentCloseRace is the regression test for the
+// unsynchronized closed flag: concurrent Close calls (and stats reads
+// racing the shutdown) must be safe, with exactly one caller performing
+// the channel close. Run under go test -race.
+func TestRuntimeConcurrentCloseRace(t *testing.T) {
+	n := &countNode{id: 1, parent: 2}
+	rt := NewRuntime([]tagsim.Node{n, &countNode{id: 2}})
+	rt.Run(5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt.Close()
+			_ = rt.Messages()
+			_ = rt.Dropped()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestRuntimeRunAfterClosePanics(t *testing.T) {
+	rt := NewRuntime([]tagsim.Node{&countNode{id: 1}})
+	rt.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Run on closed runtime did not panic")
+		}
+	}()
+	rt.Run(1)
 }

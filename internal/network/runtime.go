@@ -23,7 +23,7 @@ type Runtime struct {
 	work     sync.WaitGroup // outstanding ticks + messages
 	messages atomic.Int64
 	dropped  atomic.Int64
-	closed   bool
+	closed   atomic.Bool
 }
 
 type item struct {
@@ -123,7 +123,7 @@ func (r *Runtime) loop(n tagsim.Node, mb *mailbox) {
 
 // Run executes the given number of barrier-synchronized epochs.
 func (r *Runtime) Run(epochs int) {
-	if r.closed {
+	if r.closed.Load() {
 		panic("network: Run on closed runtime")
 	}
 	for e := 0; e < epochs; e++ {
@@ -142,12 +142,13 @@ func (r *Runtime) Messages() int64 { return r.messages.Load() }
 func (r *Runtime) Dropped() int64 { return r.dropped.Load() }
 
 // Close terminates the node goroutines. The runtime must be idle (only
-// call Close after Run has returned).
+// call Close after Run has returned). Close is idempotent and safe to
+// call from multiple goroutines: the closed flag is claimed atomically,
+// so exactly one caller closes the mailbox done channels.
 func (r *Runtime) Close() {
-	if r.closed {
+	if r.closed.Swap(true) {
 		return
 	}
-	r.closed = true
 	for _, mb := range r.nodes {
 		close(mb.done)
 	}

@@ -1,0 +1,100 @@
+// Package parallel provides the bounded worker pool the evaluation
+// harness and the deployment drivers use to step independent sensors
+// concurrently — the paper's deployment model is one independently
+// computing node per sensor (Sections 9–10), and this package is the
+// in-process version of that shape.
+//
+// The pool guarantees deterministic results by construction rather than
+// by locking: work is index-addressed, each task writes only state owned
+// by its index, and any step that must stay ordered (parent aggregation,
+// message delivery, accounting) remains with the caller on the invoking
+// goroutine. Per-task randomness must never come from a shared source;
+// derive it with stats.Child so each stream depends only on (seed,
+// index), not on scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded-width executor for index-addressed work. A Pool
+// holds no goroutines between calls — workers are spawned per For call
+// and joined before it returns — so a Pool is itself safe for use from
+// multiple goroutines and costs nothing while idle.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most workers tasks concurrently.
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// capturedPanic wraps a panic value recovered on a worker so it can be
+// re-raised on the calling goroutine.
+type capturedPanic struct{ val any }
+
+// For runs fn(i) for every i in [0, n) across the pool's workers and
+// returns once all calls have finished. Indexes are handed out
+// dynamically, so callers must not assume any execution order; distinct
+// indexes must not touch shared mutable state. With one worker (or
+// n <= 1) the calls run inline in index order, which keeps the serial
+// path identical to a plain loop.
+//
+// If any fn panics, For stops handing out new indexes, waits for
+// in-flight calls, and re-panics the first recovered value on the
+// calling goroutine — so harness config errors behave the same whether
+// or not the run is parallel.
+func (p *Pool) For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		panicked atomic.Pointer[capturedPanic]
+		wg       sync.WaitGroup
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for panicked.Load() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, &capturedPanic{val: r})
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if pc := panicked.Load(); pc != nil {
+		panic(pc.val)
+	}
+}

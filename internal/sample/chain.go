@@ -40,6 +40,10 @@ type slot struct {
 // geometric skip-sampling (one draw per adopting slot instead of one per
 // slot), and expiry/successor events are indexed by arrival so only the
 // slots with an event at the current arrival are touched.
+//
+// A Chain is single-goroutine-owned (it owns an rng and mutates on
+// Push); the parallel evaluation harness keeps each sensor's chain on
+// that sensor's index.
 type Chain struct {
 	slots []slot
 	w     uint64 // window capacity

@@ -21,6 +21,23 @@ func SplitRand(parent *rand.Rand) *rand.Rand {
 	return rand.New(rand.NewSource(parent.Int63()))
 }
 
+// Child derives the i-th child source of a base seed with SplitMix64
+// mixing. Unlike SplitRand, which consumes parent state sequentially and
+// therefore depends on the order of derivations, Child(seed, i) is a pure
+// function of (seed, i): parallel workers can derive their sources in any
+// order — or concurrently — and a fixed seed still reproduces the same
+// per-index streams. The parallel evaluation harness keys every
+// independent unit of work (a sweep run, a sensor) this way.
+func Child(seed int64, i int) *rand.Rand {
+	x := uint64(seed) + (uint64(i)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return rand.New(rand.NewSource(int64(x)))
+}
+
 // SkewNormal draws from a skew-normal distribution with location loc, scale
 // sc, and shape alpha (alpha<0 skews left, alpha>0 right, alpha=0 is
 // normal). It uses the standard two-normal construction:

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"odds/internal/parallel"
 	"odds/internal/window"
 )
 
@@ -171,6 +172,64 @@ func (s *Simulator) Step(epoch int) {
 	for _, id := range s.order {
 		ctx := &Context{sim: s, self: id}
 		s.nodes[id].OnEpoch(ctx, epoch)
+	}
+	s.drain()
+	s.stats.Epochs++
+}
+
+// bufSender collects one node's epoch sends during StepParallel's
+// concurrent phase. Each node callback gets its own bufSender, so sends
+// touch no shared simulator state until the post-barrier flush.
+type bufSender struct {
+	self NodeID
+	out  []Message
+}
+
+// Self returns the node the sender belongs to.
+func (b *bufSender) Self() NodeID { return b.self }
+
+// Send buffers a message for deterministic post-phase enqueueing.
+func (b *bufSender) Send(to NodeID, kind string, value window.Point, aux float64) {
+	b.out = append(b.out, Message{From: b.self, To: to, Kind: kind, Value: value, Aux: aux})
+}
+
+// StepParallel runs a single epoch like Step, but executes the OnEpoch
+// callbacks concurrently on the pool. It is observationally identical to
+// Step — same message accounting, same loss-coin sequence, same delivery
+// order — provided every OnEpoch touches only its own node's state (true
+// of all behaviors in this repository; OnMessage may touch shared state
+// freely, as delivery stays serial). Sends made during the concurrent
+// phase are buffered per node and enter the queue in registration order,
+// exactly where Step would have enqueued them. beforeDrain, if non-nil,
+// runs after the concurrent phase and before delivery — callers use it
+// to flush per-node buffers of their own (e.g. outlier reports) in
+// deterministic order.
+func (s *Simulator) StepParallel(epoch int, pool *parallel.Pool, beforeDrain func()) {
+	n := len(s.order)
+	if pool == nil || pool.Workers() <= 1 || n <= 1 {
+		for _, id := range s.order {
+			s.nodes[id].OnEpoch(&Context{sim: s, self: id}, epoch)
+		}
+		if beforeDrain != nil {
+			beforeDrain()
+		}
+		s.drain()
+		s.stats.Epochs++
+		return
+	}
+	senders := make([]bufSender, n)
+	pool.For(n, func(i int) {
+		id := s.order[i]
+		senders[i].self = id
+		s.nodes[id].OnEpoch(&senders[i], epoch)
+	})
+	for i := range senders {
+		for _, m := range senders[i].out {
+			s.enqueue(m)
+		}
+	}
+	if beforeDrain != nil {
+		beforeDrain()
 	}
 	s.drain()
 	s.stats.Epochs++

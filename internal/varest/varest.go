@@ -251,7 +251,8 @@ func (e *Estimator) MemoryBytes() int { return 2 * e.MemoryNumbers() }
 func (e *Estimator) BoundNumbers() int { return 4 * e.hardCap }
 
 // Multi maintains one Estimator per dimension, matching the paper's
-// O((d/eps^2)·log|W|) accounting for d-dimensional streams.
+// O((d/eps^2)·log|W|) accounting for d-dimensional streams. A Multi is
+// single-goroutine-owned, like the sliding window it summarizes.
 type Multi struct {
 	dims []*Estimator
 }

@@ -43,6 +43,12 @@ func (p Point) InUnitCube() bool {
 
 // Sliding is a fixed-capacity sliding window over Points, implemented as a
 // ring buffer. The zero value is not usable; construct with New.
+//
+// Concurrency: a Sliding is single-goroutine-owned. Points handed out
+// (At, Oldest, Snapshot) remain valid after later Pushes — eviction
+// reassigns the ring slot to a new Point rather than mutating the old
+// one — which is what lets the parallel evaluation harness capture the
+// evicted point in one phase and process it in another.
 type Sliding struct {
 	buf   []Point
 	dim   int

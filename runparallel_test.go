@@ -1,0 +1,109 @@
+package odds
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunParallelMatchesRun is the deployment-level determinism
+// contract: for a fixed seed, RunParallel must produce bit-identical
+// reports and message accounting to Run, including under injected radio
+// loss (the loss-coin sequence is scheduling-sensitive if mishandled).
+func TestRunParallelMatchesRun(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func() DeploymentConfig
+	}{
+		{"d3", func() DeploymentConfig {
+			return DeploymentConfig{
+				Algorithm: D3,
+				Sources:   buildSources(8, 1),
+				Branching: 2,
+				Core:      smallConfig(1),
+				Dist:      DistanceParams{Radius: 0.01, Threshold: 10},
+				Seed:      9,
+			}
+		}},
+		{"d3-loss", func() DeploymentConfig {
+			return DeploymentConfig{
+				Algorithm:   D3,
+				Sources:     buildSources(8, 1),
+				Branching:   2,
+				Core:        smallConfig(1),
+				Dist:        DistanceParams{Radius: 0.01, Threshold: 10},
+				MessageLoss: 0.2,
+				Seed:        9,
+			}
+		}},
+		{"mgdd", func() DeploymentConfig {
+			return DeploymentConfig{
+				Algorithm: MGDD,
+				Sources:   buildSources(8, 1),
+				Branching: 2,
+				Core:      smallConfig(1),
+				MDEF:      MDEFParams{R: 0.08, AlphaR: 0.01, KSigma: 1},
+				Seed:      2,
+			}
+		}},
+		{"centralized", func() DeploymentConfig {
+			return DeploymentConfig{
+				Algorithm: Centralized,
+				Sources:   buildSources(8, 1),
+				Branching: 2,
+				Core:      smallConfig(1),
+				Seed:      3,
+			}
+		}},
+	}
+	const epochs = 3000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, err := NewDeployment(tc.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial.Run(epochs)
+
+			for _, workers := range []int{2, 8} {
+				par, err := NewDeployment(tc.cfg())
+				if err != nil {
+					t.Fatal(err)
+				}
+				par.RunParallel(epochs, workers)
+				if !reflect.DeepEqual(serial.Reports(), par.Reports()) {
+					t.Errorf("workers=%d: reports diverged (%d vs %d)",
+						workers, len(serial.Reports()), len(par.Reports()))
+				}
+				if !reflect.DeepEqual(serial.Messages(), par.Messages()) {
+					t.Errorf("workers=%d: message stats diverged:\nserial  %+v\nparallel %+v",
+						workers, serial.Messages(), par.Messages())
+				}
+			}
+		})
+	}
+}
+
+// TestRunParallelSingleWorkerDelegates checks the workers<=1 fallback
+// leaves the deployment in the same state Run would.
+func TestRunParallelSingleWorkerDelegates(t *testing.T) {
+	mk := func() *Deployment {
+		d, err := NewDeployment(DeploymentConfig{
+			Algorithm: D3,
+			Sources:   buildSources(4, 1),
+			Branching: 2,
+			Core:      smallConfig(1),
+			Dist:      DistanceParams{Radius: 0.01, Threshold: 10},
+			Seed:      5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b := mk(), mk()
+	a.Run(2500)
+	b.RunParallel(2500, 1)
+	if !reflect.DeepEqual(a.Reports(), b.Reports()) {
+		t.Error("single-worker RunParallel diverged from Run")
+	}
+}
