@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments quick-experiments fmt vet clean
+.PHONY: all build test race cover bench bench-all experiments quick-experiments fmt vet clean
 
-# The default verify path includes the race detector: the parallel
-# evaluation harness and the concurrent runtime are only correct if the
-# whole tree stays race-clean.
-all: build test race
+# The default verify path includes vet and the race detector: the
+# parallel evaluation harness and the concurrent runtime are only correct
+# if the whole tree stays race-clean.
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,18 @@ race:
 cover:
 	$(GO) test -cover ./...
 
+# Benchmark suites whose numbers land in BENCH_KERNEL.json (update the
+# file from this output when the query engine changes). The end-to-end
+# parallel suite runs ~1.3 s per op, so three iterations bound its
+# runtime; the kernel and index microbenchmarks need real iteration
+# counts for stable ns/op.
 bench:
+	$(GO) test -run=NONE -bench=BenchmarkKernel -benchmem -benchtime 1000x ./internal/kernel/
+	$(GO) test -run=NONE -bench=BenchmarkDynIndexSlide -benchmem -benchtime 1000x ./internal/distance/
+	$(GO) test -run=NONE -bench=BenchmarkParallelRunD3 -benchtime 3x .
+
+# Every benchmark in the tree, Go-managed iteration counts.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Full evaluation suite at near-paper scale (tens of minutes).

@@ -26,7 +26,8 @@ type Estimator struct {
 	wcount float64 // |W| used to scale range queries (union size at parents)
 
 	model      *kernel.Estimator
-	modelWc    float64 // EffectiveWindowCount the cached model scales by
+	qr         *kernel.Querier // cached handle over model, rebound on rebuild
+	modelWc    float64         // EffectiveWindowCount the cached model scales by
 	dirty      bool
 	sinceBuild int
 	arrivals   uint64
@@ -118,6 +119,23 @@ func (e *Estimator) Model() *kernel.Estimator {
 		e.modelWc = wc
 	}
 	return e.model
+}
+
+// Querier returns an allocation-free query handle bound to the current
+// model, rebinding the cached handle whenever Model rebuilds or rescales.
+// Like the Estimator itself the handle is single-goroutine-owned; it
+// returns nil until the first value has been observed.
+func (e *Estimator) Querier() *kernel.Querier {
+	m := e.Model()
+	if m == nil {
+		return nil
+	}
+	if e.qr == nil {
+		e.qr = m.NewQuerier()
+	} else if e.qr.Model() != m {
+		e.qr.Reset(m)
+	}
+	return e.qr
 }
 
 // warmupFraction is the share of the sample window that must have been

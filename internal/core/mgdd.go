@@ -93,6 +93,7 @@ type MGDDLeaf struct {
 	est    *Estimator
 	global *GlobalModel
 	cache  *mdef.CachedCounter
+	eval   mdef.Evaluator
 	prm    mdef.Params
 	f      float64
 	rng    *rand.Rand
@@ -150,7 +151,7 @@ func (n *MGDDLeaf) OnEpoch(s tagsim.Sender, epoch int) {
 		if n.cache == nil || n.cache.Model() != mdef.Counter(m) {
 			n.cache = mdef.NewCachedCounter(m, n.prm.AlphaR)
 		}
-		out = mdef.IsOutlier(n.cache, v, n.prm)
+		out = n.eval.IsOutlier(n.cache, v, n.prm)
 		if out && n.Flagged != nil {
 			n.Flagged(v, epoch)
 		}

@@ -13,15 +13,35 @@ import (
 // every new value against the current window) in amortized constant time
 // instead of rebuilding an index per window instance.
 //
-// Concurrency: a DynIndex is single-goroutine-owned. In the parallel
-// evaluation harness, leaf-level indexes are per-sensor state (touched
-// in the concurrent phase) while parent-level indexes are shared and
-// live strictly in the ordered aggregation phase.
+// The grid cells are held as persistent buckets: a cell emptied by window
+// eviction keeps its bucket (and the bucket its capacity), so a window
+// sliding back and forth over the same region refills existing storage
+// instead of reallocating map entries and point slices every slide. All
+// per-query scratch (cell coordinates, the encoded key) lives on the
+// index, making steady-state Add/Remove/Count allocation-free.
+//
+// Concurrency: a DynIndex is single-goroutine-owned — every method,
+// including the read-only queries, mutates the shared scratch. In the
+// parallel evaluation harness, leaf-level indexes are per-sensor state
+// (touched in the concurrent phase) while parent-level indexes are shared
+// and live strictly in the ordered aggregation phase.
 type DynIndex struct {
 	cell  float64
 	dim   int
-	cells map[string][]window.Point
+	cells map[string]*bucket
 	n     int
+
+	coords  []int
+	base    []int
+	offsets []int
+	keyBuf  []byte
+}
+
+// bucket holds one grid cell's points behind a stable pointer, so
+// steady-state refills mutate the bucket in place instead of re-assigning
+// the map entry.
+type bucket struct {
+	pts []window.Point
 }
 
 // NewDynIndex returns an empty incremental index for dim-dimensional
@@ -33,17 +53,36 @@ func NewDynIndex(r float64, dim int) *DynIndex {
 	if dim <= 0 {
 		panic(fmt.Sprintf("distance: dim %d must be positive", dim))
 	}
-	return &DynIndex{cell: r, dim: dim, cells: make(map[string][]window.Point)}
+	return &DynIndex{
+		cell:    r,
+		dim:     dim,
+		cells:   make(map[string]*bucket),
+		coords:  make([]int, dim),
+		base:    make([]int, dim),
+		offsets: make([]int, dim),
+		keyBuf:  make([]byte, 0, dim*5),
+	}
 }
 
 // Len returns the number of indexed points.
 func (d *DynIndex) Len() int { return d.n }
 
-func (d *DynIndex) keyFor(p window.Point, coords []int) string {
-	for i, x := range p {
-		coords[i] = int(math.Floor(x / d.cell))
+// encodeKey writes cellKey(coords) into the reusable key buffer.
+func (d *DynIndex) encodeKey(coords []int) {
+	b := d.keyBuf[:0]
+	for _, c := range coords {
+		u := uint32(c<<1) ^ uint32(c>>31)
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24), ',')
 	}
-	return cellKey(coords)
+	d.keyBuf = b
+}
+
+// keyFor encodes the cell key of p into the key buffer.
+func (d *DynIndex) keyFor(p window.Point) {
+	for i, x := range p {
+		d.coords[i] = int(math.Floor(x / d.cell))
+	}
+	d.encodeKey(d.coords)
 }
 
 // Add indexes one point. The point is stored by reference and must not be
@@ -52,31 +91,36 @@ func (d *DynIndex) Add(p window.Point) {
 	if len(p) != d.dim {
 		panic(fmt.Sprintf("distance: point dim %d, index dim %d", len(p), d.dim))
 	}
-	coords := make([]int, d.dim)
-	k := d.keyFor(p, coords)
-	d.cells[k] = append(d.cells[k], p)
+	d.keyFor(p)
+	b := d.cells[string(d.keyBuf)] // string conversion: no alloc on lookup
+	if b == nil {
+		// First time this cell is touched: one map insert, then the
+		// bucket persists for the index's lifetime.
+		b = &bucket{}
+		d.cells[string(d.keyBuf)] = b
+	}
+	b.pts = append(b.pts, p)
 	d.n++
 }
 
 // Remove un-indexes one point with coordinates equal to p. It returns
 // false when no such point is present (a window bookkeeping bug in the
-// caller).
+// caller). Emptied cells keep their bucket so later refills reuse it.
 func (d *DynIndex) Remove(p window.Point) bool {
 	if len(p) != d.dim {
 		panic(fmt.Sprintf("distance: point dim %d, index dim %d", len(p), d.dim))
 	}
-	coords := make([]int, d.dim)
-	k := d.keyFor(p, coords)
-	lst := d.cells[k]
-	for i, q := range lst {
+	d.keyFor(p)
+	b := d.cells[string(d.keyBuf)]
+	if b == nil {
+		return false
+	}
+	for i, q := range b.pts {
 		if p.Equal(q) {
-			lst[i] = lst[len(lst)-1]
-			lst = lst[:len(lst)-1]
-			if len(lst) == 0 {
-				delete(d.cells, k)
-			} else {
-				d.cells[k] = lst
-			}
+			last := len(b.pts) - 1
+			b.pts[i] = b.pts[last]
+			b.pts[last] = nil // release the reference, keep the capacity
+			b.pts = b.pts[:last]
 			d.n--
 			return true
 		}
@@ -84,45 +128,65 @@ func (d *DynIndex) Remove(p window.Point) bool {
 	return false
 }
 
-// Count returns the exact number of indexed points within L∞ radius r of
-// p, for r up to the cell size.
-func (d *DynIndex) Count(p window.Point, r float64) int {
+// scan counts points within L∞ radius r of p across the 3^d adjacent
+// cells, stopping early once limit is reached (limit <= 0 scans fully).
+// The offset walk is an iterative odometer over {-1,0,1}^dim.
+func (d *DynIndex) scan(p window.Point, r float64, limit int) int {
+	d.validate(p, r)
+	if d.n == 0 {
+		return 0
+	}
+	for i, x := range p {
+		d.base[i] = int(math.Floor(x / d.cell))
+	}
+	for i := range d.offsets {
+		d.offsets[i] = -1
+	}
+	count := 0
+	for {
+		for i := range d.coords {
+			d.coords[i] = d.base[i] + d.offsets[i]
+		}
+		d.encodeKey(d.coords)
+		if b := d.cells[string(d.keyBuf)]; b != nil {
+			for _, q := range b.pts {
+				if within(p, q, r) {
+					count++
+					if limit > 0 && count >= limit {
+						return count
+					}
+				}
+			}
+		}
+		k := d.dim - 1
+		for k >= 0 {
+			d.offsets[k]++
+			if d.offsets[k] <= 1 {
+				break
+			}
+			d.offsets[k] = -1
+			k--
+		}
+		if k < 0 {
+			return count
+		}
+	}
+}
+
+// validate rejects malformed queries by panic, exactly as Index does.
+func (d *DynIndex) validate(p window.Point, r float64) {
 	if r > d.cell+1e-15 {
 		panic(fmt.Sprintf("distance: query radius %v exceeds index cell %v", r, d.cell))
 	}
 	if len(p) != d.dim {
 		panic(fmt.Sprintf("distance: query dim %d, index dim %d", len(p), d.dim))
 	}
-	if d.n == 0 {
-		return 0
-	}
-	base := make([]int, d.dim)
-	for i, x := range p {
-		base[i] = int(math.Floor(x / d.cell))
-	}
-	coords := make([]int, d.dim)
-	offsets := make([]int, d.dim)
-	count := 0
-	var walk func(depth int)
-	walk = func(depth int) {
-		if depth == d.dim {
-			for i := range coords {
-				coords[i] = base[i] + offsets[i]
-			}
-			for _, q := range d.cells[cellKey(coords)] {
-				if within(p, q, r) {
-					count++
-				}
-			}
-			return
-		}
-		for o := -1; o <= 1; o++ {
-			offsets[depth] = o
-			walk(depth + 1)
-		}
-	}
-	walk(0)
-	return count
+}
+
+// Count returns the exact number of indexed points within L∞ radius r of
+// p, for r up to the cell size.
+func (d *DynIndex) Count(p window.Point, r float64) int {
+	return d.scan(p, r, 0)
 }
 
 // CountUpTo counts points within L∞ radius r of p but stops as soon as the
@@ -132,48 +196,12 @@ func (d *DynIndex) Count(p window.Point, r float64) int {
 // of scanning thousands, which is what makes exact per-arrival ground
 // truth affordable at the paper's window sizes.
 func (d *DynIndex) CountUpTo(p window.Point, r float64, limit int) int {
-	if r > d.cell+1e-15 {
-		panic(fmt.Sprintf("distance: query radius %v exceeds index cell %v", r, d.cell))
-	}
-	if len(p) != d.dim {
-		panic(fmt.Sprintf("distance: query dim %d, index dim %d", len(p), d.dim))
-	}
-	if d.n == 0 || limit <= 0 {
+	if limit <= 0 {
+		// Still validate the query so misuse panics identically to Count.
+		d.validate(p, r)
 		return 0
 	}
-	base := make([]int, d.dim)
-	for i, x := range p {
-		base[i] = int(math.Floor(x / d.cell))
-	}
-	coords := make([]int, d.dim)
-	offsets := make([]int, d.dim)
-	count := 0
-	var walk func(depth int) bool
-	walk = func(depth int) bool {
-		if depth == d.dim {
-			for i := range coords {
-				coords[i] = base[i] + offsets[i]
-			}
-			for _, q := range d.cells[cellKey(coords)] {
-				if within(p, q, r) {
-					count++
-					if count >= limit {
-						return true
-					}
-				}
-			}
-			return false
-		}
-		for o := -1; o <= 1; o++ {
-			offsets[depth] = o
-			if walk(depth + 1) {
-				return true
-			}
-		}
-		return false
-	}
-	walk(0)
-	return count
+	return d.scan(p, r, limit)
 }
 
 // IsOutlier applies the (D,r) criterion for p against the indexed set,

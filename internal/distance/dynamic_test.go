@@ -1,6 +1,7 @@
 package distance
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -128,6 +129,70 @@ func TestDynIndexPanics(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// dynSlideHarness returns a step function performing one steady-state
+// window slide (evict oldest + insert newest + the two decision queries)
+// over a repeating point cycle, pre-warmed so every grid cell the cycle
+// touches already has its bucket and every bucket its peak capacity.
+func dynSlideHarness(dim int) func() {
+	const wcap = 128
+	r := stats.NewRand(11)
+	ring := make([]window.Point, 512)
+	for i := range ring {
+		p := make(window.Point, dim)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		ring[i] = p
+	}
+	d := NewDynIndex(0.05, dim)
+	buf := make([]window.Point, wcap)
+	pos, filled := 0, 0
+	step := func() {
+		p := ring[pos%len(ring)]
+		if filled == wcap {
+			if !d.Remove(buf[pos%wcap]) {
+				panic("distance: slide harness out of sync")
+			}
+		} else {
+			filled++
+		}
+		buf[pos%wcap] = p
+		d.Add(p)
+		pos++
+		_ = d.Count(p, 0.05)
+		_ = d.CountUpTo(p, 0.05, 10)
+	}
+	// One full cycle plus a window warms every cell the cycle will ever
+	// touch, so measured iterations only clear-and-refill existing buckets.
+	for i := 0; i < len(ring)+wcap; i++ {
+		step()
+	}
+	return step
+}
+
+func TestDynIndexSteadyStateAllocs(t *testing.T) {
+	for _, dim := range []int{1, 2, 3} {
+		step := dynSlideHarness(dim)
+		if avg := testing.AllocsPerRun(200, step); avg != 0 {
+			t.Errorf("dim %d: steady-state slide allocates %v per op, want 0", dim, avg)
+		}
+	}
+}
+
+// BenchmarkDynIndexSlide measures one steady-state window slide; its
+// allocs/op column guards the persistent-bucket clear-and-refill reuse.
+func BenchmarkDynIndexSlide(b *testing.B) {
+	for _, dim := range []int{1, 2} {
+		step := dynSlideHarness(dim)
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+		})
 	}
 }
 

@@ -494,6 +494,10 @@ func RunMGDD(c PRConfig) MGDDResult {
 	truth := mdef.NewDynTruth(c.MDEF, c.Core.Dim)
 	unionCount := float64(c.Leaves * c.Core.WindowCap)
 
+	// One MDEF evaluator serves every decision: decisions happen only in
+	// the serial aggregation phase, and the scratch is model-independent.
+	var eval mdef.Evaluator
+
 	// Kernel mode state.
 	leafEsts := make([]*core.Estimator, c.Leaves)
 	replicas := make([]*core.GlobalModel, c.Leaves)
@@ -631,11 +635,11 @@ func RunMGDD(c PRConfig) MGDDResult {
 				if caches[li] == nil || caches[li].Model() != mdef.Counter(m) {
 					caches[li] = mdef.NewCachedCounter(m, c.MDEF.AlphaR)
 				}
-				flagged = mdef.IsOutlier(caches[li], st.v, c.MDEF)
+				flagged = eval.IsOutlier(caches[li], st.v, c.MDEF)
 			}
 		case KindHistogram:
 			if gcache != nil && epoch >= c.MeasureFrom/2 {
-				flagged = mdef.IsOutlier(gcache, st.v, c.MDEF)
+				flagged = eval.IsOutlier(gcache, st.v, c.MDEF)
 			}
 		}
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"odds/internal/stats"
 	"odds/internal/window"
 )
 
@@ -41,6 +42,62 @@ func boxHi(d int) []float64 {
 		out[i] = 1
 	}
 	return out
+}
+
+// FuzzProbBoxPrunedVsNaive pins the generalized d-dimensional pruned scan
+// bit-identical to the full-scan executable specification on random
+// centers, bandwidths, and query boxes — including the Querier and batch
+// entry points, which share the same scan.
+func FuzzProbBoxPrunedVsNaive(f *testing.F) {
+	f.Add(int64(1), uint8(1), uint8(10), 0.3, 0.2)
+	f.Add(int64(2), uint8(2), uint8(50), 0.0, 1.0)
+	f.Add(int64(3), uint8(3), uint8(200), -0.5, 0.05)
+	f.Add(int64(4), uint8(4), uint8(1), 0.9, 0.0)
+	f.Fuzz(func(t *testing.T, seed int64, dRaw, nRaw uint8, loBase, span float64) {
+		if math.IsNaN(loBase) || math.IsInf(loBase, 0) || math.IsNaN(span) || math.IsInf(span, 0) {
+			return
+		}
+		loBase = math.Mod(loBase, 2)
+		span = math.Mod(math.Abs(span), 2)
+		d := int(dRaw%4) + 1
+		n := int(nRaw)%64 + 1
+		r := stats.NewRand(seed)
+		centers := make([]window.Point, n)
+		for i := range centers {
+			p := make(window.Point, d)
+			for j := range p {
+				p[j] = r.Float64()
+			}
+			centers[i] = p
+		}
+		bw := make([]float64, d)
+		for i := range bw {
+			bw[i] = 1e-6 + r.Float64()*0.3
+		}
+		e, err := New(centers, bw, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for i := 0; i < d; i++ {
+			lo[i] = loBase + r.Float64()*0.5
+			hi[i] = lo[i] + span*r.Float64()
+		}
+		want := e.ProbBoxNaive(lo, hi)
+		if got := e.ProbBox(lo, hi); got != want {
+			t.Fatalf("d=%d n=%d prune=%d: pruned %v != naive %v for [%v,%v]",
+				d, n, e.PruneDim(), got, want, lo, hi)
+		}
+		q := e.NewQuerier()
+		if got := q.ProbBox(lo, hi); got != want {
+			t.Fatalf("querier ProbBox %v != naive %v", got, want)
+		}
+		batch := e.CountBoxBatch([][]float64{lo}, [][]float64{hi}, nil)
+		if got, wantCount := batch[0], want*e.WindowCount(); got != wantCount {
+			t.Fatalf("batched count %v != naive-derived %v", got, wantCount)
+		}
+	})
 }
 
 // FuzzProbBox checks the analytic integrals never produce NaN or negative

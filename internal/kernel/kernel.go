@@ -2,8 +2,9 @@
 // Epanechnikov kernel density estimator over a sample R of the sliding
 // window (Section 4), with analytic box-probability queries that answer
 // range queries N(p,r) = P[p-r,p+r]·|W| in O(d|R|) time (Theorem 2), and a
-// sorted fast path for 1-d data that touches only the kernels intersecting
-// the query range, O(log|R| + |R'|).
+// sorted pruning fast path, generalized from the paper's 1-d remark to any
+// dimension, that touches only the kernels intersecting the query box:
+// O(log|R| + |R'|) per dimension scanned.
 //
 // Values must be normalized to [0,1]^d. Each sample point t contributes a
 // product kernel
@@ -17,6 +18,21 @@
 // Bandwidths follow Scott's rule (the single parameter the method
 // estimates): B_i = √5 · σ_i · |R|^(-1/(d+4)), with σ_i supplied by the
 // sliding-window variance sketch.
+//
+// # Query engine layout
+//
+// New stores the centers twice: as points (Centers, the wire format) and
+// as per-dimension columns (structure of arrays), both in a single scan
+// order fixed at construction. When one dimension is selective — its
+// bandwidth is small against the spread of its coordinates — the scan
+// order is ascending in that dimension, and every query binary-searches
+// the sorted column for the candidate run [lo−B, hi+B): centers outside
+// the run contribute exactly zero mass, so skipping them leaves results
+// bit-identical to the full scan (ProbBoxNaive) over the same order. When
+// no dimension is selective the estimator falls back to the plain full
+// scan. Steady-state queries allocate nothing; callers in hot loops
+// should hold a Querier (one per goroutine) for the centered-box and
+// batch entry points.
 package kernel
 
 import (
@@ -31,6 +47,11 @@ import (
 // minBandwidth guards against degenerate (zero-variance) dimensions; a
 // kernel narrower than this behaves as a point mass on the [0,1] domain.
 const minBandwidth = 1e-9
+
+// maxStackDim bounds the dimensionality for which centered-box queries
+// build their boxes on the stack; larger (unrealistic) dimensionalities
+// fall back to heap scratch.
+const maxStackDim = 8
 
 // ErrNoSample is returned when constructing an estimator from an empty
 // sample.
@@ -70,15 +91,27 @@ type Estimator struct {
 	wcount  float64
 	dim     int
 
-	// sorted1d holds center coordinates in ascending order when dim == 1,
-	// enabling the O(log|R| + |R'|) query path of Theorem 2.
-	sorted1d []float64
+	// cols is the structure-of-arrays center layout: cols[i][j] is
+	// dimension i of the j-th center in scan order (the same order as
+	// centers). The query hot loops read columns, not points.
+	cols [][]float64
+
+	// pruneDim is the dimension whose ascending-sorted column drives
+	// range pruning, or -1 when no dimension is selective enough for
+	// pruning to pay (the full-scan fallback). When pruneDim >= 0 the
+	// scan order is ascending in that dimension.
+	pruneDim int
 }
 
 // New constructs an estimator from sample centers, per-dimension
 // bandwidths, and the effective window count |W| used to scale range
 // queries into neighbor counts. The centers slice is copied; the points
 // themselves are shared and must not be mutated by the caller.
+//
+// Construction fixes the scan order: when a prune dimension is selected
+// (see the package comment) the copied centers are stably sorted by that
+// dimension's coordinate, so Centers, the wire format, and every query
+// path observe one consistent order.
 func New(centers []window.Point, bandwidths []float64, windowCount float64) (*Estimator, error) {
 	if len(centers) == 0 {
 		return nil, ErrNoSample
@@ -111,14 +144,62 @@ func New(centers []window.Point, bandwidths []float64, windowCount float64) (*Es
 		wcount:  windowCount,
 		dim:     dim,
 	}
-	if dim == 1 {
-		e.sorted1d = make([]float64, len(centers))
-		for i, p := range centers {
-			e.sorted1d[i] = p[0]
-		}
-		sort.Float64s(e.sorted1d)
-	}
+	e.layout()
 	return e, nil
+}
+
+// layout picks the prune dimension, fixes the scan order, and fills the
+// per-dimension columns.
+func (e *Estimator) layout() {
+	e.pruneDim = selectPruneDim(e.centers, e.bw)
+	if e.pruneDim >= 0 {
+		// Stable sort keeps construction deterministic and idempotent
+		// (marshal round trips re-sort an already-sorted center list).
+		k := e.pruneDim
+		sort.SliceStable(e.centers, func(a, b int) bool {
+			return e.centers[a][k] < e.centers[b][k]
+		})
+	}
+	e.cols = make([][]float64, e.dim)
+	flat := make([]float64, e.dim*len(e.centers))
+	for i := 0; i < e.dim; i++ {
+		col := flat[i*len(e.centers) : (i+1)*len(e.centers)]
+		for j, p := range e.centers {
+			col[j] = p[i]
+		}
+		e.cols[i] = col
+	}
+}
+
+// selectPruneDim returns the most selective dimension — the one with the
+// smallest bandwidth-to-spread ratio — or -1 when even the best dimension
+// is non-selective (bandwidth at least as wide as the coordinate spread,
+// so every candidate run would cover essentially all centers and the
+// binary searches would be pure overhead).
+func selectPruneDim(centers []window.Point, bw []float64) int {
+	best, bestRatio := -1, math.Inf(1)
+	for i := range bw {
+		lo, hi := centers[0][i], centers[0][i]
+		for _, p := range centers[1:] {
+			if p[i] < lo {
+				lo = p[i]
+			}
+			if p[i] > hi {
+				hi = p[i]
+			}
+		}
+		spread := hi - lo
+		if spread <= 0 {
+			continue
+		}
+		if ratio := bw[i] / spread; ratio < bestRatio {
+			best, bestRatio = i, ratio
+		}
+	}
+	if bestRatio >= 1 {
+		return -1
+	}
+	return best
 }
 
 // FromSample builds an estimator directly from a sample and per-dimension
@@ -137,7 +218,7 @@ func FromSample(pts []window.Point, sigmas []float64, windowCount float64) (*Est
 
 // WithWindowCount returns an estimator identical to e except that range
 // queries scale by wc. The copy shares centers, bandwidths, and the
-// sorted fast path with the receiver (all immutable), so the call is
+// column layout with the receiver (all immutable), so the call is
 // O(1); when wc equals the current count the receiver itself is
 // returned. The online detector uses this to keep a cached model's |W|
 // tracking the effective window count while the window is still filling,
@@ -166,9 +247,27 @@ func (e *Estimator) WindowCount() float64 { return e.wcount }
 // Bandwidth returns the bandwidth of dimension i.
 func (e *Estimator) Bandwidth(i int) float64 { return e.bw[i] }
 
-// Centers returns the kernel centers. The slice is shared; callers must
-// not mutate it.
+// Centers returns the kernel centers in the estimator's scan order. The
+// slice is shared; callers must not mutate it.
 func (e *Estimator) Centers() []window.Point { return e.centers }
+
+// PruneDim returns the dimension driving sorted range pruning, or -1 when
+// the estimator runs full scans (no dimension is selective).
+func (e *Estimator) PruneDim() int { return e.pruneDim }
+
+// pruneRun returns the candidate run of centers whose prune-dimension
+// coordinate lies in [lo-B, hi+B): the first index (by binary search) and
+// the exclusive upper coordinate bound hi+B. Scans start at first and
+// stop at the first center whose prune coordinate reaches the bound —
+// the sorted column makes that a linear scan-out, cheaper than a second
+// binary search for the small runs selective queries produce. Centers
+// outside the run place exactly zero mass on any box spanning [lo, hi]
+// in that dimension, and exactly zero density at any point within
+// [lo, hi].
+func (e *Estimator) pruneRun(lo, hi float64) (first int, bound float64) {
+	b := e.bw[e.pruneDim]
+	return sort.SearchFloat64s(e.cols[e.pruneDim], lo-b), hi + b
+}
 
 // Density evaluates the estimated probability density f(x) (Equation 1).
 // Points outside every kernel's support yield 0.
@@ -176,11 +275,24 @@ func (e *Estimator) Density(x window.Point) float64 {
 	if len(x) != e.dim {
 		panic(fmt.Sprintf("kernel: point dim %d, model dim %d", len(x), e.dim))
 	}
+	n := len(e.centers)
+	first, bound := 0, math.Inf(1)
+	var pruneCol []float64
+	if k := e.pruneDim; k >= 0 {
+		// A kernel contributes at x only when |x_k - t_k| < B_k, i.e. its
+		// prune coordinate lies in (x_k-B, x_k+B) — the same run shape as a
+		// degenerate box query.
+		first, bound = e.pruneRun(x[k], x[k])
+		pruneCol = e.cols[k]
+	}
 	sum := 0.0
-	for _, t := range e.centers {
+	for j := first; j < n; j++ {
+		if pruneCol != nil && pruneCol[j] >= bound {
+			break
+		}
 		term := 1.0
 		for i := 0; i < e.dim; i++ {
-			u := (x[i] - t[i]) / e.bw[i]
+			u := (x[i] - e.cols[i][j]) / e.bw[i]
 			if u <= -1 || u >= 1 {
 				term = 0
 				break
@@ -189,18 +301,24 @@ func (e *Estimator) Density(x window.Point) float64 {
 		}
 		sum += term
 	}
-	return sum / float64(len(e.centers))
+	return sum / float64(n)
 }
+
+// epaCDF is the antiderivative of the unit Epanechnikov kernel (up to the
+// +0.5 constant, which cancels in segment differences). A plain function,
+// not a closure, so segment evaluation allocates nothing.
+func epaCDF(u float64) float64 { return 0.75 * (u - u*u*u/3) }
 
 // epaCDFSegment integrates the unit Epanechnikov kernel over [u1, u2]
 // (arguments already scaled and clipped to [-1,1]).
 func epaCDFSegment(u1, u2 float64) float64 {
-	f := func(u float64) float64 { return 0.75 * (u - u*u*u/3) }
-	return f(u2) - f(u1)
+	return epaCDF(u2) - epaCDF(u1)
 }
 
 // intervalMass returns the mass one kernel centered at t with bandwidth b
-// places on [lo, hi].
+// places on [lo, hi]. It is exactly zero whenever t ≤ lo-b or t ≥ hi+b —
+// the property the pruned scan relies on to skip centers without changing
+// the sum.
 func intervalMass(t, b, lo, hi float64) float64 {
 	u1 := (lo - t) / b
 	u2 := (hi - t) / b
@@ -223,14 +341,55 @@ func (e *Estimator) ProbBox(lo, hi []float64) float64 {
 	if len(lo) != e.dim || len(hi) != e.dim {
 		panic(fmt.Sprintf("kernel: box dims %d,%d, model dim %d", len(lo), len(hi), e.dim))
 	}
-	if e.dim == 1 {
-		return e.prob1D(lo[0], hi[0])
+	return e.probBox(lo, hi)
+}
+
+// probBox is the pruned scan shared by every query entry point. The
+// per-center arithmetic — per-dimension interval masses multiplied in
+// dimension order with an early zero exit — is identical to
+// ProbBoxNaive's, and pruning skips only centers whose contribution is
+// exactly zero, so the result is bit-identical to the full scan.
+func (e *Estimator) probBox(lo, hi []float64) float64 {
+	for i := range lo {
+		if hi[i] <= lo[i] {
+			return 0
+		}
 	}
+	n := len(e.centers)
+	if e.dim == 1 {
+		// Specialized 1-d scan: the run in the (only) column, summed with
+		// one interval mass per center — the original Theorem 2 fast path.
+		col := e.cols[0]
+		b := e.bw[0]
+		first, sum := 0, 0.0
+		hiB := hi[0] + b
+		if e.pruneDim == 0 {
+			first = sort.SearchFloat64s(col, lo[0]-b)
+		} else {
+			hiB = math.Inf(1)
+		}
+		for j := first; j < n && col[j] < hiB; j++ {
+			sum += intervalMass(col[j], b, lo[0], hi[0])
+		}
+		return sum / float64(n)
+	}
+	// With no prune dimension the bound is +Inf and the comparison below
+	// never fires: the scan degrades to the full-scan fallback.
+	first, bound := 0, math.Inf(1)
+	pruneCol := e.cols[0]
+	if k := e.pruneDim; k >= 0 {
+		first, bound = e.pruneRun(lo[k], hi[k])
+		pruneCol = e.cols[k]
+	}
+	d := e.dim
 	sum := 0.0
-	for _, t := range e.centers {
+	for j := first; j < n; j++ {
+		if pruneCol[j] >= bound {
+			break
+		}
 		term := 1.0
-		for i := 0; i < e.dim; i++ {
-			m := intervalMass(t[i], e.bw[i], lo[i], hi[i])
+		for i := 0; i < d; i++ {
+			m := intervalMass(e.cols[i][j], e.bw[i], lo[i], hi[i])
 			if m == 0 {
 				term = 0
 				break
@@ -239,13 +398,14 @@ func (e *Estimator) ProbBox(lo, hi []float64) float64 {
 		}
 		sum += term
 	}
-	return sum / float64(len(e.centers))
+	return sum / float64(n)
 }
 
 // ProbBoxNaive answers the same query as ProbBox but always scans every
-// kernel — the O(d|R|) cost of Theorem 2 without the 1-d sorted fast
-// path. It exists so the fast-path ablation benchmark can measure the
-// speedup; library code should call ProbBox.
+// kernel — the O(d|R|) cost of Theorem 2 without the sorted pruning. It
+// exists as the executable specification the pruned path is differentially
+// tested against and as the ablation-benchmark baseline; library code
+// should call ProbBox.
 func (e *Estimator) ProbBoxNaive(lo, hi []float64) float64 {
 	if len(lo) != e.dim || len(hi) != e.dim {
 		panic(fmt.Sprintf("kernel: box dims %d,%d, model dim %d", len(lo), len(hi), e.dim))
@@ -266,31 +426,29 @@ func (e *Estimator) ProbBoxNaive(lo, hi []float64) float64 {
 	return sum / float64(len(e.centers))
 }
 
-// prob1D is the sorted fast path: only kernels with center in
-// [lo-B, hi+B] can intersect the query interval.
-func (e *Estimator) prob1D(lo, hi float64) float64 {
-	if hi <= lo {
-		return 0
-	}
-	b := e.bw[0]
-	s := e.sorted1d
-	first := sort.SearchFloat64s(s, lo-b)
-	sum := 0.0
-	for i := first; i < len(s) && s[i] < hi+b; i++ {
-		sum += intervalMass(s[i], b, lo, hi)
-	}
-	return sum / float64(len(s))
-}
-
-// Prob returns the probability mass of the centered box [p-r, p+r].
-func (e *Estimator) Prob(p window.Point, r float64) float64 {
-	lo := make([]float64, e.dim)
-	hi := make([]float64, e.dim)
+// centeredBox fills lo/hi with the box [p-r, p+r].
+func centeredBox(lo, hi []float64, p window.Point, r float64) {
 	for i := range lo {
 		lo[i] = p[i] - r
 		hi[i] = p[i] + r
 	}
-	return e.ProbBox(lo, hi)
+}
+
+// Prob returns the probability mass of the centered box [p-r, p+r].
+// The query boxes live on the stack for realistic dimensionalities;
+// steady-state calls allocate nothing. Hot loops issuing many centered
+// queries should still prefer a Querier, which also covers d >
+// maxStackDim without heap traffic.
+func (e *Estimator) Prob(p window.Point, r float64) float64 {
+	var loBuf, hiBuf [maxStackDim]float64
+	var lo, hi []float64
+	if e.dim <= maxStackDim {
+		lo, hi = loBuf[:e.dim], hiBuf[:e.dim]
+	} else {
+		lo, hi = make([]float64, e.dim), make([]float64, e.dim)
+	}
+	centeredBox(lo, hi, p, r)
+	return e.probBox(lo, hi)
 }
 
 // Count answers the range query N(p,r) = P[p-r,p+r]·|W| (Equation 4): the
@@ -303,4 +461,41 @@ func (e *Estimator) Count(p window.Point, r float64) float64 {
 // CountBox is Count for an explicit box.
 func (e *Estimator) CountBox(lo, hi []float64) float64 {
 	return e.ProbBox(lo, hi) * e.wcount
+}
+
+// CountBoxBatch answers one count query per box, writing results into out
+// (grown as needed) and returning it. Results are identical to calling
+// CountBox per box; batching amortizes the per-call overhead for callers
+// that enumerate many boxes per decision (the MDEF cell grid).
+func (e *Estimator) CountBoxBatch(los, his [][]float64, out []float64) []float64 {
+	if len(los) != len(his) {
+		panic(fmt.Sprintf("kernel: %d lo boxes vs %d hi boxes", len(los), len(his)))
+	}
+	out = out[:0]
+	for i := range los {
+		if len(los[i]) != e.dim || len(his[i]) != e.dim {
+			panic(fmt.Sprintf("kernel: box %d dims %d,%d, model dim %d", i, len(los[i]), len(his[i]), e.dim))
+		}
+		out = append(out, e.probBox(los[i], his[i])*e.wcount)
+	}
+	return out
+}
+
+// CountBatch answers Count(p, r) for every point, writing results into
+// out (grown as needed) and returning it. Results are identical to
+// calling Count per point.
+func (e *Estimator) CountBatch(ps []window.Point, r float64, out []float64) []float64 {
+	q := e.NewQuerier()
+	return q.CountBatch(ps, r, out)
+}
+
+// DensityBatch evaluates the density at every point, writing results into
+// out (grown as needed) and returning it. Results are identical to
+// calling Density per point.
+func (e *Estimator) DensityBatch(ps []window.Point, out []float64) []float64 {
+	out = out[:0]
+	for _, p := range ps {
+		out = append(out, e.Density(p))
+	}
+	return out
 }

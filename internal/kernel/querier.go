@@ -1,0 +1,102 @@
+package kernel
+
+import (
+	"fmt"
+
+	"odds/internal/window"
+)
+
+// Querier is a caller-owned query handle over an immutable Estimator: it
+// carries the scratch boxes that centered-range and batch queries need,
+// so steady-state queries allocate nothing (testing.AllocsPerRun == 0 on
+// every method once the handle exists).
+//
+// Ownership rule: a Querier is single-goroutine-owned — its scratch
+// mutates on every call. The model behind it stays immutable and shared,
+// so any number of goroutines may query one Estimator concurrently as
+// long as each holds its own handle from NewQuerier. Handles are plain
+// values handed to the caller (no sync.Pool, no hidden sharing): whoever
+// asked for it owns it, exactly like the single-goroutine-owned detector
+// state from the PR 1 concurrency contract.
+//
+// Every query method returns results bit-identical to the corresponding
+// Estimator method.
+type Querier struct {
+	e      *Estimator
+	lo, hi []float64
+}
+
+// NewQuerier returns a fresh query handle for e. Allocate one per
+// goroutine (or per detector) and reuse it across queries; see the
+// ownership rule on Querier.
+func (e *Estimator) NewQuerier() *Querier {
+	return &Querier{
+		e:  e,
+		lo: make([]float64, e.dim),
+		hi: make([]float64, e.dim),
+	}
+}
+
+// Reset rebinds the handle to a new model, reusing the scratch when the
+// dimensionality allows. Detectors that rebuild their model every few
+// arrivals call this instead of allocating a fresh handle per rebuild.
+func (q *Querier) Reset(e *Estimator) {
+	q.e = e
+	if cap(q.lo) < e.dim {
+		q.lo = make([]float64, e.dim)
+		q.hi = make([]float64, e.dim)
+	}
+	q.lo = q.lo[:e.dim]
+	q.hi = q.hi[:e.dim]
+}
+
+// Model returns the estimator the handle queries, letting callers detect
+// a stale handle after a model rebuild.
+func (q *Querier) Model() *Estimator { return q.e }
+
+// Prob returns the probability mass of the centered box [p-r, p+r].
+func (q *Querier) Prob(p window.Point, r float64) float64 {
+	if len(p) != q.e.dim {
+		panic(fmt.Sprintf("kernel: point dim %d, model dim %d", len(p), q.e.dim))
+	}
+	centeredBox(q.lo, q.hi, p, r)
+	return q.e.probBox(q.lo, q.hi)
+}
+
+// Count answers the range query N(p,r) = P[p-r,p+r]·|W|.
+func (q *Querier) Count(p window.Point, r float64) float64 {
+	return q.Prob(p, r) * q.e.wcount
+}
+
+// ProbBox returns the probability mass of the explicit box [lo, hi].
+func (q *Querier) ProbBox(lo, hi []float64) float64 { return q.e.ProbBox(lo, hi) }
+
+// CountBox is Count for an explicit box.
+func (q *Querier) CountBox(lo, hi []float64) float64 { return q.e.CountBox(lo, hi) }
+
+// Density evaluates the estimated density at x.
+func (q *Querier) Density(x window.Point) float64 { return q.e.Density(x) }
+
+// CountBatch answers Count(p, r) for every point, appending into out[:0]
+// (grown as needed) and returning it. One scratch box serves the whole
+// batch, so per-point call overhead amortizes and nothing allocates once
+// out has capacity.
+func (q *Querier) CountBatch(ps []window.Point, r float64, out []float64) []float64 {
+	out = out[:0]
+	for _, p := range ps {
+		out = append(out, q.Count(p, r))
+	}
+	return out
+}
+
+// CountBoxBatch answers one count query per box, appending into out[:0]
+// (grown as needed) and returning it.
+func (q *Querier) CountBoxBatch(los, his [][]float64, out []float64) []float64 {
+	return q.e.CountBoxBatch(los, his, out)
+}
+
+// DensityBatch evaluates the density at every point, appending into
+// out[:0] (grown as needed) and returning it.
+func (q *Querier) DensityBatch(ps []window.Point, out []float64) []float64 {
+	return q.e.DensityBatch(ps, out)
+}

@@ -40,6 +40,14 @@ type Counter interface {
 	CountBox(lo, hi []float64) float64
 }
 
+// BoxBatcher is the optional batching extension of Counter: models that
+// answer many box queries in one call (kernel.Estimator, kernel.Querier,
+// CachedCounter) let MDEF evaluation amortize per-query call overhead.
+// Batched answers must be bit-identical to per-call CountBox.
+type BoxBatcher interface {
+	CountBoxBatch(los, his [][]float64, out []float64) []float64
+}
+
 // Params configures MDEF detection. The paper's synthetic experiments use
 // R=0.08, AlphaR=0.01; the real datasets R=0.05, AlphaR=0.003; KSigma=3
 // throughout.
@@ -112,10 +120,39 @@ func cellRange(lo, hi, alphaR float64) (int, int) {
 	return first, last
 }
 
+// Evaluator carries reusable scratch for repeated MDEF evaluations so the
+// steady-state per-arrival cost allocates nothing. The zero value is
+// ready to use. An Evaluator is single-goroutine-owned (its scratch
+// mutates on every call); the Counter it evaluates against may change
+// between calls, since the scratch is model-independent.
+type Evaluator struct {
+	lo, hi        []float64
+	firsts, lasts []int
+	idx           []int
+	counts        []float64
+	flat          []float64 // backing array for the batched cell boxes
+	los, his      [][]float64
+	batch         []float64
+}
+
+// size grows the per-dimension scratch to d.
+func (ev *Evaluator) size(d int) {
+	if cap(ev.lo) < d {
+		ev.lo = make([]float64, d)
+		ev.hi = make([]float64, d)
+		ev.firsts = make([]int, d)
+		ev.lasts = make([]int, d)
+		ev.idx = make([]int, d)
+	}
+	ev.lo, ev.hi = ev.lo[:d], ev.hi[:d]
+	ev.firsts, ev.lasts, ev.idx = ev.firsts[:d], ev.lasts[:d], ev.idx[:d]
+}
+
 // Evaluate computes the MDEF statistics of p against the density model m.
 // The model's CountBox answers play the role of the interval counts of
-// Figure 3.
-func Evaluate(m Counter, p window.Point, prm Params) Result {
+// Figure 3. Cell queries go through one CountBoxBatch call when the model
+// supports batching; results are bit-identical either way.
+func (ev *Evaluator) Evaluate(m Counter, p window.Point, prm Params) Result {
 	if err := prm.Validate(); err != nil {
 		panic(err)
 	}
@@ -123,44 +160,66 @@ func Evaluate(m Counter, p window.Point, prm Params) Result {
 	if len(p) != d {
 		panic(fmt.Sprintf("mdef: point dim %d, model dim %d", len(p), d))
 	}
-	lo := make([]float64, d)
-	hi := make([]float64, d)
+	ev.size(d)
 	for i := range p {
-		lo[i] = p[i] - prm.AlphaR
-		hi[i] = p[i] + prm.AlphaR
+		ev.lo[i] = p[i] - prm.AlphaR
+		ev.hi[i] = p[i] + prm.AlphaR
 	}
-	np := m.CountBox(lo, hi)
+	np := m.CountBox(ev.lo, ev.hi)
 
 	// Enumerate grid cells of side 2αr intersecting the sampling
-	// neighborhood [p-r, p+r] and query each one's count.
-	firsts := make([]int, d)
-	lasts := make([]int, d)
+	// neighborhood [p-r, p+r], materializing every cell box into the
+	// reusable backing in lexicographic order (the order the recursive
+	// walk used before batching).
+	total := 1
 	for i := range p {
-		firsts[i], lasts[i] = cellRange(p[i]-prm.R, p[i]+prm.R, prm.AlphaR)
+		ev.firsts[i], ev.lasts[i] = cellRange(p[i]-prm.R, p[i]+prm.R, prm.AlphaR)
+		total *= ev.lasts[i] - ev.firsts[i] + 1
 	}
 	w := 2 * prm.AlphaR
-	var counts []float64
-	idx := make([]int, d)
-	var walk func(dim int)
-	walk = func(dim int) {
-		if dim == d {
-			for i := range idx {
-				lo[i] = float64(idx[i]) * w
-				hi[i] = lo[i] + w
-			}
-			if c := m.CountBox(lo, hi); c > 0 {
-				counts = append(counts, c)
-			}
-			return
+	if need := 2 * total * d; cap(ev.flat) < need {
+		ev.flat = make([]float64, need)
+	}
+	flat := ev.flat[:2*total*d]
+	if cap(ev.los) < total {
+		ev.los = make([][]float64, total)
+		ev.his = make([][]float64, total)
+	}
+	ev.los, ev.his = ev.los[:total], ev.his[:total]
+	copy(ev.idx, ev.firsts)
+	for c := 0; c < total; c++ {
+		lo := flat[2*c*d : 2*c*d+d]
+		hi := flat[2*c*d+d : 2*(c+1)*d]
+		for i, k := range ev.idx {
+			lo[i] = float64(k) * w
+			hi[i] = lo[i] + w
 		}
-		for c := firsts[dim]; c <= lasts[dim]; c++ {
-			idx[dim] = c
-			walk(dim + 1)
+		ev.los[c], ev.his[c] = lo, hi
+		for k := d - 1; k >= 0; k-- { // odometer: last dimension fastest
+			ev.idx[k]++
+			if ev.idx[k] <= ev.lasts[k] {
+				break
+			}
+			ev.idx[k] = ev.firsts[k]
 		}
 	}
-	walk(0)
 
-	avg, sig := cellStats(counts)
+	if b, ok := m.(BoxBatcher); ok {
+		ev.batch = b.CountBoxBatch(ev.los, ev.his, ev.batch)
+	} else {
+		ev.batch = ev.batch[:0]
+		for c := range ev.los {
+			ev.batch = append(ev.batch, m.CountBox(ev.los[c], ev.his[c]))
+		}
+	}
+	ev.counts = ev.counts[:0]
+	for _, c := range ev.batch {
+		if c > 0 {
+			ev.counts = append(ev.counts, c)
+		}
+	}
+
+	avg, sig := cellStats(ev.counts)
 	res := Result{Count: np, AvgN: avg}
 	if avg <= 0 {
 		// No mass in the sampling neighborhood: nothing to deviate from.
@@ -170,6 +229,18 @@ func Evaluate(m Counter, p window.Point, prm Params) Result {
 	res.SigMDEF = sig / avg
 	res.Outlier = res.MDEF > prm.KSigma*res.SigMDEF
 	return res
+}
+
+// IsOutlier reports whether p is an MDEF outlier under model m.
+func (ev *Evaluator) IsOutlier(m Counter, p window.Point, prm Params) bool {
+	return ev.Evaluate(m, p, prm).Outlier
+}
+
+// Evaluate computes the MDEF statistics of p against the density model m
+// with one-shot scratch. Hot loops should hold an Evaluator instead.
+func Evaluate(m Counter, p window.Point, prm Params) Result {
+	var ev Evaluator
+	return ev.Evaluate(m, p, prm)
 }
 
 // IsOutlier reports whether p is an MDEF outlier under model m.

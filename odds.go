@@ -93,11 +93,11 @@ func (d *Detector) Observe(p Point) bool {
 // Count answers the range query N(p,r): the estimated number of window
 // values within L∞ distance r of p. It returns 0 before any data arrives.
 func (d *Detector) Count(p Point, r float64) float64 {
-	m := d.est.Model()
-	if m == nil {
+	q := d.est.Querier()
+	if q == nil {
 		return 0
 	}
-	return m.Count(p, r)
+	return q.Count(p, r)
 }
 
 // Model returns the current kernel density model (nil before data
@@ -132,6 +132,7 @@ type MDEFDetector struct {
 	est   *core.Estimator
 	prm   MDEFParams
 	cache *mdef.CachedCounter
+	eval  mdef.Evaluator
 }
 
 // NewMDEFDetector returns an MDEF detector.
@@ -159,7 +160,7 @@ func (d *MDEFDetector) Observe(p Point) bool {
 	if d.cache == nil || d.cache.Model() != mdef.Counter(m) {
 		d.cache = mdef.NewCachedCounter(m, d.prm.AlphaR)
 	}
-	return mdef.IsOutlier(d.cache, p, d.prm)
+	return d.eval.IsOutlier(d.cache, p, d.prm)
 }
 
 // Evaluate returns the full MDEF statistics for p against the current
@@ -169,7 +170,7 @@ func (d *MDEFDetector) Evaluate(p Point) mdef.Result {
 	if m == nil {
 		return mdef.Result{}
 	}
-	return mdef.Evaluate(m, p, d.prm)
+	return d.eval.Evaluate(m, p, d.prm)
 }
 
 // MemoryBytes reports the estimation-state footprint.
