@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-all experiments quick-experiments fmt vet clean
+.PHONY: all build test race cover bench bench-all experiments quick-experiments verify-figures update-golden fmt vet clean
 
 # The default verify path includes vet and the race detector: the
 # parallel evaluation harness and the concurrent runtime are only correct
@@ -42,6 +42,18 @@ experiments: build
 # Reduced-scale smoke pass of every experiment (about a minute).
 quick-experiments: build
 	$(GO) run ./cmd/oddsim -exp all -quick
+
+# Golden figure-regression gate: re-run every figure driver at CI scale
+# and compare the metrics against internal/golden/testdata/golden.json
+# under the tolerance spec. Exits non-zero on any violation.
+verify-figures:
+	$(GO) run ./cmd/oddsim -golden-check
+
+# Refresh the golden file after an intentional change to a figure driver,
+# then re-check so the working tree holds a verified pair.
+update-golden:
+	$(GO) run ./cmd/oddsim -golden-update
+	$(GO) run ./cmd/oddsim -golden-check
 
 fmt:
 	gofmt -w .

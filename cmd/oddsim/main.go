@@ -3,11 +3,17 @@
 // near-paper scale, which takes tens of minutes for the full suite; pass
 // -quick for a fast smoke pass with reduced windows and runs.
 //
+// The golden mode runs the figure-regression harness instead: every
+// driver at CI scale, flattened into scalar metrics and compared against
+// (or written to) the committed golden file with per-metric tolerances.
+//
 // Usage:
 //
 //	oddsim -exp fig7            # one experiment
 //	oddsim -exp all -quick      # whole suite, reduced scale
 //	oddsim -exp fig8 -runs 12   # paper's run count
+//	oddsim -golden-check        # verify figures against the golden file
+//	oddsim -golden-update       # refresh the golden file after a change
 package main
 
 import (
@@ -15,9 +21,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"odds/internal/experiments"
+	"odds/internal/golden"
 )
 
 func main() {
@@ -27,8 +35,18 @@ func main() {
 		runs    = flag.Int("runs", 0, "override run count (paper: 12)")
 		seed    = flag.Int64("seed", 1, "master seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the sweeps (1 = serial; output is identical either way)")
+
+		goldenCheck  = flag.Bool("golden-check", false, "run the golden figure-regression check and exit non-zero on violations")
+		goldenUpdate = flag.Bool("golden-update", false, "regenerate the golden metrics file from the current code")
+		goldenFile   = flag.String("golden-file", "internal/golden/testdata/golden.json", "golden metrics file")
+		goldenSpec   = flag.String("golden-spec", "internal/golden/testdata/spec.json", "tolerance spec file")
+		goldenFigs   = flag.String("golden-figs", "", "comma-separated figure subset for golden mode (default: all; \"short\" = the CI short subset)")
 	)
 	flag.Parse()
+
+	if *goldenCheck || *goldenUpdate {
+		os.Exit(goldenMain(*goldenCheck, *goldenUpdate, *goldenFile, *goldenSpec, *goldenFigs, *seed, *workers))
+	}
 
 	run := func(name string, fn func() *experiments.Table) {
 		if *exp != "all" && *exp != name {
@@ -107,4 +125,86 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// goldenMain runs the golden check/update flow and returns the exit code.
+func goldenMain(check, update bool, file, specFile, figsCSV string, seed int64, workers int) int {
+	if check && update {
+		fmt.Fprintln(os.Stderr, "oddsim: -golden-check and -golden-update are mutually exclusive")
+		return 2
+	}
+	var figs []string
+	switch figsCSV {
+	case "":
+		figs = golden.AllFigures()
+	case "short":
+		figs = golden.ShortFigures()
+	default:
+		for _, f := range strings.Split(figsCSV, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				figs = append(figs, f)
+			}
+		}
+	}
+	start := time.Now()
+	got, err := golden.Collect(golden.Config{Figures: figs, Seed: seed, Workers: workers})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oddsim: %v\n", err)
+		return 2
+	}
+	fmt.Printf("collected %d metrics across %d figures in %s\n",
+		len(got), len(figs), time.Since(start).Round(time.Millisecond))
+
+	if update {
+		// Merge into any existing golden file so a subset update does not
+		// drop the other figures' entries.
+		merged := golden.Metrics{}
+		if old, err := golden.LoadMetrics(file); err == nil {
+			for k, v := range golden.Filter(old, missingFrom(figs)) {
+				merged[k] = v
+			}
+		}
+		for k, v := range got {
+			merged[k] = v
+		}
+		if err := golden.WriteMetrics(file, merged); err != nil {
+			fmt.Fprintf(os.Stderr, "oddsim: %v\n", err)
+			return 2
+		}
+		fmt.Printf("wrote %d metrics to %s\n", len(merged), file)
+		return 0
+	}
+
+	want, err := golden.LoadMetrics(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oddsim: loading golden file: %v (run -golden-update to create it)\n", err)
+		return 2
+	}
+	spec, err := golden.LoadSpec(specFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oddsim: %v\n", err)
+		return 2
+	}
+	rep := golden.Compare(got, golden.Filter(want, figs), spec.Scoped(figs))
+	fmt.Print(rep.Render())
+	if !rep.OK() {
+		return 1
+	}
+	return 0
+}
+
+// missingFrom returns the canonical figures NOT selected, i.e. those whose
+// golden entries must be preserved on a subset update.
+func missingFrom(figs []string) []string {
+	sel := map[string]bool{}
+	for _, f := range figs {
+		sel[f] = true
+	}
+	var out []string
+	for _, f := range golden.AllFigures() {
+		if !sel[f] {
+			out = append(out, f)
+		}
+	}
+	return out
 }

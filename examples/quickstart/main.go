@@ -11,19 +11,29 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"odds"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example against w so the smoke test can capture and
+// assert on the output. All seeds are pinned: the output is deterministic.
+func run(w io.Writer) error {
 	det, err := odds.NewDetector(
 		odds.DefaultConfig(1),
 		odds.DistanceParams{Radius: 0.01, Threshold: 45},
 		42,
 	)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	src := odds.NewMixtureSource(1, 7)
@@ -34,13 +44,14 @@ func main() {
 		if det.Observe(v) {
 			flagged++
 			if flagged <= 10 {
-				fmt.Printf("t=%5d  outlier %.4f  (estimated neighbors within 0.01: %.1f)\n",
+				fmt.Fprintf(w, "t=%5d  outlier %.4f  (estimated neighbors within 0.01: %.1f)\n",
 					t, v[0], det.Count(v, 0.01))
 			}
 		}
 	}
-	fmt.Printf("\n%d outliers in %d readings; detector state: %d bytes\n",
+	fmt.Fprintf(w, "\n%d outliers in %d readings; detector state: %d bytes\n",
 		flagged, epochs, det.MemoryBytes())
-	fmt.Printf("density near cluster core 0.35: %.1f values per 0.01-neighborhood\n",
+	fmt.Fprintf(w, "density near cluster core 0.35: %.1f values per 0.01-neighborhood\n",
 		det.Count(odds.Point{0.35}, 0.01))
+	return nil
 }

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartSmoke runs the example end to end with its pinned seeds
+// and asserts the shape of the output: some outliers were flagged and
+// reported, the summary line is present, and the deterministic rerun
+// produces identical bytes.
+func TestQuickstartSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "outlier ") {
+		t.Errorf("output reports no flagged outliers:\n%s", s)
+	}
+	m := regexp.MustCompile(`(\d+) outliers in 30000 readings`).FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("summary line missing:\n%s", s)
+	}
+	if n, _ := strconv.Atoi(m[1]); n <= 0 {
+		t.Errorf("flagged %s outliers, want > 0", m[1])
+	}
+	if !strings.Contains(s, "density near cluster core 0.35") {
+		t.Errorf("density query line missing:\n%s", s)
+	}
+
+	var again bytes.Buffer
+	if err := run(&again); err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Error("output is not deterministic across reruns")
+	}
+}

@@ -12,6 +12,9 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"log"
+	"os"
 
 	"odds"
 	"odds/internal/apps"
@@ -20,6 +23,14 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example against w so the smoke test can capture and
+// assert on the output. All seeds are pinned: the output is deterministic.
+func run(w io.Writer) error {
 	const (
 		perDay = 48  // readings per day (one per 30 min)
 		days   = 120 // four months of deployment
@@ -42,22 +53,23 @@ func main() {
 	lowPTop := []float64{0.6, 1}
 	highP := []float64{0.72, 0}
 
-	fmt.Printf("observed %d readings over %d days\n\n", engine.Now(), days)
+	fmt.Fprintf(w, "observed %d readings over %d days\n\n", engine.Now(), days)
 
 	total := engine.Count(wholeDomain, top, 0, 0)
-	fmt.Printf("Q1  total readings (model estimate):            %8.1f (true %d)\n", total, epochs)
+	fmt.Fprintf(w, "Q1  total readings (model estimate):            %8.1f (true %d)\n", total, epochs)
 
 	lowAll := engine.Count(lowP, lowPTop, 0, 0)
-	fmt.Printf("Q2  low-pressure readings (p < 0.6), all time:  %8.1f\n", lowAll)
+	fmt.Fprintf(w, "Q2  low-pressure readings (p < 0.6), all time:  %8.1f\n", lowAll)
 
 	lowLastWeek := engine.Count(lowP, lowPTop, day(days-7), 0)
-	fmt.Printf("Q3  low-pressure readings, last 7 days:         %8.1f\n", lowLastWeek)
+	fmt.Fprintf(w, "Q3  low-pressure readings, last 7 days:         %8.1f\n", lowLastWeek)
 
 	avgDewEarly := engine.Average(1, wholeDomain, top, 0, day(30))
 	avgDewLate := engine.Average(1, wholeDomain, top, day(days-30), 0)
-	fmt.Printf("Q4  average dew-point, first 30 days:           %8.3f\n", avgDewEarly)
-	fmt.Printf("Q5  average dew-point, last 30 days:            %8.3f\n", avgDewLate)
+	fmt.Fprintf(w, "Q4  average dew-point, first 30 days:           %8.3f\n", avgDewEarly)
+	fmt.Fprintf(w, "Q5  average dew-point, last 30 days:            %8.3f\n", avgDewLate)
 
 	avgDewHighP := engine.Average(1, highP, top, 0, 0)
-	fmt.Printf("Q6  average dew-point while pressure > 0.72:    %8.3f\n", avgDewHighP)
+	fmt.Fprintf(w, "Q6  average dew-point while pressure > 0.72:    %8.3f\n", avgDewHighP)
+	return nil
 }

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// TestRangeQuerySmoke runs the example end to end with its pinned seeds
+// and asserts the answers are sane: every query line is printed, the
+// whole-domain count estimate lands near the true arrival count, and the
+// deterministic rerun produces identical bytes.
+func TestRangeQuerySmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, q := range []string{"Q1", "Q2", "Q3", "Q4", "Q5", "Q6"} {
+		if !regexp.MustCompile(`(?m)^` + q + `\s`).MatchString(s) {
+			t.Errorf("query line %s missing:\n%s", q, s)
+		}
+	}
+	m := regexp.MustCompile(`model estimate\):\s+([\d.]+) \(true (\d+)\)`).FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("Q1 estimate line unparseable:\n%s", s)
+	}
+	est, _ := strconv.ParseFloat(m[1], 64)
+	truth, _ := strconv.Atoi(m[2])
+	if est < 0.5*float64(truth) || est > 1.5*float64(truth) {
+		t.Errorf("whole-domain count estimate %v far from true %d", est, truth)
+	}
+
+	var again bytes.Buffer
+	if err := run(&again); err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Error("output is not deterministic across reruns")
+	}
+}

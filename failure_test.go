@@ -49,6 +49,9 @@ func TestMessageLossValidation(t *testing.T) {
 }
 
 func TestD3SurvivesHeavyLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow deployment run; run without -short for this coverage")
+	}
 	d := lossyDeployment(t, D3, 0.5, 31)
 	d.Run(4000)
 	st := d.Messages()
@@ -70,6 +73,9 @@ func TestD3SurvivesHeavyLoss(t *testing.T) {
 }
 
 func TestD3LossReducesButDoesNotBreakUpperLevels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow deployment run; run without -short for this coverage")
+	}
 	clean := lossyDeployment(t, D3, 0, 33)
 	clean.Run(4000)
 	lossy := lossyDeployment(t, D3, 0.5, 33)

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"odds/internal/stats"
+	"odds/internal/stream"
+	"odds/internal/window"
+)
+
+// TestEstimatorSeedExactReplay pins the contract the golden
+// figure-regression harness (internal/golden) rests on: an Estimator is a
+// pure function of its config, its rng seed, and the arrival sequence.
+// Two replicas fed identically must agree bit-for-bit — on sample
+// membership, on every sampled point, and on every range-query answer —
+// at every arrival, so a golden metric can only change when the code
+// changes.
+func TestEstimatorSeedExactReplay(t *testing.T) {
+	cfg := Config{
+		WindowCap:      512,
+		SampleSize:     64,
+		Eps:            0.2,
+		SampleFraction: 1,
+		Dim:            2,
+		RebuildEvery:   16,
+	}
+	const seed = 1234
+	a := NewEstimator(cfg, cfg.WindowCap, float64(cfg.WindowCap), stats.NewRand(seed))
+	b := NewEstimator(cfg, cfg.WindowCap, float64(cfg.WindowCap), stats.NewRand(seed))
+
+	src := stream.NewMixture(stream.DefaultMixture(), 2, 99)
+	lo := []float64{0.1, 0.1}
+	hi := []float64{0.6, 0.8}
+	for i := 0; i < 3*cfg.WindowCap; i++ {
+		p := src.Next()
+		incA := a.Observe(p)
+		incB := b.Observe(p.Clone())
+		if incA != incB {
+			t.Fatalf("arrival %d: inclusion diverged (%v vs %v)", i, incA, incB)
+		}
+		ma, mb := a.Model(), b.Model()
+		if (ma == nil) != (mb == nil) {
+			t.Fatalf("arrival %d: model presence diverged", i)
+		}
+		if ma == nil {
+			continue
+		}
+		if got, want := ma.ProbBox(lo, hi), mb.ProbBox(lo, hi); got != want {
+			t.Fatalf("arrival %d: range answers diverged: %v vs %v", i, got, want)
+		}
+	}
+
+	pa, pb := a.SamplePoints(), b.SamplePoints()
+	if len(pa) != len(pb) {
+		t.Fatalf("sample sizes diverged: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if !pa[i].Equal(pb[i]) {
+			t.Fatalf("sample point %d diverged: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+	for i, w := range [][]window.Point{pa, pb} {
+		for _, p := range w {
+			if len(p) != cfg.Dim {
+				t.Fatalf("replica %d: sampled point %v has wrong dim", i, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package distance_test
+
+import (
+	"testing"
+
+	"odds/internal/distance"
+	"odds/internal/oracle"
+	"odds/internal/stats"
+	"odds/internal/window"
+)
+
+// TestDynIndexMatchesBruteForce is the distance half of the differential
+// oracle suite: it drives DynIndex through randomized sliding-window
+// histories (dimension, capacity, loss rate, and duplicates all
+// randomized but seeded) and checks every count and (D,r) verdict against
+// the O(d·|W|²) executable specification. On disagreement it shrinks the
+// window snapshot to a minimal failing point set and prints it as a Go
+// literal.
+func TestDynIndexMatchesBruteForce(t *testing.T) {
+	for _, cfg := range oracle.Configs(30, 0x0ddc0de) {
+		t.Run(cfg.Name(), func(t *testing.T) {
+			t.Parallel()
+			runDistanceOracle(t, cfg)
+		})
+	}
+}
+
+func runDistanceOracle(t *testing.T, cfg oracle.Config) {
+	r := stats.NewRand(cfg.Seed)
+	prm := distance.Params{
+		Radius:    0.02 + 0.08*r.Float64(),
+		Threshold: float64(2 + r.Intn(6)),
+	}
+	src := cfg.NewStream()
+	dyn := distance.NewDynIndex(prm.Radius, cfg.Dim)
+	var buf []window.Point
+
+	for step := 0; step < cfg.Steps; step++ {
+		if src.Lost(cfg.LossRate) {
+			continue
+		}
+		p := src.Next()
+		if len(buf) > 0 && r.Float64() < 0.05 {
+			// Exact duplicate of a live window point: stresses Remove's
+			// point matching and the bucket swap-delete.
+			p = buf[r.Intn(len(buf))].Clone()
+		}
+		buf = append(buf, p)
+		dyn.Add(p)
+		if len(buf) > cfg.WindowCap {
+			old := buf[0]
+			buf = buf[1:]
+			if !dyn.Remove(old) {
+				t.Fatalf("%s: Remove(%v) found nothing at step %d", cfg.Name(), old, step)
+			}
+		}
+		if dyn.Len() != len(buf) {
+			t.Fatalf("%s: Len=%d, window holds %d at step %d", cfg.Name(), dyn.Len(), len(buf), step)
+		}
+
+		// Per-arrival checks against the naive spec for the newest point.
+		wantN := distance.CountNaive(buf, p, prm.Radius)
+		if got := dyn.Count(p, prm.Radius); got != wantN {
+			reportDistanceMismatch(t, cfg, prm, buf[:len(buf)-1], p, got, wantN)
+		}
+		wantFlag := float64(wantN) < prm.Threshold
+		if got := dyn.IsOutlier(p, prm); got != wantFlag {
+			t.Fatalf("%s: IsOutlier(%v)=%v, spec says %v (count %d, threshold %v)",
+				cfg.Name(), p, got, wantFlag, wantN, prm.Threshold)
+		}
+		limit := 1 + r.Intn(int(prm.Threshold)+2)
+		wantUpTo := wantN
+		if wantUpTo > limit {
+			wantUpTo = limit
+		}
+		if got := dyn.CountUpTo(p, prm.Radius, limit); got != wantUpTo {
+			t.Fatalf("%s: CountUpTo(%v, limit=%d)=%d, want %d", cfg.Name(), p, limit, got, wantUpTo)
+		}
+
+		// Periodic whole-window check: every live point's verdict, plus the
+		// grid-accelerated snapshot BruteForce against the naive spec.
+		if step%25 != 0 {
+			continue
+		}
+		flags := distance.BruteForceNaive(buf, prm)
+		grid := distance.BruteForce(buf, prm)
+		for i, q := range buf {
+			if grid[i] != flags[i] {
+				t.Fatalf("%s: snapshot BruteForce[%d]=%v, naive spec %v for %v",
+					cfg.Name(), i, grid[i], flags[i], q)
+			}
+			if got := dyn.IsOutlier(q, prm); got != flags[i] {
+				t.Fatalf("%s: IsOutlier(%v)=%v mid-window, spec says %v",
+					cfg.Name(), q, got, flags[i])
+			}
+		}
+	}
+}
+
+// reportDistanceMismatch shrinks the failing snapshot to a minimal point
+// set that still disagrees and fails the test with a reproducer.
+func reportDistanceMismatch(t *testing.T, cfg oracle.Config, prm distance.Params, background []window.Point, q window.Point, got, want int) {
+	t.Helper()
+	fails := func(sub []window.Point) bool {
+		set := append(append([]window.Point(nil), sub...), q)
+		d := distance.NewDynIndex(prm.Radius, cfg.Dim)
+		for _, p := range set {
+			d.Add(p)
+		}
+		return d.Count(q, prm.Radius) != distance.CountNaive(set, q, prm.Radius)
+	}
+	minimal := background
+	if fails(background) {
+		minimal = oracle.Shrink(background, fails)
+	}
+	t.Fatalf("%s: Count mismatch for query %v (radius %v): dyn=%d naive=%d\nminimal background (query appended):\n%s",
+		cfg.Name(), q, prm.Radius, got, want, oracle.Format(append(minimal, q)))
+}

@@ -1,19 +1,20 @@
 package experiments
 
-// AblationEstimators compares every density representation on the same
-// D3 workload at one |R|/|W| point: the paper's kernel method, the
-// favored offline histogram, the Haar-wavelet synopsis (the other family
-// Section 4 cites), and the fully-online sampled histogram that tests the
-// paper's "any online technique performs at most as good" conjecture.
-func AblationEstimators(s SweepConfig) *Table {
-	t := &Table{
-		Title:   "Ablation — estimator families on the D3 workload (leaf level)",
-		Columns: []string{"estimator", "access model", "precision", "recall", "true-outliers/run"},
-		Notes: []string{
-			"paper §4/§10: kernels are as accurate as histograms and wavelets, and often beat them on precision",
-			"offline baselines read every window value per rebuild; online ones only the chain sample",
-		},
-	}
+// AblationRow is the leaf-level result of one estimator family on the D3
+// workload.
+type AblationRow struct {
+	Name   string
+	Access string // "online" or "offline"
+	Leaf   LevelPR
+	Truths int
+}
+
+// RunAblation compares every density representation on the same D3
+// workload at one |R|/|W| point: the paper's kernel method, the favored
+// offline histogram, the Haar-wavelet synopsis (the other family Section 4
+// cites), and the fully-online sampled histogram that tests the paper's
+// "any online technique performs at most as good" conjecture.
+func RunAblation(s SweepConfig) []AblationRow {
 	frac := s.SampleFracs[len(s.SampleFracs)-1]
 	kinds := []struct {
 		name   string
@@ -25,12 +26,34 @@ func AblationEstimators(s SweepConfig) *Table {
 		{"wavelet synopsis", "offline", KindWavelet},
 		{"sampled histogram", "online", KindSampledHistogram},
 	}
+	var rows []AblationRow
 	for _, k := range kinds {
 		if k.kind == KindWavelet && s.Workload.Dim() != 1 {
 			continue
 		}
 		prec, rec, truths := s.d3Sweep(frac, k.kind)
-		t.AddRow(k.name, k.access, FmtPct(prec[0]), FmtPct(rec[0]), truths)
+		rows = append(rows, AblationRow{
+			Name:   k.name,
+			Access: k.access,
+			Leaf:   LevelPR{Precision: prec[0], Recall: rec[0]},
+			Truths: truths,
+		})
+	}
+	return rows
+}
+
+// AblationEstimators renders the estimator-family ablation.
+func AblationEstimators(s SweepConfig) *Table {
+	t := &Table{
+		Title:   "Ablation — estimator families on the D3 workload (leaf level)",
+		Columns: []string{"estimator", "access model", "precision", "recall", "true-outliers/run"},
+		Notes: []string{
+			"paper §4/§10: kernels are as accurate as histograms and wavelets, and often beat them on precision",
+			"offline baselines read every window value per rebuild; online ones only the chain sample",
+		},
+	}
+	for _, r := range RunAblation(s) {
+		t.AddRow(r.Name, r.Access, FmtPct(r.Leaf.Precision), FmtPct(r.Leaf.Recall), r.Truths)
 	}
 	return t
 }

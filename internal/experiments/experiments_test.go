@@ -134,6 +134,9 @@ func TestRunD3QuickKernel(t *testing.T) {
 }
 
 func TestRunD3QuickHistogram(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure driver; run without -short for this coverage")
+	}
 	s := quickSweep()
 	cfg := s.prConfig(0.05, KindHistogram, 0)
 	res := RunD3(cfg)
@@ -151,6 +154,9 @@ func TestRunD3PrecisionRisesWithLevel(t *testing.T) {
 	// levels above the leaves see pre-filtered candidates, so precision
 	// should not collapse upward. We assert the weaker monotone-ish
 	// property that level-2 precision is at least level-1 minus slack.
+	if testing.Short() {
+		t.Skip("slow figure driver; run without -short for this coverage")
+	}
 	s := quickSweep()
 	s.Runs = 2
 	prec, _, _ := s.d3Sweep(0.05, KindKernel)
@@ -163,6 +169,9 @@ func TestRunD3PrecisionRisesWithLevel(t *testing.T) {
 }
 
 func TestRunMGDDQuickKernel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure driver; run without -short for this coverage")
+	}
 	s := quickSweep()
 	res := RunMGDD(s.prConfig(0.05, KindKernel, 0))
 	if res.PR.TP+res.PR.FP == 0 {
@@ -177,6 +186,9 @@ func TestRunMGDDQuickKernel(t *testing.T) {
 }
 
 func TestRunMGDDQuickHistogram(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure driver; run without -short for this coverage")
+	}
 	s := quickSweep()
 	res := RunMGDD(s.prConfig(0.05, KindHistogram, 0))
 	if res.PR.TP+res.PR.FP == 0 {
@@ -222,6 +234,9 @@ func TestRunD3WaveletRejects2D(t *testing.T) {
 }
 
 func TestRunD32D(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure driver; run without -short for this coverage")
+	}
 	s := DefaultSweep(Synthetic2D).Quick()
 	res := RunD3(s.prConfig(0.05, KindKernel, 0))
 	l1 := res.PerLevel[0]
@@ -328,6 +343,9 @@ func TestFig10TableStructure(t *testing.T) {
 }
 
 func TestFig11TableStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure driver; run without -short for this coverage")
+	}
 	tbl := Fig11(DefaultFig11().Quick())
 	if len(tbl.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
@@ -383,6 +401,9 @@ func TestFig6QuickBehavior(t *testing.T) {
 }
 
 func TestFig11QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure driver; run without -short for this coverage")
+	}
 	rows := RunFig11(DefaultFig11().Quick())
 	if len(rows) == 0 {
 		t.Fatal("no ladder rows")
@@ -525,6 +546,9 @@ func TestPRConfigForMatchesInternal(t *testing.T) {
 func TestRunD3DeepHierarchy(t *testing.T) {
 	// Depth beyond 8 levels must not break the decision bookkeeping
 	// (regression: pred was a fixed-size array).
+	if testing.Short() {
+		t.Skip("slow figure driver; run without -short for this coverage")
+	}
 	s := ultraQuick(Synthetic1D)
 	s.Leaves = 256
 	s.Branching = 2 // depth 9

@@ -17,9 +17,37 @@ func DefaultFig5() Fig5Config {
 	return Fig5Config{EngineLen: 50000, EnviroLen: 35000, Seed: 1}
 }
 
-// Fig5 regenerates the statistical-characteristics table of the real
-// datasets (paper Figure 5) from the calibrated generators, alongside the
-// values the paper reports.
+// Fig5Row is the descriptive statistics of one dataset column.
+type Fig5Row struct {
+	Dataset string
+	Stats   stats.Summary
+}
+
+// RunFig5 regenerates the statistical characteristics of the (simulated)
+// real datasets (paper Figure 5) from the calibrated generators.
+func RunFig5(c Fig5Config) []Fig5Row {
+	eng := stream.Column(stream.NewEngine(stream.DefaultEngine(), c.Seed), c.EngineLen, 0)
+	se, err := stats.Describe(eng)
+	if err != nil {
+		panic(err)
+	}
+	env := stream.Take(stream.NewEnviro(stream.DefaultEnviro(), c.Seed+1), c.EnviroLen)
+	var ps, ds []float64
+	for _, p := range env {
+		ps = append(ps, p[0])
+		ds = append(ds, p[1])
+	}
+	sp, _ := stats.Describe(ps)
+	sd, _ := stats.Describe(ds)
+	return []Fig5Row{
+		{Dataset: "engine", Stats: se},
+		{Dataset: "pressure", Stats: sp},
+		{Dataset: "dew-point", Stats: sd},
+	}
+}
+
+// Fig5 renders the Figure 5 statistics alongside the values the paper
+// reports.
 func Fig5(c Fig5Config) *Table {
 	t := &Table{
 		Title:   "Figure 5 — statistical characteristics of the (simulated) real datasets",
@@ -30,22 +58,9 @@ func Fig5(c Fig5Config) *Table {
 			"paper:  dew-point 0.113 0.282 0.213 0.212 0.027 -0.182",
 		},
 	}
-	eng := stream.Column(stream.NewEngine(stream.DefaultEngine(), c.Seed), c.EngineLen, 0)
-	se, err := stats.Describe(eng)
-	if err != nil {
-		panic(err)
+	for _, r := range RunFig5(c) {
+		s := r.Stats
+		t.AddRow(r.Dataset, s.Min, s.Max, s.Mean, s.Median, s.StdDev, s.Skew)
 	}
-	t.AddRow("engine", se.Min, se.Max, se.Mean, se.Median, se.StdDev, se.Skew)
-
-	env := stream.Take(stream.NewEnviro(stream.DefaultEnviro(), c.Seed+1), c.EnviroLen)
-	var ps, ds []float64
-	for _, p := range env {
-		ps = append(ps, p[0])
-		ds = append(ds, p[1])
-	}
-	sp, _ := stats.Describe(ps)
-	sd, _ := stats.Describe(ds)
-	t.AddRow("pressure", sp.Min, sp.Max, sp.Mean, sp.Median, sp.StdDev, sp.Skew)
-	t.AddRow("dew-point", sd.Min, sd.Max, sd.Mean, sd.Median, sd.StdDev, sd.Skew)
 	return t
 }

@@ -149,6 +149,19 @@ func RunFig6(c Fig6Config) Fig6Series {
 	return series
 }
 
+// PostShiftSpike returns the maximum leaf JS observed within `intervals`
+// measurement intervals after the first mean shift — the divergence spike
+// the paper's Figure 6 highlights before the estimate re-adapts.
+func (s Fig6Series) PostShiftSpike(period, sampleIvl, intervals int) float64 {
+	spike := 0.0
+	for _, p := range s.Points {
+		if p.Time > period && p.Time <= period+sampleIvl*intervals && p.Leaf > spike {
+			spike = p.Leaf
+		}
+	}
+	return spike
+}
+
 // statsRand is a small coin-flip helper bound to a fraction.
 type statsRand struct {
 	r interface{ Float64() float64 }

@@ -266,8 +266,78 @@ func (s SweepConfig) mgddSweep(frac float64, kind EstimatorKind) (float64, float
 	return p, r, truths / s.Runs
 }
 
-// Fig7 regenerates the Figure 7 sweep: D3 (per level) and MGDD precision/
-// recall on 1-d synthetic data, kernel versus histogram, across |R|/|W|.
+// LevelPR is the averaged precision/recall pair of one measurement (a D3
+// hierarchy level, or the MGDD leaf decision).
+type LevelPR struct {
+	Precision float64
+	Recall    float64
+}
+
+// SweepCell is the structured result of one (estimator, |R|/|W|) cell of a
+// precision/recall sweep: per-level D3 metrics plus the MGDD leaf metrics,
+// each with the true-outlier count per run.
+type SweepCell struct {
+	Estimator  string
+	Frac       float64
+	D3         []LevelPR // index 0 = leaf level
+	D3Truths   int
+	MGDD       LevelPR
+	MGDDTruths int
+}
+
+// runCell executes both detectors for one sweep cell.
+func (s SweepConfig) runCell(frac float64, kind EstimatorKind) SweepCell {
+	name := "kernel"
+	switch kind {
+	case KindHistogram:
+		name = "histogram"
+	case KindSampledHistogram:
+		name = "sampled-histogram"
+	case KindWavelet:
+		name = "wavelet"
+	}
+	cell := SweepCell{Estimator: name, Frac: frac}
+	prec, rec, truths := s.d3Sweep(frac, kind)
+	for l := range prec {
+		cell.D3 = append(cell.D3, LevelPR{Precision: prec[l], Recall: rec[l]})
+	}
+	cell.D3Truths = truths
+	mp, mr, mtruths := s.mgddSweep(frac, kind)
+	cell.MGDD = LevelPR{Precision: mp, Recall: mr}
+	cell.MGDDTruths = mtruths
+	return cell
+}
+
+// RunFig7 executes the Figure 7 sweep — D3 (per level) and MGDD on 1-d
+// synthetic data, kernel versus histogram, across |R|/|W| — and returns
+// the structured cells.
+func RunFig7(s SweepConfig) []SweepCell {
+	var cells []SweepCell
+	for _, kind := range []EstimatorKind{KindKernel, KindHistogram} {
+		for _, frac := range s.SampleFracs {
+			cells = append(cells, s.runCell(frac, kind))
+		}
+	}
+	return cells
+}
+
+// sweepRows renders sweep cells into a table, prefixing each row with the
+// given leading labels per cell.
+func sweepRows(t *Table, cells []SweepCell, lead func(SweepCell) []any) {
+	for _, c := range cells {
+		base := lead(c)
+		for l, pr := range c.D3 {
+			row := append(append([]any{}, base...),
+				fmt.Sprintf("D3 level %d", l+1), FmtPct(pr.Precision), FmtPct(pr.Recall), c.D3Truths)
+			t.AddRow(row...)
+		}
+		row := append(append([]any{}, base...),
+			"MGDD", FmtPct(c.MGDD.Precision), FmtPct(c.MGDD.Recall), c.MGDDTruths)
+		t.AddRow(row...)
+	}
+}
+
+// Fig7 renders the Figure 7 sweep.
 func Fig7(s SweepConfig) *Table {
 	t := &Table{
 		Title:   "Figure 7 — precision/recall, 1-d synthetic, kernel vs histogram",
@@ -277,85 +347,100 @@ func Fig7(s SweepConfig) *Table {
 			"paper: D3 precision rises with level (Theorem 3 prunes false positives upward)",
 		},
 	}
-	for _, kind := range []EstimatorKind{KindKernel, KindHistogram} {
-		name := "kernel"
-		if kind == KindHistogram {
-			name = "histogram"
-		}
-		for _, frac := range s.SampleFracs {
-			prec, rec, truths := s.d3Sweep(frac, kind)
-			for l := range prec {
-				t.AddRow(name, FmtF(frac, 4), fmt.Sprintf("D3 level %d", l+1),
-					FmtPct(prec[l]), FmtPct(rec[l]), truths)
-			}
-			mp, mr, mtruths := s.mgddSweep(frac, kind)
-			t.AddRow(name, FmtF(frac, 4), "MGDD", FmtPct(mp), FmtPct(mr), mtruths)
-		}
-	}
+	sweepRows(t, RunFig7(s), func(c SweepCell) []any { return []any{c.Estimator, FmtF(c.Frac, 4)} })
 	return t
 }
 
-// Fig8 regenerates the Figure 8 sweep: MGDD precision/recall versus the
+// Fig8Row is one sample-fraction point of the Figure 8 sweep.
+type Fig8Row struct {
+	F      float64
+	MGDD   LevelPR
+	Truths int
+}
+
+// RunFig8 executes the Figure 8 sweep: MGDD precision/recall versus the
 // sample fraction f on 1-d synthetic data (kernel estimator).
-func Fig8(s SweepConfig, fractions []float64) *Table {
+func RunFig8(s SweepConfig, fractions []float64) []Fig8Row {
 	if len(fractions) == 0 {
 		fractions = []float64{0.25, 0.5, 0.75, 1.0}
 	}
+	frac := s.SampleFracs[len(s.SampleFracs)-1]
+	rows := make([]Fig8Row, 0, len(fractions))
+	for _, f := range fractions {
+		cfg := s
+		cfg.F = f
+		p, r, truths := cfg.mgddSweep(frac, KindKernel)
+		rows = append(rows, Fig8Row{F: f, MGDD: LevelPR{Precision: p, Recall: r}, Truths: truths})
+	}
+	return rows
+}
+
+// Fig8 renders the Figure 8 sweep.
+func Fig8(s SweepConfig, fractions []float64) *Table {
 	t := &Table{
 		Title:   "Figure 8 — MGDD precision/recall vs sample fraction f (1-d synthetic, kernel)",
 		Columns: []string{"f", "precision", "recall", "true-outliers/run"},
 		Notes:   []string{"paper: both metrics improve with f, ≈94%/93% at the right settings"},
 	}
-	frac := s.SampleFracs[len(s.SampleFracs)-1]
-	for _, f := range fractions {
-		cfg := s
-		cfg.F = f
-		p, r, truths := cfg.mgddSweep(frac, KindKernel)
-		t.AddRow(FmtF(f, 2), FmtPct(p), FmtPct(r), truths)
+	for _, r := range RunFig8(s, fractions) {
+		t.AddRow(FmtF(r.F, 2), FmtPct(r.MGDD.Precision), FmtPct(r.MGDD.Recall), r.Truths)
 	}
 	return t
 }
 
-// Fig9 regenerates the Figure 9 sweep: D3 (per level) and MGDD on 2-d
+// RunFig9 executes the Figure 9 sweep: D3 (per level) and MGDD on 2-d
 // synthetic data with the kernel estimator, across |R|/|W|.
-func Fig9(s SweepConfig) *Table {
+func RunFig9(s SweepConfig) []SweepCell {
 	s.Workload = Synthetic2D
+	var cells []SweepCell
+	for _, frac := range s.SampleFracs {
+		cells = append(cells, s.runCell(frac, KindKernel))
+	}
+	return cells
+}
+
+// Fig9 renders the Figure 9 sweep.
+func Fig9(s SweepConfig) *Table {
 	t := &Table{
 		Title:   "Figure 9 — precision/recall, 2-d synthetic (kernel)",
 		Columns: []string{"|R|/|W|", "detector", "precision", "recall", "true-outliers/run"},
 		Notes:   []string{"paper: trends match the 1-d case; precision rises with level"},
 	}
-	for _, frac := range s.SampleFracs {
-		prec, rec, truths := s.d3Sweep(frac, KindKernel)
-		for l := range prec {
-			t.AddRow(FmtF(frac, 4), fmt.Sprintf("D3 level %d", l+1), FmtPct(prec[l]), FmtPct(rec[l]), truths)
-		}
-		mp, mr, mtruths := s.mgddSweep(frac, KindKernel)
-		t.AddRow(FmtF(frac, 4), "MGDD", FmtPct(mp), FmtPct(mr), mtruths)
-	}
+	sweepRows(t, RunFig9(s), func(c SweepCell) []any { return []any{FmtF(c.Frac, 4)} })
 	return t
 }
 
-// Fig10 regenerates the Figure 10 sweeps: the engine (1-d) and
+// Fig10Cell is one (dataset, |R|/|W|) cell of the real-dataset sweep.
+type Fig10Cell struct {
+	Dataset string
+	SweepCell
+}
+
+// RunFig10 executes the Figure 10 sweeps: the engine (1-d) and
 // environmental (2-d) datasets across |R|/|W| with the kernel estimator.
+func RunFig10(s SweepConfig) []Fig10Cell {
+	var cells []Fig10Cell
+	for _, w := range []Workload{EngineData, EnviroData} {
+		cfg := s
+		cfg.Workload = w
+		for _, frac := range cfg.SampleFracs {
+			cells = append(cells, Fig10Cell{Dataset: w.String(), SweepCell: cfg.runCell(frac, KindKernel)})
+		}
+	}
+	return cells
+}
+
+// Fig10 renders the Figure 10 sweeps.
 func Fig10(s SweepConfig) *Table {
 	t := &Table{
 		Title:   "Figure 10 — precision/recall on the (simulated) real datasets (kernel)",
 		Columns: []string{"dataset", "|R|/|W|", "detector", "precision", "recall", "true-outliers/run"},
 		Notes:   []string{"paper: ≈99% precision, ≈93% recall on the engine data; 2-d comparable to synthetic"},
 	}
-	for _, w := range []Workload{EngineData, EnviroData} {
-		cfg := s
-		cfg.Workload = w
-		for _, frac := range cfg.SampleFracs {
-			prec, rec, truths := cfg.d3Sweep(frac, KindKernel)
-			for l := range prec {
-				t.AddRow(w.String(), FmtF(frac, 4), fmt.Sprintf("D3 level %d", l+1),
-					FmtPct(prec[l]), FmtPct(rec[l]), truths)
-			}
-			mp, mr, mtruths := cfg.mgddSweep(frac, KindKernel)
-			t.AddRow(w.String(), FmtF(frac, 4), "MGDD", FmtPct(mp), FmtPct(mr), mtruths)
-		}
+	for _, c := range RunFig10(s) {
+		sweepRows(t, []SweepCell{c.SweepCell}, func(sc SweepCell) []any {
+			return []any{c.Dataset, FmtF(sc.Frac, 4)}
+		})
 	}
 	return t
 }

@@ -1,0 +1,293 @@
+package golden
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Rule says how one metric (or a prefix family of metrics) is compared
+// against its golden value.
+//
+// Kinds:
+//
+//	exact — got must equal the golden value bit-for-bit (the default:
+//	        every driver is seeded, so reruns are deterministic)
+//	abs   — |got − want| ≤ Value
+//	rel   — |got − want| ≤ Value·max(|want|, 1e-12)
+//	band  — the golden value is informational only; got must lie inside
+//	        [Min, Max] (either bound may be omitted). Bands express shape
+//	        assertions ("stable JS stays small") that must survive
+//	        intentional re-tuning without a golden update.
+type Rule struct {
+	Kind  string   `json:"kind"`
+	Value float64  `json:"value,omitempty"`
+	Min   *float64 `json:"min,omitempty"`
+	Max   *float64 `json:"max,omitempty"`
+}
+
+// Ordering is a cross-metric shape assertion: Lower ≤ Upper + Slack,
+// evaluated on the freshly collected metrics (not the golden file). It
+// encodes paper claims like "kernel precision ≥ histogram precision at
+// every level" or "D3 messages stay below MGDD messages".
+type Ordering struct {
+	Name  string  `json:"name"`
+	Lower string  `json:"lower"`
+	Upper string  `json:"upper"`
+	Slack float64 `json:"slack,omitempty"`
+}
+
+// Spec is the tolerance specification for a golden comparison.
+type Spec struct {
+	// Default applies to metrics without a matching rule.
+	Default Rule `json:"default"`
+	// Rules maps a metric name — or a prefix ending in "*" — to its rule.
+	// An exact name beats any prefix; among prefixes the longest wins.
+	Rules map[string]Rule `json:"rules,omitempty"`
+	// Orderings are evaluated after the per-metric comparison.
+	Orderings []Ordering `json:"orderings,omitempty"`
+}
+
+// LoadSpec reads a tolerance spec, validating every rule kind.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("golden: parsing spec: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func validKind(k string) bool {
+	switch k {
+	case "exact", "abs", "rel", "band":
+		return true
+	}
+	return false
+}
+
+func (s *Spec) validate() error {
+	if s.Default.Kind == "" {
+		s.Default.Kind = "exact"
+	}
+	if !validKind(s.Default.Kind) {
+		return fmt.Errorf("golden: unknown default rule kind %q", s.Default.Kind)
+	}
+	for name, r := range s.Rules {
+		if !validKind(r.Kind) {
+			return fmt.Errorf("golden: metric %q: unknown rule kind %q", name, r.Kind)
+		}
+		if r.Kind == "band" && r.Min == nil && r.Max == nil {
+			return fmt.Errorf("golden: metric %q: band rule needs min or max", name)
+		}
+	}
+	for _, o := range s.Orderings {
+		if o.Lower == "" || o.Upper == "" {
+			return fmt.Errorf("golden: ordering %q needs lower and upper metrics", o.Name)
+		}
+	}
+	return nil
+}
+
+// Scoped returns a spec whose orderings are restricted to those with both
+// metrics inside the selected figures (first dot-separated segment), so a
+// subset collection is not failed for orderings it never measured. Rules
+// need no scoping: they only fire for metrics present in the comparison.
+func (s *Spec) Scoped(figs []string) *Spec {
+	sel := map[string]bool{}
+	for _, f := range figs {
+		sel[f] = true
+	}
+	in := func(metric string) bool {
+		i := strings.IndexByte(metric, '.')
+		return i > 0 && sel[metric[:i]]
+	}
+	out := &Spec{Default: s.Default, Rules: s.Rules}
+	for _, o := range s.Orderings {
+		if in(o.Lower) && in(o.Upper) {
+			out.Orderings = append(out.Orderings, o)
+		}
+	}
+	return out
+}
+
+// ruleFor resolves the rule for one metric: exact name first, then the
+// longest matching "*"-suffixed prefix, then the default.
+func (s *Spec) ruleFor(name string) Rule {
+	if r, ok := s.Rules[name]; ok {
+		return r
+	}
+	best, bestLen := s.Default, -1
+	for pat, r := range s.Rules {
+		if !strings.HasSuffix(pat, "*") {
+			continue
+		}
+		prefix := strings.TrimSuffix(pat, "*")
+		if strings.HasPrefix(name, prefix) && len(prefix) > bestLen {
+			best, bestLen = r, len(prefix)
+		}
+	}
+	return best
+}
+
+// Violation is one failed check of a golden comparison.
+type Violation struct {
+	Metric string // metric name, or ordering name for ordering failures
+	Got    float64
+	Want   float64 // golden value (or bound for band/ordering checks)
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("FAIL %s: %s", v.Metric, v.Detail)
+}
+
+// Report is the outcome of comparing collected metrics against a golden
+// file under a spec.
+type Report struct {
+	Checked    int // metrics compared (including banded)
+	Orderings  int // orderings evaluated
+	Violations []Violation
+}
+
+// OK reports whether the comparison passed.
+func (r Report) OK() bool { return len(r.Violations) == 0 }
+
+// Summary renders a one-line outcome.
+func (r Report) Summary() string {
+	status := "ok"
+	if !r.OK() {
+		status = fmt.Sprintf("%d FAILED", len(r.Violations))
+	}
+	return fmt.Sprintf("golden: %d metrics, %d orderings checked: %s", r.Checked, r.Orderings, status)
+}
+
+// Render writes the full human-readable report: every violation, then the
+// summary line.
+func (r Report) Render() string {
+	var sb strings.Builder
+	for _, v := range r.Violations {
+		sb.WriteString(v.String())
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(r.Summary())
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// fmtF renders a float in shortest round-trip form for report text.
+func fmtF(v float64) string {
+	return fmt.Sprintf("%v", v)
+}
+
+// Compare checks collected metrics against golden values under the spec.
+// Every metric present in either map is checked: a metric missing on one
+// side is a violation (presence is deterministic — see Metrics.Set).
+// Band rules constrain the collected value directly and tolerate a missing
+// golden entry; orderings run on the collected metrics only.
+func Compare(got, want Metrics, spec *Spec) Report {
+	var rep Report
+	names := map[string]bool{}
+	for k := range got {
+		names[k] = true
+	}
+	for k := range want {
+		names[k] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for k := range names {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+
+	for _, name := range ordered {
+		g, haveGot := got[name]
+		w, haveWant := want[name]
+		rule := spec.ruleFor(name)
+		rep.Checked++
+		if !haveGot {
+			rep.Violations = append(rep.Violations, Violation{
+				Metric: name, Want: w,
+				Detail: fmt.Sprintf("missing from collected metrics (golden %s)", fmtF(w)),
+			})
+			continue
+		}
+		switch rule.Kind {
+		case "band":
+			if rule.Min != nil && g < *rule.Min {
+				rep.Violations = append(rep.Violations, Violation{
+					Metric: name, Got: g, Want: *rule.Min,
+					Detail: fmt.Sprintf("got %s below band min %s", fmtF(g), fmtF(*rule.Min)),
+				})
+			}
+			if rule.Max != nil && g > *rule.Max {
+				rep.Violations = append(rep.Violations, Violation{
+					Metric: name, Got: g, Want: *rule.Max,
+					Detail: fmt.Sprintf("got %s above band max %s", fmtF(g), fmtF(*rule.Max)),
+				})
+			}
+			continue
+		}
+		if !haveWant {
+			rep.Violations = append(rep.Violations, Violation{
+				Metric: name, Got: g,
+				Detail: fmt.Sprintf("not in golden file (collected %s); run -golden-update", fmtF(g)),
+			})
+			continue
+		}
+		switch rule.Kind {
+		case "exact":
+			if g != w {
+				rep.Violations = append(rep.Violations, Violation{
+					Metric: name, Got: g, Want: w,
+					Detail: fmt.Sprintf("got %s, want exactly %s", fmtF(g), fmtF(w)),
+				})
+			}
+		case "abs":
+			if math.Abs(g-w) > rule.Value {
+				rep.Violations = append(rep.Violations, Violation{
+					Metric: name, Got: g, Want: w,
+					Detail: fmt.Sprintf("got %s, want %s ± %s", fmtF(g), fmtF(w), fmtF(rule.Value)),
+				})
+			}
+		case "rel":
+			if math.Abs(g-w) > rule.Value*math.Max(math.Abs(w), 1e-12) {
+				rep.Violations = append(rep.Violations, Violation{
+					Metric: name, Got: g, Want: w,
+					Detail: fmt.Sprintf("got %s, want %s within rel %s", fmtF(g), fmtF(w), fmtF(rule.Value)),
+				})
+			}
+		}
+	}
+
+	for _, o := range spec.Orderings {
+		rep.Orderings++
+		lo, haveLo := got[o.Lower]
+		hi, haveHi := got[o.Upper]
+		if !haveLo || !haveHi {
+			rep.Violations = append(rep.Violations, Violation{
+				Metric: o.Name,
+				Detail: fmt.Sprintf("ordering %q: metric missing (%s present=%v, %s present=%v)",
+					o.Name, o.Lower, haveLo, o.Upper, haveHi),
+			})
+			continue
+		}
+		if lo > hi+o.Slack {
+			rep.Violations = append(rep.Violations, Violation{
+				Metric: o.Name, Got: lo, Want: hi,
+				Detail: fmt.Sprintf("ordering %q violated: %s = %s exceeds %s = %s + slack %s",
+					o.Name, o.Lower, fmtF(lo), o.Upper, fmtF(hi), fmtF(o.Slack)),
+			})
+		}
+	}
+	return rep
+}

@@ -1,0 +1,102 @@
+package histogram
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"odds/internal/stats"
+)
+
+// FuzzEquiDepth differential-tests the equi-depth construction against the
+// naive sorted-quantile oracle: on random value sets (uniform, clustered,
+// duplicate-heavy, constant) the histogram's CDF must stay within one
+// (widened) bucket's worth of mass of the exact empirical CDF, be
+// monotone, integrate to the full window count, and never materialize more
+// than min(|B|, n) buckets.
+func FuzzEquiDepth(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint8(16), uint8(0))
+	f.Add(int64(2), uint16(500), uint8(32), uint8(1))
+	f.Add(int64(3), uint16(64), uint8(8), uint8(2)) // duplicate-heavy
+	f.Add(int64(4), uint16(40), uint8(4), uint8(3)) // constant
+	f.Add(int64(5), uint16(1), uint8(1), uint8(0))  // single value
+	f.Add(int64(6), uint16(300), uint8(64), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint16, bRaw uint8, mode uint8) {
+		n := int(nRaw)%600 + 1
+		buckets := int(bRaw)%64 + 1
+		r := stats.NewRand(seed)
+		values := make([]float64, n)
+		for i := range values {
+			switch mode % 4 {
+			case 0: // uniform
+				values[i] = r.Float64()
+			case 1: // two Gaussian clusters
+				if r.Intn(2) == 0 {
+					values[i] = 0.3 + 0.02*r.NormFloat64()
+				} else {
+					values[i] = 0.7 + 0.05*r.NormFloat64()
+				}
+			case 2: // duplicate-heavy: eight distinct values
+				values[i] = float64(r.Intn(8)) / 7
+			case 3: // constant
+				values[i] = 0.42
+			}
+		}
+
+		h, err := NewEquiDepth(values, buckets, float64(n))
+		if err != nil {
+			t.Fatalf("NewEquiDepth(n=%d, B=%d): %v", n, buckets, err)
+		}
+		if got, max := h.Buckets(), min(buckets, n); got > max {
+			t.Fatalf("materialized %d buckets, want ≤ %d", got, max)
+		}
+
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		lo, hi := sorted[0], sorted[n-1]
+
+		// Total mass: a query covering the whole support returns n.
+		if total := h.CountBox([]float64{lo - 1}, []float64{hi + 1}); math.Abs(total-float64(n)) > 1e-6*float64(n) {
+			t.Fatalf("total mass %v, want %d", total, n)
+		}
+
+		// Oracle tolerance: interpolation within a bucket can misplace at
+		// most that bucket's depth; duplicate collapsing widens a bucket by
+		// at most the longest run of equal values.
+		maxRun := 1
+		run := 1
+		for i := 1; i < n; i++ {
+			if sorted[i] == sorted[i-1] {
+				run++
+				if run > maxRun {
+					maxRun = run
+				}
+			} else {
+				run = 1
+			}
+		}
+		tol := float64(n/buckets + maxRun + 2)
+
+		queries := append([]float64(nil), sorted...)
+		for i := 0; i < 32; i++ {
+			queries = append(queries, lo+(hi-lo)*r.Float64())
+		}
+		sort.Float64s(queries)
+		prev := 0.0
+		for _, q := range queries {
+			got := h.CountBox([]float64{lo - 1}, []float64{q})
+			if math.IsNaN(got) || got < -1e-9 {
+				t.Fatalf("CDF(%v) = %v", q, got)
+			}
+			if got < prev-1e-9 {
+				t.Fatalf("CDF not monotone: %v then %v at q=%v", prev, got, q)
+			}
+			prev = got
+			exact := float64(sort.SearchFloat64s(sorted, math.Nextafter(q, math.Inf(1))))
+			if math.Abs(got-exact) > tol {
+				t.Fatalf("n=%d B=%d mode=%d: CDF(%v) = %v, exact %v, tolerance %v",
+					n, buckets, mode%4, q, got, exact, tol)
+			}
+		}
+	})
+}

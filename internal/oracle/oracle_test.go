@@ -1,0 +1,84 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"odds/internal/window"
+)
+
+func TestConfigsSeededAndBounded(t *testing.T) {
+	a := Configs(30, 42)
+	b := Configs(30, 42)
+	if len(a) != 30 {
+		t.Fatalf("got %d configs", len(a))
+	}
+	names := map[string]bool{}
+	for i, c := range a {
+		if c != b[i] {
+			t.Fatalf("config %d not deterministic: %+v vs %+v", i, c, b[i])
+		}
+		if c.Dim < 1 || c.Dim > 3 {
+			t.Errorf("config %d: dim %d out of range", i, c.Dim)
+		}
+		if c.WindowCap < 30 || c.WindowCap > 180 {
+			t.Errorf("config %d: window cap %d out of range", i, c.WindowCap)
+		}
+		if c.Steps < 2*c.WindowCap {
+			t.Errorf("config %d: %d steps never turn over the window", i, c.Steps)
+		}
+		if c.LossRate < 0 || c.LossRate > 0.3 {
+			t.Errorf("config %d: loss rate %v out of range", i, c.LossRate)
+		}
+		names[c.Name()] = true
+	}
+	if len(names) != 30 {
+		t.Errorf("subtest names collide: %d unique of 30", len(names))
+	}
+}
+
+func TestStreamInUnitCube(t *testing.T) {
+	for _, cfg := range Configs(5, 7) {
+		s := cfg.NewStream()
+		for i := 0; i < 500; i++ {
+			if p := s.Next(); len(p) != cfg.Dim || !p.InUnitCube() {
+				t.Fatalf("%s: bad point %v", cfg.Name(), p)
+			}
+		}
+	}
+}
+
+// TestShrinkMinimal checks the shrinker finds a locally minimal failing
+// subset: with failure defined as "contains a point above 0.9 AND one
+// below 0.1", the minimum is exactly one of each.
+func TestShrinkMinimal(t *testing.T) {
+	var pts []window.Point
+	for i := 0; i < 40; i++ {
+		pts = append(pts, window.Point{0.5})
+	}
+	pts = append(pts, window.Point{0.95}, window.Point{0.05})
+	for i := 0; i < 40; i++ {
+		pts = append(pts, window.Point{0.4})
+	}
+	fails := func(sub []window.Point) bool {
+		var hi, lo bool
+		for _, p := range sub {
+			hi = hi || p[0] > 0.9
+			lo = lo || p[0] < 0.1
+		}
+		return hi && lo
+	}
+	min := Shrink(pts, fails)
+	if len(min) != 2 || !fails(min) {
+		t.Fatalf("Shrink returned %d points (%v), want the 2-point minimum", len(min), min)
+	}
+}
+
+func TestFormatIsGoLiteral(t *testing.T) {
+	s := Format([]window.Point{{0.25, 0.5}, {1, 0}})
+	for _, want := range []string{"[]window.Point{", "{0.25, 0.5},", "{1, 0},"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package sample
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"odds/internal/stats"
+	"odds/internal/window"
+)
+
+// TestChainRandomizedProperties drives chain sampling through randomized
+// seeded configurations (sample size, window capacity, dimensionality)
+// and checks the invariants the paper's Theorem 1 accounting rests on at
+// every arrival: the sample never exceeds its configured size, every
+// retained element lies inside the current window (checked by encoding
+// the arrival index into the first coordinate), and the long-run age
+// distribution of sampled elements is uniform over the window.
+func TestChainRandomizedProperties(t *testing.T) {
+	master := stats.NewRand(0x5a3)
+	type cfg struct {
+		k, wcap, dim int
+		seed         int64
+	}
+	var cfgs []cfg
+	for i := 0; i < 25; i++ {
+		cfgs = append(cfgs, cfg{
+			k:    1 + master.Intn(32),
+			wcap: 2 + master.Intn(150),
+			dim:  1 + master.Intn(3),
+			seed: master.Int63(),
+		})
+	}
+	for _, c := range cfgs {
+		c := c
+		t.Run(fmt.Sprintf("k%d_w%d_d%d_s%d", c.k, c.wcap, c.dim, c.seed), func(t *testing.T) {
+			t.Parallel()
+			r := stats.NewRand(c.seed)
+			ch := NewChain(c.k, c.wcap, c.dim, stats.NewRand(r.Int63()))
+			steps := 6 * c.wcap
+			var ages stats.Moments
+			for i := 1; i <= steps; i++ {
+				p := make(window.Point, c.dim)
+				p[0] = float64(i) // arrival index: window membership is checkable
+				for j := 1; j < c.dim; j++ {
+					p[j] = r.Float64()
+				}
+				ch.Push(p)
+
+				pts := ch.Points()
+				if len(pts) > c.k {
+					t.Fatalf("arrival %d: %d sampled points exceed size %d", i, len(pts), c.k)
+				}
+				if len(pts) == 0 {
+					t.Fatalf("arrival %d: sample empty", i)
+				}
+				lo := float64(i - c.wcap + 1)
+				for _, q := range pts {
+					if q[0] < lo || q[0] > float64(i) {
+						t.Fatalf("arrival %d: sampled arrival %v outside window [%v,%d]",
+							i, q[0], lo, i)
+					}
+					if i > 2*c.wcap {
+						ages.Add(float64(i) - q[0])
+					}
+				}
+				if s := ch.StoredPoints(); s < len(pts) {
+					t.Fatalf("arrival %d: StoredPoints %d < live sample %d", i, s, len(pts))
+				}
+			}
+			// Uniform ages over [0, wcap-1] have mean (wcap-1)/2. Consecutive
+			// snapshots are heavily autocorrelated (a slot's sample persists
+			// for many arrivals), so only a loose band is sound per config;
+			// TestChainUniformity pins a tight bound on one long run.
+			wantMean := float64(c.wcap-1) / 2
+			if got := ages.Mean(); math.Abs(got-wantMean) > 0.5*float64(c.wcap) {
+				t.Errorf("mean sampled age %v far from uniform mean %v (window %d)",
+					got, wantMean, c.wcap)
+			}
+		})
+	}
+}

