@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-all experiments quick-experiments verify-figures update-golden fmt vet clean
+.PHONY: all build test race cover bench bench-all bench-fault chaos experiments quick-experiments verify-figures update-golden fmt vet clean
 
 # The default verify path includes vet and the race detector: the
 # parallel evaluation harness and the concurrent runtime are only correct
@@ -34,6 +34,19 @@ bench:
 # Every benchmark in the tree, Go-managed iteration counts.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fault-engine overhead suite whose numbers land in BENCH_FAULT.json:
+# nil plan (disabled path) vs empty compiled plan vs a full fault
+# vocabulary, plus the end-to-end D3 run with faults disabled.
+bench-fault:
+	$(GO) test -run=NONE -bench=BenchmarkStep -benchmem -benchtime 2000000x ./internal/tagsim/
+	$(GO) test -run=NONE -bench=BenchmarkParallelRunD3 -benchtime 3x .
+
+# Full chaos property suite (30 oracle-generated fault schedules plus
+# faulted parallel-replay determinism) and the fault-schedule fuzzer.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestRunParallelFaulted|TestFaultedSeedExactReplay' . ./internal/core/
+	$(GO) test -fuzz FuzzFaultSchedule -fuzztime 30s ./internal/fault/
 
 # Full evaluation suite at near-paper scale (tens of minutes).
 experiments: build

@@ -1,0 +1,272 @@
+package odds
+
+// Chaos property suite: oracle-generated fault schedules — crashes
+// (including crash-of-root and permanent outages), asymmetric loss,
+// Gilbert–Elliott bursts, delay, duplication — thrown at full
+// deployments, with invariants checked on every run and ddmin shrinking
+// of the schedule's event list when one fails:
+//
+//  1. no panic or deadlock: every faulted run completes;
+//  2. message conservation: sent + duplicated == delivered + lost +
+//     dropped + crash-dropped + dup-discarded + in-flight;
+//  3. no delivery to a crashed node: no outlier report is attributed to
+//     a node inside one of its outage windows;
+//  4. detection degrades monotonically vs the fault-free twin at the
+//     leaves: a crashed D3 leaf merely pauses its source, so its faulted
+//     arrival sequence is a prefix of the twin's and its local
+//     detections (message-independent by design) cannot exceed the
+//     twin's.
+//
+// The faulted run and its twin share DeploymentConfig.Seed (the fault
+// schedule keeps its own), so both runs see identical per-node
+// randomness — the comparison isolates the faults.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"odds/internal/fault"
+	"odds/internal/oracle"
+)
+
+// chaosConfig is a deliberately small estimation config so one chaos
+// run costs milliseconds, not seconds.
+func chaosConfig() Config {
+	return Config{
+		WindowCap:      300,
+		SampleSize:     60,
+		Eps:            0.25,
+		SampleFraction: 0.5,
+		Dim:            1,
+		RebuildEvery:   8,
+	}
+}
+
+func chaosDeployment(alg Algorithm, sched *fault.Schedule, selfHeal bool, seed int64) (*Deployment, error) {
+	cfg := DeploymentConfig{
+		Algorithm: alg,
+		Sources:   buildSources(8, 1),
+		Branching: 2,
+		Core:      chaosConfig(),
+		Faults:    sched,
+		SelfHeal:  selfHeal,
+		Seed:      seed,
+	}
+	switch alg {
+	case D3:
+		cfg.Dist = DistanceParams{Radius: 0.02, Threshold: 8}
+	case MGDD:
+		cfg.MDEF = MDEFParams{R: 0.08, AlphaR: 0.01, KSigma: 1}
+	}
+	return NewDeployment(cfg)
+}
+
+// leafReports counts level-0 reports.
+func leafReports(d *Deployment) int {
+	n := 0
+	for _, r := range d.Reports() {
+		if r.Level == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// checkChaosInvariants runs one faulted deployment and asserts the
+// suite's invariants, given the twin's leaf-report count from a
+// fault-free run at the same seed (pass < 0 to skip the monotonicity
+// check, e.g. for MGDD, whose leaf decisions depend on received global
+// updates and so are not prefix-monotone).
+func checkChaosInvariants(alg Algorithm, sched fault.Schedule, selfHeal bool, seed int64, epochs, twinLeaf int) error {
+	d, err := chaosDeployment(alg, &sched, selfHeal, seed)
+	if err != nil {
+		return fmt.Errorf("deployment rejected schedule: %w", err)
+	}
+	d.Run(epochs) // invariant 1: completes without panic or deadlock
+	if err := d.CheckMessageConservation(); err != nil {
+		return err // invariant 2
+	}
+	plan := fault.MustCompile(sched)
+	for _, r := range d.Reports() {
+		if plan.Down(r.Node, r.Epoch) {
+			return fmt.Errorf("report from node %d at epoch %d, inside its outage window", r.Node, r.Epoch)
+		}
+	}
+	if twinLeaf >= 0 {
+		if got := leafReports(d); got > twinLeaf {
+			return fmt.Errorf("leaf detections grew under faults: %d faulted vs %d fault-free", got, twinLeaf)
+		}
+	}
+	return nil
+}
+
+// shrinkSchedule reduces a failing schedule to a locally minimal event
+// list via the oracle's generic ddmin shrinker.
+func shrinkSchedule(sched fault.Schedule, alg Algorithm, selfHeal bool, seed int64, epochs, twinLeaf int) fault.Schedule {
+	type event struct {
+		crash *fault.Crash
+		link  *fault.Link
+	}
+	var events []event
+	for i := range sched.Crashes {
+		events = append(events, event{crash: &sched.Crashes[i]})
+	}
+	for i := range sched.Links {
+		events = append(events, event{link: &sched.Links[i]})
+	}
+	rebuild := func(evs []event) fault.Schedule {
+		s := fault.Schedule{Seed: sched.Seed}
+		for _, e := range evs {
+			if e.crash != nil {
+				s.Crashes = append(s.Crashes, *e.crash)
+			} else {
+				s.Links = append(s.Links, *e.link)
+			}
+		}
+		return s
+	}
+	min := oracle.ShrinkSlice(events, func(evs []event) bool {
+		return checkChaosInvariants(alg, rebuild(evs), selfHeal, seed, epochs, twinLeaf) != nil
+	})
+	return rebuild(min)
+}
+
+// TestChaosSchedules is the chaos property suite. In -short mode it runs
+// a reduced schedule count so it stays cheap enough for the CI race job.
+func TestChaosSchedules(t *testing.T) {
+	n, epochs := 30, 900
+	if testing.Short() {
+		n, epochs = 8, 600
+	}
+	const seed = 4242
+	scheds := oracle.FaultSchedules(n, 15, epochs, 99)
+
+	// One fault-free twin per algorithm: every faulted run shares its
+	// deployment seed, so the twin is computed once.
+	twin, err := chaosDeployment(D3, nil, false, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin.Run(epochs)
+	twinLeaf := leafReports(twin)
+	if twinLeaf == 0 {
+		t.Fatal("fault-free twin detected nothing; chaos comparisons would be vacuous")
+	}
+
+	for i, sched := range scheds {
+		sched := sched
+		// Cycle through the interesting configurations: D3 static, D3
+		// self-healing, MGDD self-healing (no leaf-monotonicity check —
+		// MGDD leaf decisions depend on received global updates).
+		alg, selfHeal, tl := D3, false, twinLeaf
+		switch i % 3 {
+		case 1:
+			selfHeal = true
+			tl = -1 // healing re-routes uplinks, which may shift leaf rng streams
+		case 2:
+			alg, selfHeal, tl = MGDD, true, -1
+		}
+		t.Run(fmt.Sprintf("schedule%02d_%s", i, alg), func(t *testing.T) {
+			if err := checkChaosInvariants(alg, sched, selfHeal, seed, epochs, tl); err != nil {
+				shrunk := shrinkSchedule(sched, alg, selfHeal, seed, epochs, tl)
+				t.Fatalf("%v\nshrunken reproducer:\n%s", err, shrunk.GoString())
+			}
+		})
+	}
+}
+
+// TestChaosParallelReplay pins faulted determinism across engines: for a
+// crash+burst+delay+dup schedule, Run and RunParallel at 1, 4, and
+// NumCPU workers must be DeepEqual-identical in reports and message
+// accounting.
+func TestChaosParallelReplay(t *testing.T) {
+	epochs := 700
+	if testing.Short() {
+		epochs = 400
+	}
+	sched := fault.Schedule{
+		Seed: 77,
+		Crashes: []fault.Crash{
+			{Node: 2, At: 100, For: 80},
+			{Node: 9, At: 150, For: 120}, // interior leader
+			{Node: 14, At: 300, For: 60}, // the root
+		},
+		Links: []fault.Link{
+			{From: 1, To: 8, Loss: 0.3},
+			{From: fault.Any, To: fault.Any, Burst: fault.GilbertElliott{PGoodBad: 0.05, PBadGood: 0.4, LossBad: 0.9},
+				DelayProb: 0.2, DelayMax: 3, DupProb: 0.15},
+		},
+	}
+	for _, alg := range []Algorithm{D3, MGDD} {
+		t.Run(alg.String(), func(t *testing.T) {
+			serial, err := chaosDeployment(alg, &sched, true, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial.Run(epochs)
+			if err := serial.CheckMessageConservation(); err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4, runtime.NumCPU()} {
+				par, err := chaosDeployment(alg, &sched, true, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par.RunParallel(epochs, workers)
+				assertDeploymentsEqual(t, serial, par, workers)
+			}
+		})
+	}
+}
+
+// TestChaosSelfHealingRecovers exercises the full repair story: an MGDD
+// deployment whose interior leaders and leaves crash must re-parent
+// around the outages, detect stale replicas, and record time-to-recover
+// once refreshes land.
+func TestChaosSelfHealingRecovers(t *testing.T) {
+	sched := fault.Schedule{
+		Seed: 31,
+		Crashes: []fault.Crash{
+			{Node: 0, At: 500, For: 150},  // a leaf
+			{Node: 8, At: 700, For: 200},  // its leader
+			{Node: 12, At: 900, For: 100}, // a level-2 leader
+		},
+	}
+	d, err := chaosDeployment(MGDD, &sched, true, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(1600)
+	if err := d.CheckMessageConservation(); err != nil {
+		t.Fatal(err)
+	}
+	// With self-healing and no delay links, routes are repaired before any
+	// epoch's sends, so no copy is ever wasted on a crashed destination.
+	st := d.Messages()
+	if st.CrashDropped != 0 {
+		t.Errorf("%d copies crash-dropped despite self-healing re-routing", st.CrashDropped)
+	}
+	if st.ByKind["refresh"] == 0 {
+		t.Error("no refresh requests sent despite leaf outage")
+	}
+	var recovered bool
+	for _, h := range d.Health() {
+		if h.Node == 0 {
+			if h.Crashes != 1 {
+				t.Errorf("leaf 0 crash count = %d, want 1", h.Crashes)
+			}
+			if len(h.TimeToRecover) > 0 {
+				recovered = true
+				for _, ttr := range h.TimeToRecover {
+					if ttr < 0 {
+						t.Errorf("negative time-to-recover %d", ttr)
+					}
+				}
+			}
+		}
+	}
+	if !recovered {
+		t.Error("crashed leaf never recorded a completed recovery")
+	}
+}

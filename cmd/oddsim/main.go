@@ -25,12 +25,13 @@ import (
 	"time"
 
 	"odds/internal/experiments"
+	"odds/internal/faultexp"
 	"odds/internal/golden"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|mem|ablation|all")
+		exp     = flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|mem|ablation|figfault|all")
 		quick   = flag.Bool("quick", false, "reduced scale (small windows, single run)")
 		runs    = flag.Int("runs", 0, "override run count (paper: 12)")
 		seed    = flag.Int64("seed", 1, "master seed")
@@ -117,9 +118,23 @@ func main() {
 		}
 		return experiments.Memory(c)
 	})
+	run("figfault", func() *experiments.Table {
+		c := faultexp.Default()
+		c.Seed = *seed
+		c.Workers = *workers
+		if *quick {
+			c.Epochs = 900
+		}
+		t, err := faultexp.Figure(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oddsim: figfault: %v\n", err)
+			os.Exit(1)
+		}
+		return t
+	})
 
 	switch *exp {
-	case "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "mem", "ablation", "all":
+	case "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "mem", "ablation", "figfault", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "oddsim: unknown experiment %q\n", *exp)
 		flag.Usage()

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"odds/internal/core"
+	"odds/internal/fault"
 	"odds/internal/network"
 	"odds/internal/parallel"
 	"odds/internal/stats"
@@ -67,8 +68,26 @@ type DeploymentConfig struct {
 	// destroyed independently with this probability. The algorithms
 	// degrade gracefully — sample propagation and global updates are
 	// probabilistic refreshes, not protocol state — which the failure-
-	// injection tests verify.
+	// injection tests verify. It is shorthand for a Faults schedule with
+	// one uniform-loss link rule and composes with Faults.
 	MessageLoss float64
+	// Faults schedules deterministic node crashes and link faults
+	// (bursty loss, delay, duplication — see internal/fault). The
+	// schedule uses its own Seed, so a faulted run and its fault-free
+	// twin share identical per-node randomness streams. Nil injects
+	// nothing and leaves the fault-free path bit-identical.
+	Faults *fault.Schedule
+	// SelfHeal arms topology repair and model recovery: orphaned nodes
+	// re-parent onto their nearest live ancestor while a leader is
+	// crashed, global-model broadcasts route around down relays, and
+	// MGDD leaves detect stale replicas (no update for StaleAfter
+	// epochs) or their own recovery and request a catch-up refresh from
+	// the root. With no faults scheduled, a self-healing deployment
+	// behaves identically to a static one.
+	SelfHeal bool
+	// StaleAfter is the staleness horizon in epochs for SelfHeal
+	// (default 200).
+	StaleAfter int
 	// UseGrid organizes the network as the paper's Figure 1 overlapping
 	// virtual grids (quad-tree tiers over sensors placed on the unit
 	// plane) instead of a plain branching hierarchy. Requires the number
@@ -81,10 +100,16 @@ type DeploymentConfig struct {
 // Deployment is a runnable hierarchical sensor network executing one of
 // the paper's algorithms.
 type Deployment struct {
-	cfg     DeploymentConfig
-	topo    *network.Topology
-	sim     *tagsim.Simulator
-	nodes   []tagsim.Node
+	cfg   DeploymentConfig
+	topo  *network.Topology
+	sim   *tagsim.Simulator
+	nodes []tagsim.Node
+	plan  *fault.Plan
+	// effUp/effCh are the self-healing routing tables: rewritten only
+	// between epochs (prologue), read concurrently during parallel epoch
+	// phases.
+	effUp   map[tagsim.NodeID]upEntry
+	effCh   map[tagsim.NodeID][]tagsim.NodeID
 	mu      sync.Mutex // guards reports and buf (concurrent runs flag in parallel)
 	reports []Report
 	// buf, when non-nil, redirects reports into per-node slots during a
@@ -105,6 +130,9 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	}
 	if cfg.Branching < 2 {
 		return nil, fmt.Errorf("odds: branching %d must be at least 2", cfg.Branching)
+	}
+	if cfg.SelfHeal && cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = 200
 	}
 	if err := cfg.Core.Validate(); err != nil {
 		return nil, err
@@ -154,8 +182,31 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	if cfg.MessageLoss < 0 || cfg.MessageLoss > 1 {
 		return nil, fmt.Errorf("odds: message loss %v outside [0,1]", cfg.MessageLoss)
 	}
+	// Assemble the effective fault schedule. MessageLoss composes as one
+	// catch-all uniform-loss link rule. When only MessageLoss is given,
+	// the schedule seed comes from the master stream — one draw, exactly
+	// where the legacy loss RNG was split off, so node seeds are
+	// unchanged. An explicit Faults schedule keeps its own seed so a
+	// faulted run and its fault-free twin share node streams.
+	var sched fault.Schedule
+	if cfg.Faults != nil {
+		sched.Seed = cfg.Faults.Seed
+		sched.Crashes = append([]fault.Crash(nil), cfg.Faults.Crashes...)
+		sched.Links = append([]fault.Link(nil), cfg.Faults.Links...)
+	}
 	if cfg.MessageLoss > 0 {
-		d.sim.SetLoss(cfg.MessageLoss, stats.SplitRand(master))
+		if cfg.Faults == nil {
+			sched.Seed = master.Int63()
+		}
+		sched.Links = append(sched.Links, fault.Link{From: fault.Any, To: fault.Any, Loss: cfg.MessageLoss})
+	}
+	if !sched.Empty() {
+		plan, err := fault.Compile(sched)
+		if err != nil {
+			return nil, fmt.Errorf("odds: %w", err)
+		}
+		d.plan = plan
+		d.sim.SetFaults(plan)
 	}
 
 	record := func(node tagsim.NodeID, level int) func(Point, int) {
@@ -182,6 +233,9 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		case MGDD:
 			leaf := core.NewMGDDLeaf(id, parent, hasUp, cfg.Sources[i], cfg.Core, cfg.MDEF, len(topo.Leaves()), stats.SplitRand(master))
 			leaf.Flagged = record(id, 0)
+			if cfg.SelfHeal {
+				leaf.StaleAfter = cfg.StaleAfter
+			}
 			d.addNode(leaf)
 		case Centralized:
 			d.addNode(core.NewCentralLeaf(id, parent, hasUp, cfg.Sources[i]))
@@ -209,6 +263,9 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 			}
 		}
 	}
+	if cfg.SelfHeal {
+		d.installRoutes()
+	}
 	return d, nil
 }
 
@@ -217,10 +274,73 @@ func (d *Deployment) addNode(n tagsim.Node) {
 	d.nodes = append(d.nodes, n)
 }
 
+// upEntry is one node's current upward hop in the routing table.
+type upEntry struct {
+	parent tagsim.NodeID
+	ok     bool
+}
+
+// routable is implemented by every core node behavior.
+type routable interface {
+	SetRoute(func() (tagsim.NodeID, bool))
+}
+
+// installRoutes points every node's uplink (and MGDD downlinks) at the
+// deployment routing tables, which prologue rewrites between epochs
+// whenever the fault plan changes the live topology.
+func (d *Deployment) installRoutes() {
+	d.recomputeRoutes(0)
+	for _, n := range d.nodes {
+		id := n.ID()
+		if r, ok := n.(routable); ok {
+			r.SetRoute(func() (tagsim.NodeID, bool) {
+				e := d.effUp[id]
+				return e.parent, e.ok
+			})
+		}
+		if p, ok := n.(*core.MGDDParent); ok {
+			p.SetDownlinks(func() []tagsim.NodeID { return d.effCh[id] })
+		}
+	}
+}
+
+// recomputeRoutes rebuilds the live-topology routing tables for epoch:
+// every node's uplink becomes its nearest live ancestor, every node's
+// downlinks its live children (crashed children replaced by their live
+// descendants).
+func (d *Deployment) recomputeRoutes(epoch int) {
+	down := func(id tagsim.NodeID) bool { return d.plan.Down(int(id), epoch) }
+	up := make(map[tagsim.NodeID]upEntry, len(d.nodes))
+	ch := make(map[tagsim.NodeID][]tagsim.NodeID, len(d.nodes))
+	for _, n := range d.nodes {
+		id := n.ID()
+		p, ok := d.topo.LiveParent(id, down)
+		up[id] = upEntry{parent: p, ok: ok}
+		ch[id] = d.topo.LiveChildren(id, down)
+	}
+	d.effUp, d.effCh = up, ch
+}
+
+// prologue runs serially at the top of every epoch; it refreshes the
+// routing tables only at epochs where an outage begins or ends, so the
+// steady-state cost is one map lookup.
+func (d *Deployment) prologue(epoch int) {
+	if d.effUp == nil || d.plan == nil {
+		return // self-healing off, or nothing to heal from
+	}
+	if epoch > 0 && !d.plan.TopologyChangedAt(epoch) {
+		return
+	}
+	d.recomputeRoutes(epoch)
+}
+
 // Run executes the given number of epochs on the deterministic simulator
 // (one reading per sensor per epoch).
 func (d *Deployment) Run(epochs int) {
-	d.sim.Run(epochs)
+	for e := 0; e < epochs; e++ {
+		d.prologue(e)
+		d.sim.Step(e)
+	}
 	d.epochs += epochs
 }
 
@@ -238,6 +358,7 @@ func (d *Deployment) RunParallel(epochs, workers int) {
 		return
 	}
 	for e := 0; e < epochs; e++ {
+		d.prologue(e)
 		d.mu.Lock()
 		d.buf = make([][]Report, len(d.nodes))
 		d.mu.Unlock()
@@ -259,6 +380,12 @@ func (d *Deployment) RunParallel(epochs, workers int) {
 func (d *Deployment) RunConcurrent(epochs int) {
 	rt := network.NewRuntime(d.nodes)
 	defer rt.Close()
+	if d.plan != nil {
+		rt.SetFaults(d.plan)
+	}
+	if d.effUp != nil {
+		rt.SetBeforeEpoch(d.prologue)
+	}
 	rt.Run(epochs)
 	d.epochs += epochs
 }
@@ -279,6 +406,51 @@ type MessageStats = tagsim.Stats
 
 // Messages returns the message accounting of deterministic runs.
 func (d *Deployment) Messages() MessageStats { return d.sim.Stats() }
+
+// CheckMessageConservation asserts that every transmitted copy in the
+// deterministic engine met exactly one fate (delivered, lost, dropped,
+// crash-dropped, duplicate-discarded, or still in flight).
+func (d *Deployment) CheckMessageConservation() error { return d.sim.CheckConservation() }
+
+// NodeHealth is one node's robustness snapshot after a run.
+type NodeHealth struct {
+	Node  int
+	Level int
+	// Down reports whether the node was crashed at the last stepped
+	// epoch; Crashes counts its scheduled outage windows.
+	Down    bool
+	Crashes int
+	// ModelEpoch is the epoch stamp of an MGDD leaf's global-model
+	// replica (-1 for other nodes or before the first update), Stale
+	// whether the leaf currently awaits a refresh, and TimeToRecover the
+	// epochs each completed repair took from staleness/outage onset to
+	// the next folded update.
+	ModelEpoch    int
+	Stale         bool
+	TimeToRecover []int
+}
+
+// Health reports per-node health: crash state and counts from the fault
+// plan, plus model staleness and time-to-recover for MGDD leaves.
+func (d *Deployment) Health() []NodeHealth {
+	e := d.sim.Epoch()
+	out := make([]NodeHealth, 0, len(d.nodes))
+	for _, n := range d.nodes {
+		id := n.ID()
+		h := NodeHealth{
+			Node:       int(id),
+			Level:      d.topo.Level(id),
+			Down:       d.plan.Down(int(id), e),
+			Crashes:    d.plan.CrashCount(int(id)),
+			ModelEpoch: -1,
+		}
+		if leaf, ok := n.(*core.MGDDLeaf); ok {
+			h.ModelEpoch, h.Stale, h.TimeToRecover = leaf.Health()
+		}
+		out = append(out, h)
+	}
+	return out
+}
 
 // Levels returns the number of hierarchy levels (leaves inclusive).
 func (d *Deployment) Levels() int { return d.topo.Depth() }

@@ -4,20 +4,28 @@ package odds
 // gracefully under radio loss, because sample propagation and global-model
 // updates are probabilistic refreshes rather than protocol state — a lost
 // message only delays a refresh that a later inclusion repeats.
+//
+// Loss is injected through the fault engine (a single uniform-loss rule
+// in a fault.Schedule), the same machinery the chaos suite drives with
+// crashes, bursts, delay, and duplication. The legacy MessageLoss knob
+// compiles to exactly this schedule shape and keeps its own validation
+// test below.
 
 import (
 	"testing"
+
+	"odds/internal/fault"
 )
 
-func lossyDeployment(t *testing.T, alg Algorithm, loss float64, seed int64) *Deployment {
+func faultyDeployment(t *testing.T, alg Algorithm, sched *fault.Schedule, seed int64) *Deployment {
 	t.Helper()
 	cfg := DeploymentConfig{
-		Algorithm:   alg,
-		Sources:     buildSources(8, 1),
-		Branching:   2,
-		Core:        smallConfig(1),
-		MessageLoss: loss,
-		Seed:        seed,
+		Algorithm: alg,
+		Sources:   buildSources(8, 1),
+		Branching: 2,
+		Core:      smallConfig(1),
+		Faults:    sched,
+		Seed:      seed,
 	}
 	switch alg {
 	case D3:
@@ -30,6 +38,13 @@ func lossyDeployment(t *testing.T, alg Algorithm, loss float64, seed int64) *Dep
 		t.Fatal(err)
 	}
 	return d
+}
+
+// uniform wraps fault.UniformLoss for the tests below; fault-stream seed
+// is independent of the deployment seed.
+func uniform(p float64, seed int64) *fault.Schedule {
+	s := fault.UniformLoss(p, seed)
+	return &s
 }
 
 func TestMessageLossValidation(t *testing.T) {
@@ -46,17 +61,32 @@ func TestMessageLossValidation(t *testing.T) {
 			t.Errorf("loss %v accepted", bad)
 		}
 	}
+	// A malformed explicit schedule must be rejected the same way.
+	_, err := NewDeployment(DeploymentConfig{
+		Algorithm: D3,
+		Sources:   buildSources(2, 1),
+		Branching: 2,
+		Core:      smallConfig(1),
+		Dist:      DistanceParams{Radius: 0.01, Threshold: 10},
+		Faults:    &fault.Schedule{Links: []fault.Link{{From: fault.Any, To: fault.Any, Loss: 2}}},
+	})
+	if err == nil {
+		t.Error("invalid fault schedule accepted")
+	}
 }
 
 func TestD3SurvivesHeavyLoss(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow deployment run; run without -short for this coverage")
 	}
-	d := lossyDeployment(t, D3, 0.5, 31)
+	d := faultyDeployment(t, D3, uniform(0.5, 131), 31)
 	d.Run(4000)
 	st := d.Messages()
 	if st.Lost == 0 {
 		t.Fatal("no messages lost despite 50% loss")
+	}
+	if err := d.CheckMessageConservation(); err != nil {
+		t.Fatal(err)
 	}
 	// Leaves detect locally, so leaf reports must survive any loss rate;
 	// parents see fewer candidates but must still confirm some.
@@ -76,9 +106,12 @@ func TestD3LossReducesButDoesNotBreakUpperLevels(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow deployment run; run without -short for this coverage")
 	}
-	clean := lossyDeployment(t, D3, 0, 33)
+	// Both runs share deployment seed 33, so node randomness is identical
+	// and only the injected loss differs (the fault stream is seeded
+	// separately by design).
+	clean := faultyDeployment(t, D3, nil, 33)
 	clean.Run(4000)
-	lossy := lossyDeployment(t, D3, 0.5, 33)
+	lossy := faultyDeployment(t, D3, uniform(0.5, 133), 33)
 	lossy.Run(4000)
 	upper := func(d *Deployment) int {
 		n := 0
@@ -99,10 +132,13 @@ func TestD3LossReducesButDoesNotBreakUpperLevels(t *testing.T) {
 }
 
 func TestMGDDSurvivesLoss(t *testing.T) {
-	d := lossyDeployment(t, MGDD, 0.3, 35)
+	d := faultyDeployment(t, MGDD, uniform(0.3, 135), 35)
 	d.Run(5000)
 	if d.Messages().Lost == 0 {
 		t.Fatal("no losses injected")
+	}
+	if err := d.CheckMessageConservation(); err != nil {
+		t.Fatal(err)
 	}
 	// Global updates thin out but replicas still fill and detection runs.
 	if len(d.Reports()) == 0 {
@@ -112,12 +148,12 @@ func TestMGDDSurvivesLoss(t *testing.T) {
 
 func TestCentralizedLossAccounting(t *testing.T) {
 	cfg := DeploymentConfig{
-		Algorithm:   Centralized,
-		Sources:     buildSources(4, 1),
-		Branching:   2,
-		Core:        smallConfig(1),
-		MessageLoss: 0.25,
-		Seed:        37,
+		Algorithm: Centralized,
+		Sources:   buildSources(4, 1),
+		Branching: 2,
+		Core:      smallConfig(1),
+		Faults:    uniform(0.25, 137),
+		Seed:      37,
 	}
 	d, err := NewDeployment(cfg)
 	if err != nil {
@@ -128,5 +164,36 @@ func TestCentralizedLossAccounting(t *testing.T) {
 	frac := float64(st.Lost) / float64(st.Total)
 	if frac < 0.2 || frac > 0.3 {
 		t.Errorf("lost fraction = %v, want ≈0.25", frac)
+	}
+}
+
+// TestLegacyLossKnobStillWorks pins the MessageLoss compatibility path:
+// it must compile to a uniform-loss schedule and keep the historical
+// node-seed draw positions (the d3-loss golden figures depend on it).
+func TestLegacyLossKnobStillWorks(t *testing.T) {
+	cfg := DeploymentConfig{
+		Algorithm:   D3,
+		Sources:     buildSources(4, 1),
+		Branching:   2,
+		Core:        smallConfig(1),
+		Dist:        DistanceParams{Radius: 0.01, Threshold: 10},
+		MessageLoss: 0.3,
+		Seed:        41,
+	}
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(1500)
+	st := d.Messages()
+	if st.Lost == 0 {
+		t.Fatal("MessageLoss knob injected no loss")
+	}
+	frac := float64(st.Lost) / float64(st.Total)
+	if frac < 0.24 || frac > 0.36 {
+		t.Errorf("lost fraction = %v, want ≈0.3", frac)
+	}
+	if err := d.CheckMessageConservation(); err != nil {
+		t.Fatal(err)
 	}
 }

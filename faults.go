@@ -1,0 +1,33 @@
+package odds
+
+import "odds/internal/fault"
+
+// The fault-injection vocabulary (internal/fault), re-exported so
+// external users can build DeploymentConfig.Faults schedules. See
+// DESIGN.md §6 for the schedule semantics and determinism contract.
+
+// FaultSchedule declares node crashes and link faults for a deployment;
+// the zero value is fault-free. Schedules are compiled and validated by
+// NewDeployment.
+type FaultSchedule = fault.Schedule
+
+// Crash is one node outage window; For <= 0 makes it permanent.
+type Crash = fault.Crash
+
+// FaultLink is one per-link fault rule (loss, burst, delay,
+// duplication); first matching rule wins.
+type FaultLink = fault.Link
+
+// GilbertElliott parameterizes bursty link loss via the two-state
+// Gilbert–Elliott channel model.
+type GilbertElliott = fault.GilbertElliott
+
+// AnyNode is the wildcard endpoint for FaultLink rules.
+const AnyNode = fault.Any
+
+// UniformLossSchedule is the simplest schedule: every message on every
+// link is lost independently with probability p, drawn from the given
+// fault-stream seed.
+func UniformLossSchedule(p float64, seed int64) FaultSchedule {
+	return fault.UniformLoss(p, seed)
+}

@@ -10,25 +10,27 @@ import (
 // 10.3): every reading is shipped hop-by-hop to the top leader, where all
 // processing would happen. It performs no local computation.
 type CentralLeaf struct {
-	id     tagsim.NodeID
-	parent tagsim.NodeID
-	hasUp  bool
-	src    stream.Source
+	id  tagsim.NodeID
+	up  Uplink
+	src stream.Source
 }
 
 // NewCentralLeaf wires a centralized-baseline sensor.
 func NewCentralLeaf(id, parent tagsim.NodeID, hasParent bool, src stream.Source) *CentralLeaf {
-	return &CentralLeaf{id: id, parent: parent, hasUp: hasParent, src: src}
+	return &CentralLeaf{id: id, up: newUplink(parent, hasParent), src: src}
 }
 
 // ID returns the node id.
 func (n *CentralLeaf) ID() tagsim.NodeID { return n.id }
 
+// SetRoute installs a dynamic uplink resolver (self-healing deployments).
+func (n *CentralLeaf) SetRoute(fn func() (tagsim.NodeID, bool)) { n.up.SetRoute(fn) }
+
 // OnEpoch ships the reading upward.
 func (n *CentralLeaf) OnEpoch(s tagsim.Sender, epoch int) {
 	v := n.src.Next()
-	if n.hasUp {
-		s.Send(n.parent, KindReading, v, 0)
+	if parent, hasUp := n.up.Get(); hasUp {
+		s.Send(parent, KindReading, v, 0)
 	}
 }
 
@@ -38,9 +40,8 @@ func (n *CentralLeaf) OnMessage(s tagsim.Sender, msg tagsim.Message) {}
 // CentralRelay forwards readings one hop toward the root; the root
 // collects them into a window for offline processing.
 type CentralRelay struct {
-	id     tagsim.NodeID
-	parent tagsim.NodeID
-	hasUp  bool
+	id tagsim.NodeID
+	up Uplink
 
 	// Collected holds the most recent readings at the root (nil elsewhere);
 	// bounded by CollectCap.
@@ -50,11 +51,14 @@ type CentralRelay struct {
 
 // NewCentralRelay wires a relay/collector node.
 func NewCentralRelay(id, parent tagsim.NodeID, hasParent bool) *CentralRelay {
-	return &CentralRelay{id: id, parent: parent, hasUp: hasParent}
+	return &CentralRelay{id: id, up: newUplink(parent, hasParent)}
 }
 
 // ID returns the node id.
 func (n *CentralRelay) ID() tagsim.NodeID { return n.id }
+
+// SetRoute installs a dynamic uplink resolver (self-healing deployments).
+func (n *CentralRelay) SetRoute(fn func() (tagsim.NodeID, bool)) { n.up.SetRoute(fn) }
 
 // OnEpoch is a no-op.
 func (n *CentralRelay) OnEpoch(s tagsim.Sender, epoch int) {}
@@ -64,8 +68,8 @@ func (n *CentralRelay) OnMessage(s tagsim.Sender, msg tagsim.Message) {
 	if msg.Kind != KindReading {
 		return
 	}
-	if n.hasUp {
-		s.Send(n.parent, KindReading, msg.Value, 0)
+	if parent, hasUp := n.up.Get(); hasUp {
+		s.Send(parent, KindReading, msg.Value, 0)
 		return
 	}
 	if n.CollectCap > 0 {

@@ -30,6 +30,11 @@ const (
 	// KindReading is a raw reading relayed hop-by-hop by the centralized
 	// baseline.
 	KindReading = "reading"
+	// KindRefresh is a catch-up request from a recovered or stale leaf,
+	// relayed to the top leader, which answers the origin (encoded in
+	// Aux) directly with a batch of KindGlobal updates. Only the
+	// self-healing deployment layer emits it.
+	KindRefresh = "refresh"
 )
 
 // Config carries the sliding-window estimation parameters shared by every

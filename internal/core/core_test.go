@@ -212,7 +212,7 @@ func TestD3EndToEnd(t *testing.T) {
 	for _, lvl := range parents {
 		for _, p := range lvl {
 			p := p
-			if !p.hasUp {
+			if _, hasUp := p.up.Get(); !hasUp {
 				p.Flagged = func(v window.Point, epoch int) { rootFlags = append(rootFlags, v) }
 			}
 		}
@@ -309,7 +309,10 @@ func TestGlobalModelReplica(t *testing.T) {
 		t.Error("empty replica produced model")
 	}
 	for i := 0; i < 10; i++ {
-		g.Update(window.Point{0.1 * float64(i)}, 0.05)
+		g.Update(window.Point{0.1 * float64(i)}, 0.05, i)
+	}
+	if g.Stamp() != 9 {
+		t.Errorf("replica stamp = %d, want 9", g.Stamp())
 	}
 	if !g.Ready() || g.Fill() != 4 {
 		t.Errorf("replica fill = %d, want 4", g.Fill())
@@ -325,7 +328,7 @@ func TestGlobalModelReplica(t *testing.T) {
 	if g.Model() != m {
 		t.Error("model rebuilt without update")
 	}
-	g.Update(window.Point{0.9}, 0.05)
+	g.Update(window.Point{0.9}, 0.05, 10)
 	if g.Model() == m {
 		t.Error("model not rebuilt after update")
 	}

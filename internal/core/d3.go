@@ -25,14 +25,13 @@ func (e *Estimator) IsDistanceOutlier(p window.Point, prm distance.Params) bool 
 // sample inclusions to its parent with probability f, checks the value
 // against its own model, and reports/forwards outliers.
 type D3Leaf struct {
-	id     tagsim.NodeID
-	parent tagsim.NodeID
-	hasUp  bool
-	src    stream.Source
-	est    *Estimator
-	prm    distance.Params
-	f      float64
-	rng    *rand.Rand
+	id  tagsim.NodeID
+	up  Uplink
+	src stream.Source
+	est *Estimator
+	prm distance.Params
+	f   float64
+	rng *rand.Rand
 
 	// Flagged, when set, observes every locally-detected outlier.
 	Flagged func(v window.Point, epoch int)
@@ -52,37 +51,40 @@ func NewD3Leaf(id tagsim.NodeID, parent tagsim.NodeID, hasParent bool,
 		panic("core: source dimensionality does not match config")
 	}
 	return &D3Leaf{
-		id:     id,
-		parent: parent,
-		hasUp:  hasParent,
-		src:    src,
-		est:    NewEstimator(cfg, cfg.WindowCap, float64(cfg.WindowCap), rng),
-		prm:    prm,
-		f:      cfg.SampleFraction,
-		rng:    rng,
+		id:  id,
+		up:  newUplink(parent, hasParent),
+		src: src,
+		est: NewEstimator(cfg, cfg.WindowCap, float64(cfg.WindowCap), rng),
+		prm: prm,
+		f:   cfg.SampleFraction,
+		rng: rng,
 	}
 }
 
 // ID returns the node id.
 func (n *D3Leaf) ID() tagsim.NodeID { return n.id }
 
+// SetRoute installs a dynamic uplink resolver (self-healing deployments).
+func (n *D3Leaf) SetRoute(fn func() (tagsim.NodeID, bool)) { n.up.SetRoute(fn) }
+
 // Estimator exposes the node's estimation state (memory experiments).
 func (n *D3Leaf) Estimator() *Estimator { return n.est }
 
 // OnEpoch draws one reading and runs LeafProcess on it.
 func (n *D3Leaf) OnEpoch(s tagsim.Sender, epoch int) {
+	parent, hasUp := n.up.Get()
 	v := n.src.Next()
 	included := n.est.Observe(v)
-	if included && n.hasUp && n.rng.Float64() < n.f {
-		s.Send(n.parent, KindSample, v, 0)
+	if included && hasUp && n.rng.Float64() < n.f {
+		s.Send(parent, KindSample, v, 0)
 	}
 	out := n.est.Warmed() && n.est.IsDistanceOutlier(v, n.prm)
 	if out {
 		if n.Flagged != nil {
 			n.Flagged(v, epoch)
 		}
-		if n.hasUp {
-			s.Send(n.parent, KindOutlier, v, 0)
+		if hasUp {
+			s.Send(parent, KindOutlier, v, 0)
 		}
 	}
 	if n.OnArrival != nil {
@@ -99,13 +101,12 @@ func (n *D3Leaf) OnMessage(s tagsim.Sender, msg tagsim.Message) {}
 // examines a superset of the true outliers), and forwards surviving
 // outliers and sample inclusions further up.
 type D3Parent struct {
-	id     tagsim.NodeID
-	parent tagsim.NodeID
-	hasUp  bool
-	est    *Estimator
-	prm    distance.Params
-	f      float64
-	rng    *rand.Rand
+	id  tagsim.NodeID
+	up  Uplink
+	est *Estimator
+	prm distance.Params
+	f   float64
+	rng *rand.Rand
 
 	// Flagged observes every outlier confirmed at this node's level.
 	Flagged func(v window.Point, epoch int)
@@ -130,18 +131,20 @@ func NewD3Parent(id tagsim.NodeID, parent tagsim.NodeID, hasParent bool,
 	}
 	receiptsPerSpan := int(float64(descLeaves) * cfg.SampleFraction * float64(cfg.SampleSize))
 	return &D3Parent{
-		id:     id,
-		parent: parent,
-		hasUp:  hasParent,
-		est:    NewEstimator(cfg, receiptsPerSpan, float64(descLeaves*cfg.WindowCap), rng),
-		prm:    prm,
-		f:      cfg.SampleFraction,
-		rng:    rng,
+		id:  id,
+		up:  newUplink(parent, hasParent),
+		est: NewEstimator(cfg, receiptsPerSpan, float64(descLeaves*cfg.WindowCap), rng),
+		prm: prm,
+		f:   cfg.SampleFraction,
+		rng: rng,
 	}
 }
 
 // ID returns the node id.
 func (n *D3Parent) ID() tagsim.NodeID { return n.id }
+
+// SetRoute installs a dynamic uplink resolver (self-healing deployments).
+func (n *D3Parent) SetRoute(fn func() (tagsim.NodeID, bool)) { n.up.SetRoute(fn) }
 
 // Estimator exposes the node's estimation state.
 func (n *D3Parent) Estimator() *Estimator { return n.est }
@@ -159,8 +162,8 @@ func (n *D3Parent) OnMessage(s tagsim.Sender, msg tagsim.Message) {
 			if n.Flagged != nil {
 				n.Flagged(msg.Value, n.epoch)
 			}
-			if n.hasUp {
-				s.Send(n.parent, KindOutlier, msg.Value, 0)
+			if parent, hasUp := n.up.Get(); hasUp {
+				s.Send(parent, KindOutlier, msg.Value, 0)
 			}
 		}
 		if n.OnCandidate != nil {
@@ -168,8 +171,9 @@ func (n *D3Parent) OnMessage(s tagsim.Sender, msg tagsim.Message) {
 		}
 	case KindSample:
 		included := n.est.Observe(msg.Value)
-		if included && n.hasUp && n.rng.Float64() < n.f {
-			s.Send(n.parent, KindSample, msg.Value, 0)
+		parent, hasUp := n.up.Get()
+		if included && hasUp && n.rng.Float64() < n.f {
+			s.Send(parent, KindSample, msg.Value, 0)
 		}
 	}
 }

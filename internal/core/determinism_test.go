@@ -1,10 +1,14 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
+	"odds/internal/fault"
+	"odds/internal/mdef"
 	"odds/internal/stats"
 	"odds/internal/stream"
+	"odds/internal/tagsim"
 	"odds/internal/window"
 )
 
@@ -65,5 +69,84 @@ func TestEstimatorSeedExactReplay(t *testing.T) {
 				t.Fatalf("replica %d: sampled point %v has wrong dim", i, p)
 			}
 		}
+	}
+}
+
+// TestFaultedSeedExactReplay extends the replay contract to the fault
+// engine at the node-engine level: two simulators holding identical MGDD
+// hierarchies under the same compiled fault plan — a leaf crash plus
+// bursty loss, delay, and duplication — must end in DeepEqual message
+// stats, identical detections, identical replica health (model epoch,
+// staleness, time-to-recover), bit for bit.
+func TestFaultedSeedExactReplay(t *testing.T) {
+	cfg := Config{
+		WindowCap:      256,
+		SampleSize:     48,
+		Eps:            0.25,
+		SampleFraction: 0.5,
+		Dim:            1,
+		RebuildEvery:   8,
+	}
+	prm := mdef.Params{R: 0.08, AlphaR: 0.01, KSigma: 1}
+	sched := fault.Schedule{
+		Seed:    55,
+		Crashes: []fault.Crash{{Node: 0, At: 300, For: 120}},
+		Links: []fault.Link{{
+			From: fault.Any, To: fault.Any,
+			Burst:     fault.GilbertElliott{PGoodBad: 0.04, PBadGood: 0.4, LossBad: 0.9},
+			DelayProb: 0.2, DelayMax: 2, DupProb: 0.1,
+		}},
+	}
+
+	type run struct {
+		stats   tagsim.Stats
+		flags   [][2]float64 // (value[0], epoch) per detection
+		health  [][3]int     // (modelEpoch, staleFlag, ttrCount) per leaf
+		globals []int        // global-model stamp per leaf
+	}
+	replay := func() run {
+		const seed = 777
+		master := stats.NewRand(seed)
+		sim := tagsim.New()
+		sim.SetFaults(fault.MustCompile(sched))
+		var out run
+		var leaves []*MGDDLeaf
+		for i := 0; i < 2; i++ {
+			src := stream.NewMixture(stream.DefaultMixture(), 1, int64(100+i))
+			leaf := NewMGDDLeaf(tagsim.NodeID(i), 2, true, src, cfg, prm, 2, stats.SplitRand(master))
+			leaf.StaleAfter = 60
+			leaf.Flagged = func(v window.Point, epoch int) {
+				out.flags = append(out.flags, [2]float64{v[0], float64(epoch)})
+			}
+			leaves = append(leaves, leaf)
+			sim.Add(leaf)
+		}
+		root := NewMGDDParent(2, 0, false, []tagsim.NodeID{0, 1}, 2, cfg, stats.SplitRand(master))
+		sim.Add(root)
+		for e := 0; e < 900; e++ {
+			sim.Step(e)
+		}
+		if err := sim.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+		for _, leaf := range leaves {
+			epoch, stale, ttr := leaf.Health()
+			flag := 0
+			if stale {
+				flag = 1
+			}
+			out.health = append(out.health, [3]int{epoch, flag, len(ttr)})
+			out.globals = append(out.globals, leaf.Global().Stamp())
+		}
+		out.stats = sim.Stats()
+		return out
+	}
+
+	a, b := replay(), replay()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("faulted replay diverged:\nrun A %+v\nrun B %+v", a, b)
+	}
+	if a.stats.Lost == 0 || a.stats.Duplicated == 0 || a.stats.Delayed == 0 || a.stats.CrashDropped == 0 {
+		t.Fatalf("schedule failed to exercise the fault vocabulary: %+v", a.stats)
 	}
 }

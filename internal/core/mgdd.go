@@ -24,6 +24,7 @@ type GlobalModel struct {
 	sigmas []float64
 	wcount float64
 	rng    *rand.Rand
+	stamp  int // epoch of the last folded update; -1 until the first
 
 	model *kernel.Estimator
 	dirty bool
@@ -41,11 +42,14 @@ func NewGlobalModel(capacity, dim int, windowCount float64, rng *rand.Rand) *Glo
 		sigmas: make([]float64, dim),
 		wcount: windowCount,
 		rng:    rng,
+		stamp:  -1,
 	}
 }
 
-// Update folds one pushed value and sigma into the replica.
-func (g *GlobalModel) Update(v window.Point, sigma float64) {
+// Update folds one pushed value and sigma into the replica, stamping it
+// with the epoch the update was applied — the staleness clock the
+// self-healing layer reads.
+func (g *GlobalModel) Update(v window.Point, sigma float64, epoch int) {
 	if g.fill < len(g.slots) {
 		g.slots[g.fill] = v.Clone()
 		g.fill++
@@ -55,8 +59,14 @@ func (g *GlobalModel) Update(v window.Point, sigma float64) {
 	for i := range g.sigmas {
 		g.sigmas[i] = sigma
 	}
+	if epoch > g.stamp {
+		g.stamp = epoch
+	}
 	g.dirty = true
 }
+
+// Stamp returns the epoch of the newest folded update, -1 before any.
+func (g *GlobalModel) Stamp() int { return g.stamp }
 
 // Ready reports whether the replica has enough state to answer queries.
 func (g *GlobalModel) Ready() bool { return g.fill >= 2 }
@@ -87,8 +97,7 @@ func (g *GlobalModel) Model() *kernel.Estimator {
 // are non-decomposable (Section 8).
 type MGDDLeaf struct {
 	id     tagsim.NodeID
-	parent tagsim.NodeID
-	hasUp  bool
+	up     Uplink
 	src    stream.Source
 	est    *Estimator
 	global *GlobalModel
@@ -102,6 +111,19 @@ type MGDDLeaf struct {
 	Flagged func(v window.Point, epoch int)
 	// OnArrival observes every arrival and the decision (evaluation hook).
 	OnArrival func(v window.Point, epoch int, flagged bool)
+
+	// StaleAfter, when positive, arms the self-healing layer: after an
+	// epoch gap (the leaf was crashed) the leaf immediately requests a
+	// model refresh from the root, and whenever its replica has not been
+	// updated for more than StaleAfter epochs it requests one at most
+	// every StaleAfter epochs. Zero (the default) disables healing and
+	// leaves the fault-free path untouched.
+	StaleAfter int
+
+	lastEpoch  int // last epoch this leaf ticked; -1 before the first
+	lastReq    int // epoch of the last refresh request; -1 before any
+	repairFrom int // epoch the current staleness/outage began; -1 if healthy
+	ttrs       []int
 }
 
 // NewMGDDLeaf wires an MGDD leaf sensor; totalLeaves sizes the global
@@ -118,15 +140,17 @@ func NewMGDDLeaf(id tagsim.NodeID, parent tagsim.NodeID, hasParent bool,
 		panic("core: totalLeaves must be positive")
 	}
 	return &MGDDLeaf{
-		id:     id,
-		parent: parent,
-		hasUp:  hasParent,
-		src:    src,
-		est:    NewEstimator(cfg, cfg.WindowCap, float64(cfg.WindowCap), rng),
-		global: NewGlobalModel(cfg.SampleSize, cfg.Dim, float64(totalLeaves*cfg.WindowCap), rng),
-		prm:    prm,
-		f:      cfg.SampleFraction,
-		rng:    rng,
+		id:         id,
+		up:         newUplink(parent, hasParent),
+		src:        src,
+		est:        NewEstimator(cfg, cfg.WindowCap, float64(cfg.WindowCap), rng),
+		global:     NewGlobalModel(cfg.SampleSize, cfg.Dim, float64(totalLeaves*cfg.WindowCap), rng),
+		prm:        prm,
+		f:          cfg.SampleFraction,
+		rng:        rng,
+		lastEpoch:  -1,
+		lastReq:    -1,
+		repairFrom: -1,
 	}
 }
 
@@ -139,12 +163,49 @@ func (n *MGDDLeaf) Estimator() *Estimator { return n.est }
 // Global exposes the global-model replica.
 func (n *MGDDLeaf) Global() *GlobalModel { return n.global }
 
+// SetRoute installs a dynamic uplink resolver (self-healing deployments).
+func (n *MGDDLeaf) SetRoute(fn func() (tagsim.NodeID, bool)) { n.up.SetRoute(fn) }
+
+// Health reports the replica's staleness state: the epoch stamp of the
+// last folded global update, whether the leaf currently considers its
+// replica stale, and the time-to-recover (epochs from staleness/outage
+// onset to the next folded update) of every completed repair.
+func (n *MGDDLeaf) Health() (modelEpoch int, stale bool, ttr []int) {
+	return n.global.Stamp(), n.repairFrom >= 0, append([]int(nil), n.ttrs...)
+}
+
+// heal runs the staleness/recovery protocol at the top of an epoch tick:
+// a gap in the tick sequence means this leaf just recovered from a
+// crash, so it asks the root for a catch-up refresh immediately; a
+// replica that has gone StaleAfter epochs without an update triggers a
+// rate-limited refresh request. Requests carry the origin id so the
+// root can answer the requester directly.
+func (n *MGDDLeaf) heal(s tagsim.Sender, epoch int, parent tagsim.NodeID, hasUp bool) {
+	gap := n.lastEpoch >= 0 && epoch > n.lastEpoch+1
+	stale := n.global.Stamp() >= 0 && epoch-n.global.Stamp() > n.StaleAfter
+	if (gap || stale) && n.repairFrom < 0 {
+		n.repairFrom = epoch
+	}
+	if !hasUp {
+		return
+	}
+	if gap || (stale && (n.lastReq < 0 || epoch-n.lastReq >= n.StaleAfter)) {
+		n.lastReq = epoch
+		s.Send(parent, KindRefresh, nil, float64(n.id))
+	}
+}
+
 // OnEpoch draws one reading and runs the MGDD LeafProcess on it.
 func (n *MGDDLeaf) OnEpoch(s tagsim.Sender, epoch int) {
+	parent, hasUp := n.up.Get()
+	if n.StaleAfter > 0 {
+		n.heal(s, epoch, parent, hasUp)
+	}
+	n.lastEpoch = epoch
 	v := n.src.Next()
 	included := n.est.Observe(v)
-	if included && n.hasUp && n.rng.Float64() < n.f {
-		s.Send(n.parent, KindSample, v, 0)
+	if included && hasUp && n.rng.Float64() < n.f {
+		s.Send(parent, KindSample, v, 0)
 	}
 	out := false
 	if m := n.global.Model(); m != nil && n.est.Warmed() {
@@ -161,10 +222,15 @@ func (n *MGDDLeaf) OnEpoch(s tagsim.Sender, epoch int) {
 	}
 }
 
-// OnMessage folds global-model updates into the replica.
+// OnMessage folds global-model updates into the replica and closes any
+// open repair window (recording its time-to-recover).
 func (n *MGDDLeaf) OnMessage(s tagsim.Sender, msg tagsim.Message) {
 	if msg.Kind == KindGlobal {
-		n.global.Update(msg.Value, msg.Aux)
+		n.global.Update(msg.Value, msg.Aux, n.lastEpoch)
+		if n.repairFrom >= 0 {
+			n.ttrs = append(n.ttrs, n.lastEpoch-n.repairFrom)
+			n.repairFrom = -1
+		}
 	}
 }
 
@@ -178,9 +244,9 @@ func (n *MGDDLeaf) OnMessage(s tagsim.Sender, msg tagsim.Message) {
 // optimization of Section 8.1.
 type MGDDParent struct {
 	id       tagsim.NodeID
-	parent   tagsim.NodeID
-	hasUp    bool
+	up       Uplink
 	children []tagsim.NodeID
+	downs    func() []tagsim.NodeID // dynamic downlinks; nil = children
 	est      *Estimator
 	f        float64
 	rng      *rand.Rand
@@ -207,8 +273,7 @@ func NewMGDDParent(id tagsim.NodeID, parent tagsim.NodeID, hasParent bool,
 	receiptsPerSpan := int(float64(descLeaves) * cfg.SampleFraction * float64(cfg.SampleSize))
 	return &MGDDParent{
 		id:        id,
-		parent:    parent,
-		hasUp:     hasParent,
+		up:        newUplink(parent, hasParent),
 		children:  append([]tagsim.NodeID(nil), children...),
 		est:       NewEstimator(cfg, receiptsPerSpan, float64(descLeaves*cfg.WindowCap), rng),
 		f:         cfg.SampleFraction,
@@ -223,6 +288,30 @@ func (n *MGDDParent) ID() tagsim.NodeID { return n.id }
 // Estimator exposes the node's estimation state.
 func (n *MGDDParent) Estimator() *Estimator { return n.est }
 
+// SetRoute installs a dynamic uplink resolver (self-healing deployments).
+func (n *MGDDParent) SetRoute(fn func() (tagsim.NodeID, bool)) { n.up.SetRoute(fn) }
+
+// SetDownlinks installs a dynamic downlink resolver: while a child is
+// crashed, global updates route around it to its live descendants so
+// re-parented leaves keep receiving refreshes. nil restores the static
+// children.
+func (n *MGDDParent) SetDownlinks(fn func() []tagsim.NodeID) { n.downs = fn }
+
+// downlinks resolves the current downward fan-out.
+func (n *MGDDParent) downlinks() []tagsim.NodeID {
+	if n.downs != nil {
+		return n.downs()
+	}
+	return n.children
+}
+
+// RefreshBatch is the number of sampled points the root ships in answer
+// to one KindRefresh catch-up request. The selection is the prefix of
+// the root's current sample — deterministic, and most importantly free
+// of rng draws: the root's rng is shared with its estimator, so a
+// refresh must not perturb the sampling stream.
+const RefreshBatch = 8
+
 // OnEpoch is a no-op; leaders are reactive.
 func (n *MGDDParent) OnEpoch(s tagsim.Sender, epoch int) {}
 
@@ -234,9 +323,9 @@ func (n *MGDDParent) OnMessage(s tagsim.Sender, msg tagsim.Message) {
 		if !included {
 			return
 		}
-		if n.hasUp {
+		if parent, hasUp := n.up.Get(); hasUp {
 			if n.rng.Float64() < n.f {
-				s.Send(n.parent, KindSample, msg.Value, 0)
+				s.Send(parent, KindSample, msg.Value, 0)
 			}
 			return
 		}
@@ -256,16 +345,34 @@ func (n *MGDDParent) OnMessage(s tagsim.Sender, msg tagsim.Message) {
 		}
 	case KindGlobal:
 		// Relay downward toward the leaves.
-		for _, ch := range n.children {
+		for _, ch := range n.downlinks() {
 			s.Send(ch, KindGlobal, msg.Value, msg.Aux)
+		}
+	case KindRefresh:
+		// A recovered or stale leaf asks for a catch-up. Relay the
+		// request to the root, which answers the origin directly with a
+		// batch of its current sample.
+		if parent, hasUp := n.up.Get(); hasUp {
+			s.Send(parent, KindRefresh, nil, msg.Aux)
+			return
+		}
+		origin := tagsim.NodeID(int(msg.Aux))
+		pts := n.est.SamplePoints()
+		k := RefreshBatch
+		if k > len(pts) {
+			k = len(pts)
+		}
+		sigma := n.rootSigma()
+		for i := 0; i < k; i++ {
+			s.Send(origin, KindGlobal, pts[i], sigma)
 		}
 	}
 }
 
-// broadcast sends one global update to every child (who relay further
-// down).
+// broadcast sends one global update to every current downlink (who
+// relay further down).
 func (n *MGDDParent) broadcast(s tagsim.Sender, v window.Point, sigma float64) {
-	for _, ch := range n.children {
+	for _, ch := range n.downlinks() {
 		s.Send(ch, KindGlobal, v, sigma)
 	}
 }

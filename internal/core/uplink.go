@@ -1,0 +1,33 @@
+package core
+
+import "odds/internal/tagsim"
+
+// Uplink is a node's routable upward edge. Statically it is the
+// topology parent assigned at construction; a self-healing deployment
+// installs a route function that re-parents the node onto its nearest
+// live ancestor while leaders are crashed (topology repair). With no
+// route installed the zero-fault path is untouched — Get is two field
+// reads.
+type Uplink struct {
+	parent tagsim.NodeID
+	has    bool
+	route  func() (tagsim.NodeID, bool)
+}
+
+func newUplink(parent tagsim.NodeID, has bool) Uplink {
+	return Uplink{parent: parent, has: has}
+}
+
+// Get resolves the current upward hop; ok is false when the node has no
+// live ancestor (it is the root, or everything above it is down).
+func (u *Uplink) Get() (tagsim.NodeID, bool) {
+	if u.route != nil {
+		return u.route()
+	}
+	return u.parent, u.has
+}
+
+// SetRoute installs a dynamic resolver (nil restores the static parent).
+// The resolver is called from the node's own epoch/message callbacks, so
+// it must be safe for concurrent invocation across nodes.
+func (u *Uplink) SetRoute(fn func() (tagsim.NodeID, bool)) { u.route = fn }

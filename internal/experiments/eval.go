@@ -624,7 +624,7 @@ func RunMGDD(c PRConfig) MGDDResult {
 						// Top-leader adoption: push to every replica.
 						sg := sigmaOf(upper[lvl])
 						for _, rep := range replicas {
-							rep.Update(st.v, sg)
+							rep.Update(st.v, sg, epoch)
 						}
 					} else if leafRngs[li].Float64() >= c.Core.SampleFraction {
 						break

@@ -1,0 +1,241 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompileMergesOverlappingCrashes(t *testing.T) {
+	p := MustCompile(Schedule{Crashes: []Crash{
+		{Node: 3, At: 10, For: 10}, // [10,20)
+		{Node: 3, At: 15, For: 10}, // overlaps → [10,25)
+		{Node: 3, At: 25, For: 5},  // adjacent → [10,30)
+		{Node: 3, At: 40, For: 2},  // separate
+		{Node: 7, At: 0, For: 0},   // permanent
+	}})
+	if got := p.Outages(3); len(got) != 2 || got[0] != [2]int{10, 30} || got[1] != [2]int{40, 42} {
+		t.Fatalf("merged outages = %v", got)
+	}
+	if p.CrashCount(3) != 2 || p.CrashCount(7) != 1 || p.CrashCount(0) != 0 {
+		t.Fatal("crash counts wrong")
+	}
+	if p.Crashes() != 3 {
+		t.Fatalf("total crashes = %d", p.Crashes())
+	}
+	for _, tc := range []struct {
+		node, epoch int
+		want        bool
+	}{
+		{3, 9, false}, {3, 10, true}, {3, 29, true}, {3, 30, false},
+		{3, 40, true}, {3, 42, false},
+		{7, 0, true}, {7, 1 << 30, true},
+		{5, 10, false},
+	} {
+		if got := p.Down(tc.node, tc.epoch); got != tc.want {
+			t.Errorf("Down(%d,%d) = %v, want %v", tc.node, tc.epoch, got, tc.want)
+		}
+	}
+	for _, e := range []int{10, 30, 40, 42, 0} {
+		if !p.TopologyChangedAt(e) {
+			t.Errorf("TopologyChangedAt(%d) = false", e)
+		}
+	}
+	if p.TopologyChangedAt(11) || p.TopologyChangedAt(25) {
+		t.Error("topology change reported inside a merged window")
+	}
+}
+
+func TestCompileValidates(t *testing.T) {
+	bad := []Schedule{
+		{Links: []Link{{From: Any, To: Any, Loss: -0.1}}},
+		{Links: []Link{{From: Any, To: Any, Loss: 1.5}}},
+		{Links: []Link{{From: Any, To: Any, Loss: math.NaN()}}},
+		{Links: []Link{{From: Any, To: Any, DelayProb: 0.5}}}, // no DelayMax
+		{Links: []Link{{From: Any, To: Any, DelayMax: -1}}},
+		{Links: []Link{{From: -2, To: Any}}},
+		{Links: []Link{{From: Any, To: Any, Burst: GilbertElliott{PGoodBad: 2}}}},
+		{Crashes: []Crash{{Node: -1, At: 0, For: 1}}},
+		{Crashes: []Crash{{Node: 0, At: -5, For: 1}}},
+	}
+	for i, s := range bad {
+		if _, err := Compile(s); err == nil {
+			t.Errorf("schedule %d accepted", i)
+		}
+	}
+}
+
+func TestNilPlanIsEmpty(t *testing.T) {
+	var p *Plan
+	if !p.Empty() || p.Down(0, 0) || p.HasCrashes() || p.Crashes() != 0 ||
+		p.TopologyChangedAt(0) || p.MaxDelay() != 0 || p.Bursts() != 0 ||
+		p.Outages(1) != nil || p.CrashCount(1) != 0 {
+		t.Fatal("nil plan not inert")
+	}
+	v := p.Transmit(1, 2, 0)
+	if v.N != 1 || v.Fates[0].Lost || v.Fates[0].Delay != 0 {
+		t.Fatalf("nil plan verdict = %+v", v)
+	}
+}
+
+func TestTransmitDeterministicAcrossPlanInstances(t *testing.T) {
+	sched := Schedule{Seed: 42, Links: []Link{
+		{From: 1, To: 2, Loss: 0.3, DelayProb: 0.2, DelayMax: 3, DupProb: 0.1},
+		{From: Any, To: Any, Burst: GilbertElliott{PGoodBad: 0.1, PBadGood: 0.4, LossBad: 0.9}},
+	}}
+	a, b := MustCompile(sched), MustCompile(sched)
+	// Interrogate b for an unrelated link first: per-link streams are
+	// pure functions of (seed, rule, endpoints), so creation order must
+	// not matter.
+	b.Transmit(9, 8, 0)
+	for e := 0; e < 500; e++ {
+		for _, link := range [][2]int{{1, 2}, {2, 5}} {
+			va := a.Transmit(link[0], link[1], e)
+			vb := b.Transmit(link[0], link[1], e)
+			if va != vb {
+				t.Fatalf("epoch %d link %v: verdicts diverged: %+v vs %+v", e, link, va, vb)
+			}
+		}
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	p := MustCompile(Schedule{Links: []Link{
+		{From: 1, To: 2, Loss: 1},
+		{From: Any, To: Any, Loss: 0},
+	}})
+	if v := p.Transmit(1, 2, 0); !v.Fates[0].Lost {
+		t.Error("specific rule not applied")
+	}
+	if v := p.Transmit(2, 1, 0); v.Fates[0].Lost {
+		t.Error("wildcard rule lost a message it shouldn't")
+	}
+}
+
+func TestUniformLossRate(t *testing.T) {
+	p := MustCompile(UniformLoss(0.25, 7))
+	lost := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.Transmit(0, 1, i).Fates[0].Lost {
+			lost++
+		}
+	}
+	frac := float64(lost) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Errorf("loss fraction = %v, want ≈0.25", frac)
+	}
+}
+
+func TestGilbertElliottBursts(t *testing.T) {
+	p := MustCompile(Schedule{Seed: 3, Links: []Link{{
+		From: Any, To: Any,
+		Burst: GilbertElliott{PGoodBad: 0.05, PBadGood: 0.3, LossGood: 0, LossBad: 1},
+	}}})
+	lost, runLen, maxRun := 0, 0, 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if p.Transmit(0, 1, i).Fates[0].Lost {
+			lost++
+			runLen++
+			if runLen > maxRun {
+				maxRun = runLen
+			}
+		} else {
+			runLen = 0
+		}
+	}
+	if p.Bursts() == 0 {
+		t.Fatal("no bursts recorded")
+	}
+	// Stationary bad-state fraction ≈ 0.05/(0.05+0.3) ≈ 0.14; losses are
+	// total in the bad state so the loss rate tracks it, and runs must be
+	// bursty (mean burst length 1/0.3 ≈ 3).
+	frac := float64(lost) / n
+	if frac < 0.10 || frac > 0.19 {
+		t.Errorf("burst loss fraction = %v, want ≈0.14", frac)
+	}
+	if maxRun < 4 {
+		t.Errorf("max loss run = %d, want bursty (≥ 4)", maxRun)
+	}
+}
+
+func TestZeroLengthBurstTolerated(t *testing.T) {
+	// PBadGood = 1 exits Bad on the first transmission after entering:
+	// degenerate one-message bursts must not wedge the chain.
+	p := MustCompile(Schedule{Seed: 5, Links: []Link{{
+		From: Any, To: Any,
+		Burst: GilbertElliott{PGoodBad: 0.5, PBadGood: 1, LossBad: 1},
+	}}})
+	lost := 0
+	for i := 0; i < 2000; i++ {
+		if p.Transmit(0, 1, i).Fates[0].Lost {
+			lost++
+		}
+	}
+	if lost == 0 || lost == 2000 {
+		t.Errorf("degenerate burst chain lost %d/2000", lost)
+	}
+}
+
+func TestDelayAndDuplication(t *testing.T) {
+	p := MustCompile(Schedule{Seed: 11, Links: []Link{{
+		From: Any, To: Any, DelayProb: 0.5, DelayMax: 4, DupProb: 0.5,
+	}}})
+	if p.MaxDelay() != 4 {
+		t.Fatalf("MaxDelay = %d", p.MaxDelay())
+	}
+	dups, delays := 0, 0
+	for i := 0; i < 5000; i++ {
+		v := p.Transmit(3, 4, i)
+		if v.N < 1 || v.N > 2 {
+			t.Fatalf("verdict N = %d", v.N)
+		}
+		if v.N == 2 {
+			dups++
+		}
+		for c := 0; c < v.N; c++ {
+			f := v.Fates[c]
+			if f.Lost {
+				t.Fatal("loss without a loss rule")
+			}
+			if f.Delay < 0 || f.Delay > 4 {
+				t.Fatalf("delay %d outside [0,4]", f.Delay)
+			}
+			if f.Delay > 0 {
+				delays++
+			}
+		}
+	}
+	if dups < 2000 || dups > 3000 {
+		t.Errorf("dup count = %d, want ≈2500", dups)
+	}
+	if delays == 0 {
+		t.Error("no delays drawn")
+	}
+}
+
+func TestScheduleGoString(t *testing.T) {
+	s := Schedule{Seed: 9, Crashes: []Crash{{Node: 1, At: 2, For: 3}},
+		Links: []Link{{From: Any, To: 4, Loss: 0.5}}}
+	got := s.GoString()
+	for _, want := range []string{"Seed: 9", "Node: 1", "From: -1", "Loss: 0.5"} {
+		if !contains(got, want) {
+			t.Errorf("GoString %q missing %q", got, want)
+		}
+	}
+	if !(Schedule{}).Empty() {
+		t.Error("zero schedule not empty")
+	}
+	if s.Empty() {
+		t.Error("populated schedule empty")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

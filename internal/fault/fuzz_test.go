@@ -1,0 +1,157 @@
+package fault_test
+
+// FuzzFaultSchedule drives the engine with arbitrary encoded schedules —
+// crash/recover interleavings (including crash-of-root and permanent
+// crashes), zero-length bursts, overlapping outage windows — and checks
+// the compiled invariants: outage windows are sorted and disjoint (a
+// node is never "double-crashed"), verdicts stay in range, no copy is
+// delivered outside [sent, sent+MaxDelay], nothing reaches a crashed
+// node, and message conservation holds at every epoch boundary.
+
+import (
+	"testing"
+
+	"odds/internal/fault"
+	"odds/internal/tagsim"
+)
+
+// decodeSchedule maps arbitrary bytes onto a valid schedule over a
+// four-node network; by construction every decoded schedule must
+// compile.
+func decodeSchedule(data []byte) fault.Schedule {
+	i := 0
+	next := func() byte {
+		if i < len(data) {
+			b := data[i]
+			i++
+			return b
+		}
+		return 0
+	}
+	prob := func() float64 { return float64(next()) / 255 }
+	s := fault.Schedule{Seed: int64(next()) | int64(next())<<8}
+	for j := int(next()) % 5; j > 0; j-- {
+		s.Crashes = append(s.Crashes, fault.Crash{
+			Node: int(next()) % 4,
+			At:   int(next()) % 40,
+			For:  int(next())%14 - 2, // ≤ 0 decodes to a permanent crash
+		})
+	}
+	for j := int(next()) % 4; j > 0; j-- {
+		s.Links = append(s.Links, fault.Link{
+			From:      int(next())%5 - 1, // -1 = Any
+			To:        int(next())%5 - 1,
+			Loss:      prob(),
+			DelayProb: prob(),
+			DelayMax:  1 + int(next())%4,
+			DupProb:   prob(),
+			Burst: fault.GilbertElliott{
+				PGoodBad: prob(),
+				PBadGood: prob(), // 1 yields zero-length bursts
+				LossGood: float64(next()%64) / 255,
+				LossBad:  prob(),
+			},
+		})
+	}
+	return s
+}
+
+// probe asserts the delivery-side invariants from inside the simulation.
+type probe struct {
+	id    tagsim.NodeID
+	peers []tagsim.NodeID
+	sim   *tagsim.Simulator
+	plan  *fault.Plan
+	t     *testing.T
+}
+
+func (p *probe) ID() tagsim.NodeID { return p.id }
+
+func (p *probe) OnEpoch(s tagsim.Sender, epoch int) {
+	if p.plan.Down(int(p.id), epoch) {
+		p.t.Errorf("crashed node %d ticked at epoch %d", p.id, epoch)
+	}
+	for _, q := range p.peers {
+		s.Send(q, "ping", nil, float64(epoch))
+	}
+}
+
+func (p *probe) OnMessage(s tagsim.Sender, m tagsim.Message) {
+	now := p.sim.Epoch()
+	if p.plan.Down(int(p.id), now) {
+		p.t.Errorf("delivery to crashed node %d at epoch %d", p.id, now)
+	}
+	sent := int(m.Aux)
+	if now < sent || now > sent+p.plan.MaxDelay() {
+		p.t.Errorf("copy sent at epoch %d delivered at %d (max delay %d)", sent, now, p.plan.MaxDelay())
+	}
+}
+
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{7, 0, 2, 0, 5, 4, 0, 10, 0}) // overlapping crash-of-root
+	f.Add([]byte{1, 2, 1, 3, 20, 0, 2, 255, 255, 128, 64, 2, 99, 0, 0, 80, 255, 40, 255})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 10, 10, 2, 10, 200, 255, 30, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sched := decodeSchedule(data)
+		plan, err := fault.Compile(sched)
+		if err != nil {
+			t.Fatalf("decoded schedule failed to compile: %v\n%s", err, sched.GoString())
+		}
+
+		// Compiled outage windows: sorted, disjoint, non-empty — the
+		// no-double-crash invariant.
+		for node := 0; node < 4; node++ {
+			prev := -1
+			for _, w := range plan.Outages(node) {
+				if w[0] >= w[1] {
+					t.Fatalf("node %d: empty outage window %v", node, w)
+				}
+				if w[0] <= prev {
+					t.Fatalf("node %d: overlapping/unsorted outages %v", node, plan.Outages(node))
+				}
+				prev = w[1]
+				if !plan.Down(node, w[0]) || plan.Down(node, w[0]-1) {
+					t.Fatalf("node %d: Down disagrees with window %v", node, w)
+				}
+			}
+		}
+
+		// Verdict sanity on a fresh instance of the same schedule.
+		v := fault.MustCompile(sched)
+		for e := 0; e < 60; e++ {
+			for from := 0; from < 4; from++ {
+				vd := v.Transmit(from, (from+1)%4, e)
+				if vd.N < 1 || vd.N > 2 {
+					t.Fatalf("verdict N = %d", vd.N)
+				}
+				for c := 0; c < vd.N; c++ {
+					if d := vd.Fates[c].Delay; d < 0 || d > v.MaxDelay() {
+						t.Fatalf("delay %d outside [0,%d]", d, v.MaxDelay())
+					}
+				}
+			}
+		}
+
+		// End-to-end: all-to-all probes under the plan, conservation at
+		// every epoch boundary, no delivery into an outage window.
+		sim := tagsim.New()
+		sim.SetFaults(plan)
+		ids := []tagsim.NodeID{0, 1, 2, 3}
+		for _, id := range ids {
+			var peers []tagsim.NodeID
+			for _, q := range ids {
+				if q != id {
+					peers = append(peers, q)
+				}
+			}
+			sim.Add(&probe{id: id, peers: peers, sim: sim, plan: plan, t: t})
+		}
+		for e := 0; e < 56; e++ {
+			sim.Step(e)
+			if err := sim.CheckConservation(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

@@ -2,8 +2,11 @@ package golden
 
 import (
 	"fmt"
+	"math"
+	"strings"
 
 	"odds/internal/experiments"
+	"odds/internal/faultexp"
 )
 
 // Config selects which figures to collect and how to run them. The figure
@@ -20,7 +23,7 @@ type Config struct {
 
 // AllFigures lists every collectable figure in canonical order.
 func AllFigures() []string {
-	return []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "mem", "ablation"}
+	return []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "mem", "ablation", "figfault"}
 }
 
 // ShortFigures is the cheap subset exercised by `go test -short` and the
@@ -187,6 +190,25 @@ func Collect(c Config) (Metrics, error) {
 				m.Set(p+".precision", r.Leaf.Precision)
 				m.Set(p+".recall", r.Leaf.Recall)
 				m.Set(p+".truths", float64(r.Truths))
+			}
+		case "figfault":
+			cfg := faultexp.Default()
+			cfg.Seed = c.seed()
+			cfg.Workers = c.Workers
+			rows, err := faultexp.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("golden: figfault: %w", err)
+			}
+			for _, r := range rows {
+				p := fmt.Sprintf("figfault.%s.c%0.2f", strings.ToLower(r.Algorithm), r.CrashRate)
+				m.Set(p+".crashed", float64(r.Crashes))
+				m.Set(p+".leaf_reports", float64(r.LeafReports))
+				m.Set(p+".retained", float64(r.Retained))
+				m.Set(p+".spurious", float64(r.Spurious))
+				m.Set(p+".msg_per_epoch", r.MsgPerEpoch)
+				if !math.IsNaN(r.MeanTTR) {
+					m.Set(p+".mean_ttr", r.MeanTTR)
+				}
 			}
 		default:
 			return nil, fmt.Errorf("golden: unknown figure %q", fig)

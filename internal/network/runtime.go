@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"odds/internal/fault"
 	"odds/internal/tagsim"
 	"odds/internal/window"
 )
@@ -15,7 +16,12 @@ import (
 // tick to every node, then waits until all ticks and every message they
 // (transitively) triggered have been processed, so a Runtime execution is
 // observationally equivalent to the deterministic tagsim engine up to
-// message interleaving.
+// message interleaving. A fault.Plan installed via SetFaults applies the
+// same crash/link semantics as the tagsim engine: crashed nodes receive
+// no ticks and no messages, and link faults destroy, delay, or duplicate
+// individual copies (message *content* is identical across engines; the
+// fault-coin sequence per link depends on transmission order, which here
+// is scheduling-dependent).
 type Runtime struct {
 	nodes map[tagsim.NodeID]*mailbox
 	order []tagsim.NodeID
@@ -24,12 +30,37 @@ type Runtime struct {
 	messages atomic.Int64
 	dropped  atomic.Int64
 	closed   atomic.Bool
+
+	plan  *fault.Plan
+	epoch atomic.Int64
+	// beforeEpoch, when set, runs serially at the top of every epoch —
+	// deployments recompute self-healing routes here.
+	beforeEpoch func(epoch int)
+
+	lost         atomic.Int64
+	delivered    atomic.Int64
+	duplicated   atomic.Int64
+	dupDiscarded atomic.Int64
+	delayedN     atomic.Int64
+	crashDropped atomic.Int64
+
+	mu      sync.Mutex // guards delayed and dups
+	delayed map[int][]item
+	dups    map[int64]*dupTrack
+	nextDup atomic.Int64
 }
 
 type item struct {
 	epoch int // valid when tick
 	tick  bool
 	msg   tagsim.Message
+	dup   int64 // dup-group id; 0 = sole copy
+}
+
+// dupTrack follows one duplicated transmission until both copies settle.
+type dupTrack struct {
+	left      int
+	delivered bool
 }
 
 // mailbox is an unbounded inbox drained by the node's goroutine.
@@ -78,6 +109,20 @@ func NewRuntime(nodes []tagsim.Node) *Runtime {
 	return r
 }
 
+// SetFaults installs a compiled fault plan (nil clears it). Must be
+// called before Run.
+func (r *Runtime) SetFaults(p *fault.Plan) {
+	r.plan = p
+	if p != nil {
+		r.delayed = make(map[int][]item)
+		r.dups = make(map[int64]*dupTrack)
+	}
+}
+
+// SetBeforeEpoch installs a hook run serially at the top of every epoch,
+// before ticks are issued. Must be called before Run.
+func (r *Runtime) SetBeforeEpoch(fn func(epoch int)) { r.beforeEpoch = fn }
+
 // sender implements tagsim.Sender for a node goroutine.
 type sender struct {
 	rt   *Runtime
@@ -87,17 +132,69 @@ type sender struct {
 // Self returns the executing node.
 func (s *sender) Self() tagsim.NodeID { return s.self }
 
-// Send routes a message to the destination's mailbox. Unknown destinations
-// are counted as dropped, mirroring the tagsim engine.
+// Send routes a message to the destination's mailbox, applying the fault
+// plan per copy. Unknown destinations are counted as dropped, mirroring
+// the tagsim engine.
 func (s *sender) Send(to tagsim.NodeID, kind string, value window.Point, aux float64) {
-	dst, ok := s.rt.nodes[to]
+	rt := s.rt
+	dst, ok := rt.nodes[to]
 	if !ok {
-		s.rt.dropped.Add(1)
+		rt.dropped.Add(1)
 		return
 	}
-	s.rt.messages.Add(1)
-	s.rt.work.Add(1)
-	dst.put(item{msg: tagsim.Message{From: s.self, To: to, Kind: kind, Value: value, Aux: aux}})
+	rt.messages.Add(1)
+	m := tagsim.Message{From: s.self, To: to, Kind: kind, Value: value, Aux: aux}
+	if rt.plan == nil {
+		rt.work.Add(1)
+		dst.put(item{msg: m})
+		return
+	}
+	e := int(rt.epoch.Load())
+	v := rt.plan.Transmit(int(s.self), int(to), e)
+	if v.N == 2 {
+		rt.duplicated.Add(1)
+	}
+	var id int64
+	if v.N == 2 && !v.Fates[0].Lost && !v.Fates[1].Lost {
+		id = rt.nextDup.Add(1)
+		rt.mu.Lock()
+		rt.dups[id] = &dupTrack{left: 2}
+		rt.mu.Unlock()
+	}
+	for i := 0; i < v.N; i++ {
+		f := v.Fates[i]
+		if f.Lost {
+			rt.lost.Add(1)
+			continue
+		}
+		it := item{msg: m, dup: id}
+		if f.Delay > 0 {
+			rt.delayedN.Add(1)
+			rt.mu.Lock()
+			rt.delayed[e+f.Delay] = append(rt.delayed[e+f.Delay], it)
+			rt.mu.Unlock()
+			continue
+		}
+		rt.work.Add(1)
+		dst.put(it)
+	}
+}
+
+// settleDup records one settled copy of a duplicated transmission and
+// reports whether an earlier copy had already been delivered.
+func (r *Runtime) settleDup(id int64, delivered bool) (already bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tr := r.dups[id]
+	already = tr.delivered
+	if delivered {
+		tr.delivered = true
+	}
+	tr.left--
+	if tr.left == 0 {
+		delete(r.dups, id)
+	}
+	return already
 }
 
 func (r *Runtime) loop(n tagsim.Node, mb *mailbox) {
@@ -112,23 +209,51 @@ func (r *Runtime) loop(n tagsim.Node, mb *mailbox) {
 				return
 			}
 		}
-		if it.tick {
+		switch {
+		case it.tick:
 			n.OnEpoch(snd, it.epoch)
-		} else {
+		case r.plan.Down(int(it.msg.To), int(r.epoch.Load())):
+			r.crashDropped.Add(1)
+			if it.dup != 0 {
+				r.settleDup(it.dup, false)
+			}
+		case it.dup != 0 && r.settleDup(it.dup, true):
+			r.dupDiscarded.Add(1)
+		default:
+			r.delivered.Add(1)
 			n.OnMessage(snd, it.msg)
 		}
 		r.work.Done()
 	}
 }
 
-// Run executes the given number of barrier-synchronized epochs.
+// Run executes the given number of barrier-synchronized epochs. Crashed
+// nodes receive no ticks; delayed copies come due at the top of their
+// epoch, before any tick fires.
 func (r *Runtime) Run(epochs int) {
 	if r.closed.Load() {
 		panic("network: Run on closed runtime")
 	}
 	for e := 0; e < epochs; e++ {
-		r.work.Add(len(r.order))
+		r.epoch.Store(int64(e))
+		if r.beforeEpoch != nil {
+			r.beforeEpoch(e)
+		}
+		if r.plan != nil {
+			r.mu.Lock()
+			due := r.delayed[e]
+			delete(r.delayed, e)
+			r.mu.Unlock()
+			for _, it := range due {
+				r.work.Add(1)
+				r.nodes[it.msg.To].put(it)
+			}
+		}
 		for _, id := range r.order {
+			if r.plan.Down(int(id), e) {
+				continue
+			}
+			r.work.Add(1)
 			r.nodes[id].put(item{tick: true, epoch: e})
 		}
 		r.work.Wait()
@@ -140,6 +265,46 @@ func (r *Runtime) Messages() int64 { return r.messages.Load() }
 
 // Dropped returns the number of messages addressed to unknown nodes.
 func (r *Runtime) Dropped() int64 { return r.dropped.Load() }
+
+// Lost returns the copies destroyed by link faults.
+func (r *Runtime) Lost() int64 { return r.lost.Load() }
+
+// Delivered returns the copies handed to a live node's OnMessage.
+func (r *Runtime) Delivered() int64 { return r.delivered.Load() }
+
+// Duplicated returns the extra copies created by link duplication.
+func (r *Runtime) Duplicated() int64 { return r.duplicated.Load() }
+
+// DupDiscarded returns duplicate copies suppressed at delivery.
+func (r *Runtime) DupDiscarded() int64 { return r.dupDiscarded.Load() }
+
+// CrashDropped returns copies that arrived at a node while it was down.
+func (r *Runtime) CrashDropped() int64 { return r.crashDropped.Load() }
+
+// InFlight returns copies currently held in delay buffers.
+func (r *Runtime) InFlight() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, due := range r.delayed {
+		n += len(due)
+	}
+	return int64(n)
+}
+
+// CheckConservation asserts that every transmitted copy has met exactly
+// one fate. Only meaningful while the runtime is idle (after Run).
+func (r *Runtime) CheckConservation() error {
+	sent := r.messages.Load()
+	settled := r.delivered.Load() + r.lost.Load() + r.crashDropped.Load() + r.dupDiscarded.Load()
+	if sent+r.duplicated.Load() != settled+r.InFlight() {
+		return fmt.Errorf(
+			"network: message conservation violated: sent %d + duplicated %d != delivered %d + lost %d + crash-dropped %d + dup-discarded %d + in-flight %d",
+			sent, r.duplicated.Load(), r.delivered.Load(), r.lost.Load(),
+			r.crashDropped.Load(), r.dupDiscarded.Load(), r.InFlight())
+	}
+	return nil
+}
 
 // Close terminates the node goroutines. The runtime must be idle (only
 // call Close after Run has returned). Close is idempotent and safe to

@@ -190,6 +190,39 @@ func (t *Topology) PathToRoot(id tagsim.NodeID) []tagsim.NodeID {
 // reach the root — the per-reading cost of the centralized baseline.
 func (t *Topology) HopsToRoot(id tagsim.NodeID) int { return len(t.PathToRoot(id)) }
 
+// LiveParent returns the nearest live ancestor of id — the node an
+// orphan re-parents onto when its leader crashes (topology repair). ok is
+// false when every ancestor up to and including the root is down, or id
+// is the root.
+func (t *Topology) LiveParent(id tagsim.NodeID, down func(tagsim.NodeID) bool) (tagsim.NodeID, bool) {
+	for {
+		p, ok := t.Parents[id]
+		if !ok {
+			return 0, false
+		}
+		if !down(p) {
+			return p, true
+		}
+		id = p
+	}
+}
+
+// LiveChildren returns id's effective children under the given outage
+// set: each down child is replaced, recursively, by its own live
+// children — exactly the inverse of LiveParent's re-parenting, so the
+// live nodes always form a tree.
+func (t *Topology) LiveChildren(id tagsim.NodeID, down func(tagsim.NodeID) bool) []tagsim.NodeID {
+	var out []tagsim.NodeID
+	for _, c := range t.Children[id] {
+		if down(c) {
+			out = append(out, t.LiveChildren(c, down)...)
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
 // LeaderAssignment maps each cell (non-leaf logical leader) to the leaf
 // sensor currently playing its role. The hierarchical-decomposition
 // literature the paper cites ([17,33,47]) rotates this role for energy

@@ -120,12 +120,22 @@ func clamp01(x float64) float64 {
 // call — both ground-truth structures depend only on the point multiset,
 // not on arrival order, which is what makes snapshot shrinking sound).
 func Shrink(pts []window.Point, fails func([]window.Point) bool) []window.Point {
-	cur := append([]window.Point(nil), pts...)
+	return ShrinkSlice(pts, fails)
+}
+
+// ShrinkSlice is the generic ddmin core behind Shrink: it greedily
+// removes chunks (halves, then smaller, down to single elements) of any
+// failing input slice while fails keeps reporting the failure, returning
+// a locally minimal failing subset. The chaos suite uses it to shrink
+// fault schedules (slices of crash and link events) the same way the
+// differential suite shrinks window snapshots.
+func ShrinkSlice[T any](items []T, fails func([]T) bool) []T {
+	cur := append([]T(nil), items...)
 	chunk := len(cur) / 2
 	for chunk >= 1 {
 		reduced := false
 		for start := 0; start+chunk <= len(cur); start += chunk {
-			cand := make([]window.Point, 0, len(cur)-chunk)
+			cand := make([]T, 0, len(cur)-chunk)
 			cand = append(cand, cur[:start]...)
 			cand = append(cand, cur[start+chunk:]...)
 			if len(cand) > 0 && fails(cand) {

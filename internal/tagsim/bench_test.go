@@ -1,0 +1,84 @@
+package tagsim
+
+import (
+	"testing"
+
+	"odds/internal/fault"
+)
+
+// benchSim builds an 8-pinger ring so every epoch moves 8 messages.
+func benchSim(plan *fault.Plan) *Simulator {
+	s := New()
+	s.SetFaults(plan)
+	const n = 8
+	for i := 0; i < n; i++ {
+		s.Add(&pinger{id: NodeID(i), to: NodeID((i + 1) % n)})
+	}
+	return s
+}
+
+// BenchmarkStepNoFaults is the baseline hot loop with the fault engine
+// absent (nil plan): the historical fast path.
+func BenchmarkStepNoFaults(b *testing.B) {
+	s := benchSim(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(i)
+	}
+}
+
+// BenchmarkStepEmptyPlan measures the disabled-fault-path overhead: a
+// compiled plan with no rules and no crashes. The target in ROADMAP
+// terms is zero allocations and <2% slowdown vs BenchmarkStepNoFaults.
+func BenchmarkStepEmptyPlan(b *testing.B) {
+	s := benchSim(fault.MustCompile(fault.Schedule{}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(i)
+	}
+}
+
+// BenchmarkStepFaulty prices the full vocabulary: bursty loss, delay,
+// duplication, and a periodic crash window.
+func BenchmarkStepFaulty(b *testing.B) {
+	s := benchSim(fault.MustCompile(fault.Schedule{
+		Seed:    9,
+		Crashes: []fault.Crash{{Node: 3, At: 100, For: 50}},
+		Links: []fault.Link{{
+			From: fault.Any, To: fault.Any,
+			Burst:     fault.GilbertElliott{PGoodBad: 0.05, PBadGood: 0.4, LossBad: 0.9},
+			DelayProb: 0.2, DelayMax: 2, DupProb: 0.1,
+		}},
+	}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(i)
+	}
+}
+
+// TestDisabledFaultPathAddsNoAllocations pins the disabled-path
+// allocation contract independent of benchmark flags: a compiled but
+// ruleless plan must add zero allocations per Step over the nil-plan
+// baseline (the baseline's own allocations are the bench nodes' sends
+// and per-node contexts, which predate the fault engine).
+func TestDisabledFaultPathAddsNoAllocations(t *testing.T) {
+	measure := func(plan *fault.Plan) float64 {
+		s := benchSim(plan)
+		for i := 0; i < 64; i++ {
+			s.Step(i) // warm queues to steady-state capacity
+		}
+		epoch := 64
+		return testing.AllocsPerRun(200, func() {
+			s.Step(epoch)
+			epoch++
+		})
+	}
+	base := measure(nil)
+	empty := measure(fault.MustCompile(fault.Schedule{}))
+	if empty > base {
+		t.Errorf("empty-plan Step allocates %.1f objects/op vs %.1f baseline, want no extra", empty, base)
+	}
+}

@@ -1,0 +1,164 @@
+package tagsim
+
+import (
+	"testing"
+
+	"odds/internal/fault"
+	"odds/internal/window"
+)
+
+// recorder logs every delivery with the epoch it arrived in.
+type recorder struct {
+	id     NodeID
+	sim    *Simulator
+	epochs []int
+	aux    []float64
+	ticks  []int
+}
+
+func (n *recorder) ID() NodeID { return n.id }
+func (n *recorder) OnEpoch(s Sender, epoch int) {
+	n.ticks = append(n.ticks, epoch)
+}
+func (n *recorder) OnMessage(s Sender, m Message) {
+	n.epochs = append(n.epochs, n.sim.Epoch())
+	n.aux = append(n.aux, m.Aux)
+}
+
+// pinger sends one message per epoch to a fixed destination.
+type pinger struct {
+	id, to NodeID
+}
+
+func (n *pinger) ID() NodeID { return n.id }
+func (n *pinger) OnEpoch(s Sender, epoch int) {
+	s.Send(n.to, "ping", window.Point{1}, float64(epoch))
+}
+func (n *pinger) OnMessage(Sender, Message) {}
+
+func TestCrashedNodeNeitherTicksNorReceives(t *testing.T) {
+	s := New()
+	s.SetFaults(fault.MustCompile(fault.Schedule{
+		Crashes: []fault.Crash{{Node: 2, At: 3, For: 4}}, // down [3,7)
+	}))
+	rec := &recorder{id: 2, sim: s}
+	s.Add(&pinger{id: 1, to: 2})
+	s.Add(rec)
+	for e := 0; e < 10; e++ {
+		s.Step(e)
+	}
+	for _, tick := range rec.ticks {
+		if tick >= 3 && tick < 7 {
+			t.Errorf("crashed node ticked at epoch %d", tick)
+		}
+	}
+	if len(rec.ticks) != 6 {
+		t.Errorf("tick count = %d, want 6", len(rec.ticks))
+	}
+	for _, e := range rec.epochs {
+		if e >= 3 && e < 7 {
+			t.Errorf("delivery to crashed node at epoch %d", e)
+		}
+	}
+	st := s.Stats()
+	if st.CrashDropped != 4 {
+		t.Errorf("CrashDropped = %d, want 4", st.CrashDropped)
+	}
+	if err := s.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayedDeliveryOrderAndEpoch(t *testing.T) {
+	// Force every copy to be delayed by exactly 1 (DelayMax 1, prob 1).
+	s := New()
+	s.SetFaults(fault.MustCompile(fault.Schedule{
+		Links: []fault.Link{{From: fault.Any, To: fault.Any, DelayProb: 1, DelayMax: 1}},
+	}))
+	rec := &recorder{id: 2, sim: s}
+	s.Add(&pinger{id: 1, to: 2})
+	s.Add(rec)
+	for e := 0; e < 5; e++ {
+		s.Step(e)
+	}
+	// The epoch-e ping lands at e+1; epoch-4's is still in flight.
+	if len(rec.aux) != 4 {
+		t.Fatalf("deliveries = %d, want 4", len(rec.aux))
+	}
+	for i, sent := range rec.aux {
+		if got := rec.epochs[i]; got != int(sent)+1 {
+			t.Errorf("copy sent at %v delivered at %d, want %v", sent, got, int(sent)+1)
+		}
+	}
+	st := s.Stats()
+	if st.Delayed != 5 {
+		t.Errorf("Delayed = %d, want 5", st.Delayed)
+	}
+	if s.InFlight() != 1 {
+		t.Errorf("InFlight = %d, want 1", s.InFlight())
+	}
+	if err := s.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateDeliveredOnce(t *testing.T) {
+	// Every transmission duplicates; the receiver must see each logical
+	// message exactly once, with the spare counted as discarded.
+	s := New()
+	s.SetFaults(fault.MustCompile(fault.Schedule{
+		Links: []fault.Link{{From: fault.Any, To: fault.Any, DupProb: 1}},
+	}))
+	rec := &recorder{id: 2, sim: s}
+	s.Add(&pinger{id: 1, to: 2})
+	s.Add(rec)
+	for e := 0; e < 20; e++ {
+		s.Step(e)
+	}
+	if len(rec.aux) != 20 {
+		t.Fatalf("deliveries = %d, want 20 (one per logical message)", len(rec.aux))
+	}
+	st := s.Stats()
+	if st.Duplicated != 20 || st.DupDiscarded != 20 {
+		t.Errorf("Duplicated/DupDiscarded = %d/%d, want 20/20", st.Duplicated, st.DupDiscarded)
+	}
+	if err := s.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalLossStarvesReceiver(t *testing.T) {
+	s := New()
+	s.SetFaults(fault.MustCompile(fault.Schedule{
+		Links: []fault.Link{{From: 1, To: 2, Loss: 1}},
+	}))
+	rec := &recorder{id: 2, sim: s}
+	s.Add(&pinger{id: 1, to: 2})
+	s.Add(rec)
+	s.Run(10)
+	if len(rec.aux) != 0 {
+		t.Errorf("deliveries = %d under total loss", len(rec.aux))
+	}
+	st := s.Stats()
+	if st.Lost != 10 || st.Delivered != 0 {
+		t.Errorf("Lost/Delivered = %d/%d, want 10/0", st.Lost, st.Delivered)
+	}
+	if err := s.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetFaultsNilRestoresFastPath(t *testing.T) {
+	s := New()
+	s.SetFaults(fault.MustCompile(fault.Schedule{
+		Links: []fault.Link{{From: fault.Any, To: fault.Any, Loss: 1}},
+	}))
+	s.SetFaults(nil)
+	rec := &recorder{id: 2, sim: s}
+	s.Add(&pinger{id: 1, to: 2})
+	s.Add(rec)
+	s.Run(5)
+	if len(rec.aux) != 5 {
+		t.Errorf("deliveries = %d after clearing faults, want 5", len(rec.aux))
+	}
+}
