@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-all bench-fault chaos experiments quick-experiments verify-figures update-golden fmt vet clean
+.PHONY: all build test race cover bench bench-all bench-fault bench-serve serve-smoke chaos experiments quick-experiments verify-figures update-golden fmt vet clean
 
 # The default verify path includes vet and the race detector: the
 # parallel evaluation harness and the concurrent runtime are only correct
@@ -41,6 +41,19 @@ bench-all:
 bench-fault:
 	$(GO) test -run=NONE -bench=BenchmarkStep -benchmem -benchtime 2000000x ./internal/tagsim/
 	$(GO) test -run=NONE -bench=BenchmarkParallelRunD3 -benchtime 3x .
+
+# Serving benchmark suite whose numbers land in BENCH_SERVE.json (update
+# the file from this output when the serving path changes): the per-reading
+# shard hot loop (must report 0 allocs/op) and the end-to-end HTTP server
+# at a shard sweep, reporting readings/s and p99 ingest latency.
+bench-serve:
+	$(GO) test -run=NONE -bench='BenchmarkPipelineIngest|BenchmarkServerIngest' -benchmem -benchtime 1s ./internal/serve/
+
+# End-to-end smoke of the serving subsystem: build oddserve + oddload,
+# replay a seeded load over HTTP with verdict agreement enforced against
+# the in-process twin, then verify clean SIGTERM shutdown and checkpoint.
+serve-smoke: build
+	scripts/serve_smoke.sh
 
 # Full chaos property suite (30 oracle-generated fault schedules plus
 # faulted parallel-replay determinism) and the fault-schedule fuzzer.

@@ -45,6 +45,14 @@ func main() {
 	)
 	flag.Parse()
 
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := checkFlags(*exp, *runs, *workers, *goldenCheck, *goldenUpdate, flag.Args(), set); err != nil {
+		fmt.Fprintf(os.Stderr, "oddsim: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	if *goldenCheck || *goldenUpdate {
 		os.Exit(goldenMain(*goldenCheck, *goldenUpdate, *goldenFile, *goldenSpec, *goldenFigs, *seed, *workers))
 	}
@@ -133,21 +141,58 @@ func main() {
 		return t
 	})
 
-	switch *exp {
-	case "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "mem", "ablation", "figfault", "all":
-	default:
-		fmt.Fprintf(os.Stderr, "oddsim: unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
+}
+
+// experimentNames are the valid -exp values.
+var experimentNames = []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "mem", "ablation", "figfault", "all"}
+
+// checkFlags validates the parsed flag combination before anything runs,
+// so a typo'd experiment name or a contradictory mode fails with a usage
+// message instead of silently executing the wrong (or no) suite. set
+// holds the names of flags explicitly given on the command line.
+func checkFlags(exp string, runs, workers int, goldenCheck, goldenUpdate bool, args []string, set map[string]bool) error {
+	if len(args) > 0 {
+		return fmt.Errorf("unexpected arguments: %v", args)
 	}
+	valid := false
+	for _, n := range experimentNames {
+		if exp == n {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if runs < 0 {
+		return fmt.Errorf("-runs %d must be non-negative", runs)
+	}
+	if workers <= 0 {
+		return fmt.Errorf("-workers %d must be positive", workers)
+	}
+	if goldenCheck && goldenUpdate {
+		return fmt.Errorf("-golden-check and -golden-update are mutually exclusive")
+	}
+	if goldenCheck || goldenUpdate {
+		for _, n := range []string{"exp", "quick", "runs"} {
+			if set[n] {
+				return fmt.Errorf("-%s has no effect in golden mode", n)
+			}
+		}
+	} else {
+		for _, n := range []string{"golden-file", "golden-spec", "golden-figs"} {
+			if set[n] {
+				return fmt.Errorf("-%s requires -golden-check or -golden-update", n)
+			}
+		}
+	}
+	return nil
 }
 
 // goldenMain runs the golden check/update flow and returns the exit code.
+// Flag-combination validation (including check/update exclusivity) has
+// already happened in checkFlags.
 func goldenMain(check, update bool, file, specFile, figsCSV string, seed int64, workers int) int {
-	if check && update {
-		fmt.Fprintln(os.Stderr, "oddsim: -golden-check and -golden-update are mutually exclusive")
-		return 2
-	}
 	var figs []string
 	switch figsCSV {
 	case "":

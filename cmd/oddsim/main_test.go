@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestCheckFlags(t *testing.T) {
+	none := map[string]bool{}
+	cases := []struct {
+		name    string
+		exp     string
+		runs    int
+		workers int
+		check   bool
+		update  bool
+		args    []string
+		set     map[string]bool
+		wantErr bool
+	}{
+		{name: "defaults", exp: "all", workers: 4},
+		{name: "one experiment", exp: "fig7", runs: 12, workers: 1},
+		{name: "golden check", exp: "all", workers: 2, check: true},
+		{name: "golden file with update", exp: "all", workers: 2, update: true,
+			set: map[string]bool{"golden-file": true}},
+		{name: "unknown experiment", exp: "fig77", workers: 4, wantErr: true},
+		{name: "empty experiment", exp: "", workers: 4, wantErr: true},
+		{name: "negative runs", exp: "all", runs: -1, workers: 4, wantErr: true},
+		{name: "zero workers", exp: "all", workers: 0, wantErr: true},
+		{name: "negative workers", exp: "all", workers: -3, wantErr: true},
+		{name: "check and update together", exp: "all", workers: 4, check: true, update: true, wantErr: true},
+		{name: "positional args", exp: "all", workers: 4, args: []string{"fig7"}, wantErr: true},
+		{name: "exp with golden mode", exp: "fig7", workers: 4, check: true,
+			set: map[string]bool{"exp": true}, wantErr: true},
+		{name: "quick with golden mode", exp: "all", workers: 4, update: true,
+			set: map[string]bool{"quick": true}, wantErr: true},
+		{name: "golden-figs without golden mode", exp: "all", workers: 4,
+			set: map[string]bool{"golden-figs": true}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			set := tc.set
+			if set == nil {
+				set = none
+			}
+			err := checkFlags(tc.exp, tc.runs, tc.workers, tc.check, tc.update, tc.args, set)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("checkFlags() error = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}

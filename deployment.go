@@ -431,7 +431,11 @@ type NodeHealth struct {
 }
 
 // Health reports per-node health: crash state and counts from the fault
-// plan, plus model staleness and time-to-recover for MGDD leaves.
+// plan, plus model staleness and time-to-recover for MGDD leaves. It is
+// fully populated on the zero-fault path too — with no schedule compiled
+// every node reports zero-valued health (Down false, zero crashes), and
+// MGDD leaves always carry a non-nil TimeToRecover, so callers never
+// need a nil guard.
 func (d *Deployment) Health() []NodeHealth {
 	e := d.sim.Epoch()
 	out := make([]NodeHealth, 0, len(d.nodes))

@@ -1,0 +1,64 @@
+package odds
+
+// Compile-and-run smoke test for the faults.go re-exports: a fault
+// schedule built purely through the root-package API must compile, pass
+// NewDeployment validation, and drive a run. This pins the external API
+// surface against drift in internal/fault — a renamed field or type
+// breaks this file before it breaks a downstream user.
+
+import "testing"
+
+func TestFaultReexportsBuildASchedule(t *testing.T) {
+	sched := FaultSchedule{
+		Seed: 11,
+		Crashes: []Crash{
+			{Node: 3, At: 20, For: 15},
+			{Node: 5, At: 40, For: 0}, // permanent
+		},
+		Links: []FaultLink{
+			{From: AnyNode, To: 0, Loss: 0.05},
+			{
+				From: 1, To: AnyNode,
+				Burst:     GilbertElliott{PGoodBad: 0.1, PBadGood: 0.4, LossBad: 0.9},
+				DelayProb: 0.1, DelayMax: 3,
+				DupProb: 0.05,
+			},
+		},
+	}
+	if sched.Empty() {
+		t.Fatal("populated schedule reports empty")
+	}
+
+	cfg := DeploymentConfig{
+		Algorithm: D3,
+		Sources:   buildSources(8, 1),
+		Branching: 2,
+		Core:      smallConfig(1),
+		Dist:      DistanceParams{Radius: 0.01, Threshold: 10},
+		Faults:    &sched,
+		SelfHeal:  true,
+		Seed:      4,
+	}
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatalf("schedule built from re-exports rejected: %v", err)
+	}
+	d.Run(60)
+	if err := d.CheckMessageConservation(); err != nil {
+		t.Fatal(err)
+	}
+	// The crash schedule must be visible through Health.
+	crashes := 0
+	for _, nh := range d.Health() {
+		crashes += nh.Crashes
+	}
+	if crashes != 2 {
+		t.Fatalf("health reports %d crash windows, schedule has 2", crashes)
+	}
+
+	// The loss helper produces a usable one-rule schedule.
+	u := UniformLossSchedule(0.2, 9)
+	if u.Empty() || len(u.Links) != 1 || u.Links[0].Loss != 0.2 {
+		t.Fatalf("UniformLossSchedule shape: %+v", u)
+	}
+}

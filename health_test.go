@@ -1,0 +1,85 @@
+package odds
+
+// Regression tests for the zero-fault Health contract: a deployment
+// built without any fault schedule must still report fully-populated,
+// zero-valued per-node health — no nil guards required by callers.
+
+import (
+	"testing"
+
+	"odds/internal/fault"
+)
+
+func zeroFaultDeployment(t *testing.T, alg Algorithm) *Deployment {
+	t.Helper()
+	return faultyDeployment(t, alg, nil, 7)
+}
+
+func TestHealthZeroFaultPath(t *testing.T) {
+	for _, alg := range []Algorithm{D3, MGDD, Centralized} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			d := zeroFaultDeployment(t, alg)
+			d.Run(50)
+			h := d.Health()
+			if len(h) != d.NodeCount() {
+				t.Fatalf("%d health entries for %d nodes", len(h), d.NodeCount())
+			}
+			for _, nh := range h {
+				if nh.Down || nh.Crashes != 0 {
+					t.Errorf("node %d: zero-fault run reports Down=%v Crashes=%d", nh.Node, nh.Down, nh.Crashes)
+				}
+				if nh.Level < 0 {
+					t.Errorf("node %d: negative level %d", nh.Node, nh.Level)
+				}
+			}
+		})
+	}
+}
+
+// TestHealthMGDDLeafNeverNilTTR: even before any repair completes (and on
+// the zero-fault path no repair ever starts), MGDD leaves report a
+// non-nil, empty TimeToRecover.
+func TestHealthMGDDLeafNeverNilTTR(t *testing.T) {
+	d := zeroFaultDeployment(t, MGDD)
+	d.Run(50)
+	leaves := 0
+	for _, nh := range d.Health() {
+		if nh.Level != 0 {
+			continue
+		}
+		leaves++
+		if nh.TimeToRecover == nil {
+			t.Fatalf("leaf %d: nil TimeToRecover on zero-fault path", nh.Node)
+		}
+		if len(nh.TimeToRecover) != 0 {
+			t.Fatalf("leaf %d: unexpected repairs %v without faults", nh.Node, nh.TimeToRecover)
+		}
+		if nh.Stale {
+			t.Fatalf("leaf %d: stale replica without faults", nh.Node)
+		}
+	}
+	if leaves == 0 {
+		t.Fatal("no leaves in MGDD deployment")
+	}
+}
+
+// TestHealthMatchesFaultedPlan sanity-checks the same fields against a
+// compiled plan so the zero-fault assertions above cannot pass vacuously.
+func TestHealthMatchesFaultedPlan(t *testing.T) {
+	sched := fault.Schedule{Seed: 3, Crashes: []fault.Crash{{Node: 2, At: 10, For: 20}}}
+	d := faultyDeployment(t, D3, &sched, 7)
+	d.Run(50)
+	found := false
+	for _, nh := range d.Health() {
+		if nh.Node == 2 {
+			found = true
+			if nh.Crashes != 1 {
+				t.Fatalf("node 2: Crashes=%d, want 1", nh.Crashes)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("node 2 missing from health report")
+	}
+}

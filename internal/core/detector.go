@@ -138,6 +138,43 @@ func (e *Estimator) Querier() *kernel.Querier {
 	return e.qr
 }
 
+// EnableSampleRecycling switches the chain sample to pooled point storage
+// (sample.Chain.EnableRecycling), making the steady-state Observe path
+// allocation-free. Safe only when sample points never outlive the next
+// Observe: Model deep-copies centers (kernel.New owns its storage), so a
+// pipeline that only calls Observe/Model/Querier qualifies; deployments
+// that ship sample points in delayed messages (MGDD refresh) do not.
+// Call before the first Observe or immediately after UnmarshalEstimator.
+func (e *Estimator) EnableSampleRecycling() { e.smp.EnableRecycling() }
+
+// ModelSnapshot captures the cached-model state Model's lazy-rebuild
+// bookkeeping evolves between rebuilds. Serialization via
+// MarshalBinary/UnmarshalEstimator deliberately drops the cached model (a
+// restored estimator rebuilds on the next Model call), but a rebuild at
+// restore time uses the *current* variance sketch sigmas, whereas the
+// uninterrupted original may be serving a model built several arrivals
+// ago under older sigmas. Checkpoint/restore paths that need verdicts to
+// be bit-identical across the restore boundary capture this snapshot
+// alongside the estimator blob and reinstate it with
+// RestoreModelSnapshot. The returned model is immutable and safe to
+// marshal; it is nil when no model has been built yet.
+func (e *Estimator) ModelSnapshot() (model *kernel.Estimator, modelWc float64, dirty bool, sinceBuild int) {
+	return e.model, e.modelWc, e.dirty, e.sinceBuild
+}
+
+// RestoreModelSnapshot reinstates cached-model state captured by
+// ModelSnapshot on the estimator the snapshot was taken from (after an
+// UnmarshalEstimator round trip). A nil model leaves the restored
+// default — rebuild on next Model call — but still restores the rebuild
+// cadence counters.
+func (e *Estimator) RestoreModelSnapshot(model *kernel.Estimator, modelWc float64, dirty bool, sinceBuild int) {
+	e.model = model
+	e.modelWc = modelWc
+	e.dirty = dirty
+	e.sinceBuild = sinceBuild
+	e.qr = nil
+}
+
 // warmupFraction is the share of the sample window that must have been
 // observed before a node starts flagging outliers: with only a handful of
 // arrivals every neighbor-count estimate is below any threshold and every

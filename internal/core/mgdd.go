@@ -169,9 +169,12 @@ func (n *MGDDLeaf) SetRoute(fn func() (tagsim.NodeID, bool)) { n.up.SetRoute(fn)
 // Health reports the replica's staleness state: the epoch stamp of the
 // last folded global update, whether the leaf currently considers its
 // replica stale, and the time-to-recover (epochs from staleness/outage
-// onset to the next folded update) of every completed repair.
+// onset to the next folded update) of every completed repair. ttr is
+// never nil — a leaf with no completed repairs reports an empty slice,
+// so callers (and JSON encodings) need no nil guard on the zero-fault
+// path.
 func (n *MGDDLeaf) Health() (modelEpoch int, stale bool, ttr []int) {
-	return n.global.Stamp(), n.repairFrom >= 0, append([]int(nil), n.ttrs...)
+	return n.global.Stamp(), n.repairFrom >= 0, append(make([]int, 0, len(n.ttrs)), n.ttrs...)
 }
 
 // heal runs the staleness/recovery protocol at the top of an epoch tick:

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"odds/internal/window"
@@ -138,8 +139,19 @@ func New(centers []window.Point, bandwidths []float64, windowCount float64) (*Es
 	if windowCount <= 0 || math.IsNaN(windowCount) || math.IsInf(windowCount, 0) {
 		return nil, fmt.Errorf("kernel: window count %v must be positive and finite", windowCount)
 	}
+	// Deep-copy the centers into a flat backing: the model must not alias
+	// caller storage, because samples hand their points to FromSample and
+	// may recycle the backing arrays afterwards (sample.Chain recycling
+	// mode), while the model stays live, queryable, and marshalable.
+	flat := make([]float64, len(centers)*dim)
+	own := make([]window.Point, len(centers))
+	for i, p := range centers {
+		c := flat[i*dim : (i+1)*dim]
+		copy(c, p)
+		own[i] = c
+	}
 	e := &Estimator{
-		centers: append([]window.Point(nil), centers...),
+		centers: own,
 		bw:      bw,
 		wcount:  windowCount,
 		dim:     dim,
@@ -155,9 +167,17 @@ func (e *Estimator) layout() {
 	if e.pruneDim >= 0 {
 		// Stable sort keeps construction deterministic and idempotent
 		// (marshal round trips re-sort an already-sorted center list).
+		// The generic sort avoids sort.SliceStable's reflection-based
+		// swaps, which dominated rebuild cost in serving profiles.
 		k := e.pruneDim
-		sort.SliceStable(e.centers, func(a, b int) bool {
-			return e.centers[a][k] < e.centers[b][k]
+		slices.SortStableFunc(e.centers, func(a, b window.Point) int {
+			switch {
+			case a[k] < b[k]:
+				return -1
+			case a[k] > b[k]:
+				return 1
+			}
+			return 0
 		})
 	}
 	e.cols = make([][]float64, e.dim)

@@ -31,6 +31,7 @@ type GK struct {
 	tuples  []tuple
 	n       int
 	pending []float64 // buffered inserts, merged in batches for speed
+	scratch []tuple   // reused by flush so steady-state merges do not allocate
 }
 
 // New returns a summary with rank-error bound eps·n. It panics for eps
@@ -74,7 +75,7 @@ func (s *GK) flush() {
 	}
 	sort.Float64s(s.pending)
 	maxD := int(2 * s.eps * float64(s.n+len(s.pending)))
-	merged := make([]tuple, 0, len(s.tuples)+len(s.pending))
+	merged := s.scratch[:0]
 	i, j := 0, 0
 	for i < len(s.tuples) || j < len(s.pending) {
 		if j >= len(s.pending) || (i < len(s.tuples) && s.tuples[i].v <= s.pending[j]) {
@@ -96,7 +97,7 @@ func (s *GK) flush() {
 	}
 	s.n += len(s.pending)
 	s.pending = s.pending[:0]
-	s.tuples = merged
+	s.tuples, s.scratch = merged, s.tuples[:0]
 	s.compress()
 }
 

@@ -53,6 +53,56 @@ type Chain struct {
 
 	expireAt map[uint64][]int // arrival index → slots whose sample expires
 	wantAt   map[uint64][]int // arrival index → slots awaiting a successor
+
+	// Recycling mode (EnableRecycling): dead points and drained event
+	// lists return to free pools instead of the garbage collector, making
+	// steady-state Push allocation-free. Off by default because recycled
+	// point storage is mutated in place: callers that let sample points
+	// escape (MGDD refresh batches ride in delayed messages) must keep the
+	// default drop-on-expiry behavior.
+	recycle   bool
+	freePts   []window.Point
+	freeLists [][]int
+}
+
+// EnableRecycling switches the chain to pooled storage: expired points and
+// drained event lists are reused by later arrivals. The sampled state and
+// every rng draw are identical with recycling on or off — only the
+// ownership of dead storage changes. Points returned by Points become
+// invalid once a subsequent Push recycles them, so callers must copy
+// anything they keep (kernel.New deep-copies its centers).
+//
+// Call it before the first Push or directly after UnmarshalChain (decoded
+// points are uniquely owned). Enabling it later is unsafe: pre-recycling
+// arrivals may share one clone across slots, and a shared point must not
+// enter the free pool twice.
+func (c *Chain) EnableRecycling() { c.recycle = true }
+
+// release returns a dead point to the free pool in recycling mode.
+func (c *Chain) release(p window.Point) {
+	if c.recycle && p != nil {
+		c.freePts = append(c.freePts, p)
+	}
+}
+
+// sched appends slot s to the event list at key, reusing pooled list
+// backing for keys not yet present.
+func (c *Chain) sched(m map[uint64][]int, key uint64, s int) {
+	l, ok := m[key]
+	if !ok && len(c.freeLists) > 0 {
+		last := len(c.freeLists) - 1
+		l = c.freeLists[last][:0]
+		c.freeLists[last] = nil
+		c.freeLists = c.freeLists[:last]
+	}
+	m[key] = append(l, s)
+}
+
+// recycleList returns a drained event list's backing to the pool.
+func (c *Chain) recycleList(l []int) {
+	if c.recycle && cap(l) > 0 {
+		c.freeLists = append(c.freeLists, l[:0])
+	}
 }
 
 // NewChain returns a chain sample of size k over windows of capacity wcap,
@@ -98,7 +148,7 @@ func (c *Chain) Seen() uint64 { return c.n }
 func (c *Chain) drawWant(s int, i uint64) {
 	sl := &c.slots[s]
 	sl.wantIdx = i + 1 + uint64(c.rng.Int63n(int64(c.w)))
-	c.wantAt[sl.wantIdx] = append(c.wantAt[sl.wantIdx], s)
+	c.sched(c.wantAt, sl.wantIdx, s)
 }
 
 // Push feeds the next stream value and reports whether it was adopted as
@@ -111,8 +161,24 @@ func (c *Chain) Push(p window.Point) bool {
 	}
 	c.n++
 	i := c.n
+	// Without recycling, every structure capturing this arrival shares one
+	// clone (the "cloned at most once" contract above). With recycling each
+	// capture gets its own pooled copy, so expiry can return storage to the
+	// free pool without reference-counting shared clones.
 	var clone window.Point
 	cloneOf := func() window.Point {
+		if c.recycle {
+			var cp window.Point
+			if n := len(c.freePts); n > 0 {
+				cp = c.freePts[n-1]
+				c.freePts[n-1] = nil
+				c.freePts = c.freePts[:n-1]
+			} else {
+				cp = make(window.Point, c.dim)
+			}
+			copy(cp, p)
+			return cp
+		}
 		if clone == nil {
 			clone = p.Clone()
 		}
@@ -129,16 +195,18 @@ func (c *Chain) Push(p window.Point) bool {
 			if sl.sample == nil || sl.sampleIdx+c.w != i {
 				continue // stale event from a superseded sample
 			}
+			c.release(sl.sample)
 			if len(sl.chain) > 0 {
 				head := sl.chain[0]
 				copy(sl.chain, sl.chain[1:])
 				sl.chain = sl.chain[:len(sl.chain)-1]
 				sl.sampleIdx, sl.sample = head.idx, head.val
-				c.expireAt[head.idx+c.w] = append(c.expireAt[head.idx+c.w], s)
+				c.sched(c.expireAt, head.idx+c.w, s)
 			} else {
 				sl.sample = nil
 			}
 		}
+		c.recycleList(lst)
 	}
 
 	// 2. Successor captures scheduled for this arrival: append to the
@@ -153,12 +221,13 @@ func (c *Chain) Push(p window.Point) bool {
 			}
 			if sl.sample == nil {
 				sl.sampleIdx, sl.sample = i, cloneOf()
-				c.expireAt[i+c.w] = append(c.expireAt[i+c.w], s)
+				c.sched(c.expireAt, i+c.w, s)
 			} else {
 				sl.chain = append(sl.chain, chainEntry{idx: i, val: cloneOf()})
 			}
 			c.drawWant(s, i)
 		}
+		c.recycleList(lst)
 	}
 
 	// 3. Adoptions: each slot takes the new arrival as its sample with
@@ -166,9 +235,14 @@ func (c *Chain) Push(p window.Point) bool {
 	included := false
 	adopt := func(s int) {
 		sl := &c.slots[s]
+		c.release(sl.sample)
+		for j := range sl.chain {
+			c.release(sl.chain[j].val)
+			sl.chain[j].val = nil
+		}
 		sl.sampleIdx, sl.sample = i, cloneOf()
 		sl.chain = sl.chain[:0]
-		c.expireAt[i+c.w] = append(c.expireAt[i+c.w], s)
+		c.sched(c.expireAt, i+c.w, s)
 		c.drawWant(s, i)
 		included = true
 	}

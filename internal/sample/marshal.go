@@ -5,17 +5,27 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"odds/internal/window"
 )
 
 // Chain samples are part of the estimation state handed over when a
 // cell's leadership rotates (Section 2). MarshalBinary encodes the slots,
-// their chains, and the pending successor schedule; the restored sample
-// continues with a freshly seeded coin source (randomness need not be
-// continuous across a handoff — only the sampled state matters).
+// their chains, and the event schedule; the restored sample continues
+// with the caller-provided coin source.
+//
+// The event maps are serialized explicitly — list order included —
+// rather than reconstructed from slot state: when several slots' events
+// fire at the same arrival, each is assigned one rng draw in list order,
+// so the order is part of the deterministic state. A restore that merely
+// rebuilt the lists in slot order would permute draw assignment and
+// silently diverge from the original stream (the serving layer's
+// checkpoint/restore relies on bit-exact continuation). Indexes are
+// written in ascending order so encoding is deterministic; per-index
+// list order is preserved verbatim, stale entries included.
 
-const marshalMagic = uint32(0x4f445341) // "ODSA"
+const marshalMagic = uint32(0x4f445342) // "ODSB"
 
 func appendPoint(buf []byte, p window.Point) []byte {
 	for _, x := range p {
@@ -50,7 +60,29 @@ func (c *Chain) MarshalBinary() ([]byte, error) {
 			buf = appendPoint(buf, ce.val)
 		}
 	}
+	buf = appendEventMap(buf, c.expireAt)
+	buf = appendEventMap(buf, c.wantAt)
 	return buf, nil
+}
+
+// appendEventMap encodes an event map with ascending indexes and verbatim
+// per-index slot lists.
+func appendEventMap(buf []byte, m map[uint64][]int) []byte {
+	idxs := make([]uint64, 0, len(m))
+	for idx := range m {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(idxs)))
+	for _, idx := range idxs {
+		lst := m[idx]
+		buf = binary.LittleEndian.AppendUint64(buf, idx)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(lst)))
+		for _, s := range lst {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(s))
+		}
+	}
+	return buf
 }
 
 // UnmarshalChain decodes a sample encoded by MarshalBinary, attaching the
@@ -129,13 +161,9 @@ func UnmarshalChain(data []byte, rng *rand.Rand) (*Chain, error) {
 			if sl.sampleIdx > n || sl.sampleIdx+w <= n {
 				return nil, fmt.Errorf("sample: slot %d index %d inconsistent with stream position %d", i, sl.sampleIdx, n)
 			}
-			c.expireAt[sl.sampleIdx+w] = append(c.expireAt[sl.sampleIdx+w], i)
 		}
 		if sl.wantIdx, ok = read64(); !ok {
 			return fail()
-		}
-		if sl.wantIdx > n {
-			c.wantAt[sl.wantIdx] = append(c.wantAt[sl.wantIdx], i)
 		}
 		nc, ok := read32()
 		if !ok {
@@ -153,9 +181,45 @@ func UnmarshalChain(data []byte, rng *rand.Rand) (*Chain, error) {
 				return fail()
 			}
 			sl.chain = append(sl.chain, ce)
-			// Chain entries expire with the sample they succeed; their own
-			// expiry events are scheduled when they take over.
 		}
+	}
+	readEventMap := func(m map[uint64][]int) error {
+		cnt, ok := read32()
+		if !ok {
+			return fmt.Errorf("sample: truncated event map")
+		}
+		if int(cnt) > 1<<24 {
+			return fmt.Errorf("sample: implausible event map size %d", cnt)
+		}
+		for e := 0; e < int(cnt); e++ {
+			idx, ok := read64()
+			if !ok {
+				return fmt.Errorf("sample: truncated event map entry")
+			}
+			ln, ok := read32()
+			if !ok || int(ln) > 1<<24 {
+				return fmt.Errorf("sample: bad event list length")
+			}
+			lst := make([]int, ln)
+			for j := range lst {
+				s, ok := read32()
+				if !ok {
+					return fmt.Errorf("sample: truncated event list")
+				}
+				if int(s) >= k {
+					return fmt.Errorf("sample: event references slot %d of %d", s, k)
+				}
+				lst[j] = int(s)
+			}
+			m[idx] = lst
+		}
+		return nil
+	}
+	if err := readEventMap(c.expireAt); err != nil {
+		return nil, err
+	}
+	if err := readEventMap(c.wantAt); err != nil {
+		return nil, err
 	}
 	if len(data) != 0 {
 		return nil, fmt.Errorf("sample: %d trailing bytes", len(data))

@@ -1,0 +1,136 @@
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"odds/internal/window"
+)
+
+type countingSrc struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSrc) Int63() int64   { c.n++; return c.src.Int63() }
+func (c *countingSrc) Uint64() uint64 { c.n++; return c.src.Uint64() }
+func (c *countingSrc) Seed(s int64)   { c.src.Seed(s); c.n = 0 }
+
+// TestChainRestoreDrawStreamExact pins the chain marshal format's
+// strongest guarantee: a restored chain whose rng source is positioned at
+// the original's draw count continues bit-exactly — same draws, same
+// events, same samples. The subtle part is event-list order: slots whose
+// events fire at the same arrival receive rng draws in list order, so the
+// maps are serialized verbatim instead of being reconstructed from slot
+// state (reconstruction would permute draw assignment and diverge; the
+// serving layer's checkpoint/restore depends on this).
+func TestChainRestoreDrawStreamExact(t *testing.T) {
+	cs := &countingSrc{src: rand.NewSource(77).(rand.Source64)}
+	c := NewChain(20, 60, 1, rand.New(cs))
+	data := rand.New(rand.NewSource(13))
+	p := make(window.Point, 1)
+	for i := 0; i < 95; i++ {
+		p[0] = data.Float64()
+		c.Push(p)
+	}
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs2 := &countingSrc{src: rand.NewSource(77).(rand.Source64)}
+	for cs2.n < cs.n {
+		cs2.Uint64()
+	}
+	r, err := UnmarshalChain(blob, rand.New(cs2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare live (effective) events: for each future arrival, which slots
+	// would actually act?
+	liveWant := map[uint64][]int{}
+	for idx, slots := range c.wantAt {
+		for _, s := range slots {
+			if c.slots[s].wantIdx == idx {
+				liveWant[idx] = append(liveWant[idx], s)
+			}
+		}
+	}
+	restWant := map[uint64][]int{}
+	for idx, slots := range r.wantAt {
+		for _, s := range slots {
+			if r.slots[s].wantIdx == idx {
+				restWant[idx] = append(restWant[idx], s)
+			}
+		}
+	}
+	for idx, ls := range liveWant {
+		if len(restWant[idx]) != len(ls) {
+			t.Errorf("wantAt[%d]: live %v restored %v", idx, ls, restWant[idx])
+		}
+	}
+	for idx, ls := range restWant {
+		if len(liveWant[idx]) != len(ls) {
+			t.Errorf("wantAt[%d]: live %v restored %v (extra in restored)", idx, liveWant[idx], ls)
+		}
+	}
+	liveExp := map[uint64][]int{}
+	for idx, slots := range c.expireAt {
+		for _, s := range slots {
+			if c.slots[s].sample != nil && c.slots[s].sampleIdx+c.w == idx {
+				liveExp[idx] = append(liveExp[idx], s)
+			}
+		}
+	}
+	restExp := map[uint64][]int{}
+	for idx, slots := range r.expireAt {
+		for _, s := range slots {
+			if r.slots[s].sample != nil && r.slots[s].sampleIdx+r.w == idx {
+				restExp[idx] = append(restExp[idx], s)
+			}
+		}
+	}
+	for idx, ls := range liveExp {
+		if len(restExp[idx]) != len(ls) {
+			t.Errorf("expireAt[%d]: live %v restored %v", idx, ls, restExp[idx])
+		}
+	}
+	for idx, ls := range restExp {
+		if len(liveExp[idx]) != len(ls) {
+			t.Errorf("expireAt[%d]: live %v restored %v (extra)", idx, liveExp[idx], ls)
+		}
+	}
+	// Also: continue both and find first draw divergence.
+	d1 := rand.New(rand.NewSource(99))
+	d2 := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		arrival := c.n + 1
+		// Capture pending events for this arrival before pushing.
+		dump := func(ch *Chain, label string) []string {
+			var out []string
+			for _, s := range ch.expireAt[arrival] {
+				sl := ch.slots[s]
+				out = append(out, fmt.Sprintf("%s expireAt[%d]: slot %d sampleIdx=%d live=%v chainLen=%d",
+					label, arrival, s, sl.sampleIdx, sl.sample != nil && sl.sampleIdx+ch.w == arrival, len(sl.chain)))
+			}
+			for _, s := range ch.wantAt[arrival] {
+				sl := ch.slots[s]
+				out = append(out, fmt.Sprintf("%s wantAt[%d]: slot %d wantIdx=%d live=%v sampleNil=%v",
+					label, arrival, s, sl.wantIdx, sl.wantIdx == arrival, sl.sample == nil))
+			}
+			return out
+		}
+		pre := append(dump(c, "live"), dump(r, "restored")...)
+		n1, n2 := cs.n, cs2.n
+		p[0] = d1.Float64()
+		c.Push(p)
+		p[0] = d2.Float64()
+		r.Push(p)
+		if cs.n-n1 != cs2.n-n2 {
+			for _, l := range pre {
+				t.Log(l)
+			}
+			t.Fatalf("step %d (arrival %d): draw delta live %d restored %d", i, arrival, cs.n-n1, cs2.n-n2)
+		}
+	}
+}

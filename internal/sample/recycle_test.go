@@ -1,0 +1,127 @@
+package sample
+
+import (
+	"math/rand"
+	"testing"
+
+	"odds/internal/window"
+)
+
+// TestChainRecyclingEquivalence pins the EnableRecycling contract: with the
+// same seed, a recycling chain and a plain chain make identical Push
+// decisions and hold identical sample values at every step. Only storage
+// ownership may differ.
+func TestChainRecyclingEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		k, wcap, dim int
+		steps        int
+	}{
+		{k: 1, wcap: 5, dim: 1, steps: 400},
+		{k: 8, wcap: 20, dim: 2, steps: 2000},
+		{k: 25, wcap: 100, dim: 3, steps: 5000},
+	} {
+		plain := NewChain(tc.k, tc.wcap, tc.dim, rand.New(rand.NewSource(42)))
+		pooled := NewChain(tc.k, tc.wcap, tc.dim, rand.New(rand.NewSource(42)))
+		pooled.EnableRecycling()
+
+		data := rand.New(rand.NewSource(7))
+		p := make(window.Point, tc.dim)
+		for step := 0; step < tc.steps; step++ {
+			for d := range p {
+				p[d] = data.Float64()
+			}
+			a, b := plain.Push(p), pooled.Push(p)
+			if a != b {
+				t.Fatalf("k=%d w=%d dim=%d step %d: Push adopted=%v, recycling adopted=%v",
+					tc.k, tc.wcap, tc.dim, step, a, b)
+			}
+			pa, pb := plain.Points(), pooled.Points()
+			if len(pa) != len(pb) {
+				t.Fatalf("step %d: %d points vs %d with recycling", step, len(pa), len(pb))
+			}
+			for s := range pa {
+				for d := range pa[s] {
+					if pa[s][d] != pb[s][d] {
+						t.Fatalf("step %d slot %d dim %d: %v vs %v (recycling)",
+							step, s, d, pa[s][d], pb[s][d])
+					}
+				}
+			}
+			if sa, sb := plain.StoredPoints(), pooled.StoredPoints(); sa != sb {
+				t.Fatalf("step %d: StoredPoints %d vs %d with recycling", step, sa, sb)
+			}
+		}
+	}
+}
+
+// TestChainRecyclingMarshalRoundTrip checks that a recycling chain
+// serializes identically to a plain one, and that recycling can be enabled
+// on a freshly-unmarshaled chain (decoded points are uniquely owned) with
+// the continuation staying stream-identical.
+func TestChainRecyclingMarshalRoundTrip(t *testing.T) {
+	plain := NewChain(10, 50, 2, rand.New(rand.NewSource(3)))
+	pooled := NewChain(10, 50, 2, rand.New(rand.NewSource(3)))
+	pooled.EnableRecycling()
+
+	data := rand.New(rand.NewSource(11))
+	p := make(window.Point, 2)
+	feed := func(c *Chain, r *rand.Rand, n int) {
+		for i := 0; i < n; i++ {
+			for d := range p {
+				p[d] = r.Float64()
+			}
+			c.Push(p)
+		}
+	}
+	feed(plain, data, 500)
+	feed(pooled, rand.New(rand.NewSource(11)), 500)
+
+	ba, err := plain.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := pooled.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ba) != string(bb) {
+		t.Fatal("recycling changed the marshaled form")
+	}
+
+	// Restore, enable recycling on the restored copy, and continue both:
+	// sample values must track exactly. The restored chain needs the same
+	// rng position, which UnmarshalChain takes as a fresh source.
+	restored, err := UnmarshalChain(bb, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.EnableRecycling()
+	twin, err := UnmarshalChain(bb, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataA := rand.New(rand.NewSource(23))
+	dataB := rand.New(rand.NewSource(23))
+	for i := 0; i < 500; i++ {
+		for d := range p {
+			p[d] = dataA.Float64()
+		}
+		a := restored.Push(p)
+		for d := range p {
+			p[d] = dataB.Float64()
+		}
+		b := twin.Push(p)
+		if a != b {
+			t.Fatalf("step %d after restore: adopted=%v vs %v", i, a, b)
+		}
+		pa, pb := restored.Points(), twin.Points()
+		if len(pa) != len(pb) {
+			t.Fatalf("step %d after restore: %d vs %d points", i, len(pa), len(pb))
+		}
+		for s := range pa {
+			if pa[s][0] != pb[s][0] || pa[s][1] != pb[s][1] {
+				t.Fatalf("step %d after restore: slot %d differs", i, s)
+			}
+		}
+	}
+}

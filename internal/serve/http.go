@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST /ingest        batch ingest, per-shard admission control
+//	GET  /query/outlier ?sensor=&v=x[,y...]   read-only outlier check
+//	GET  /query/prob    ?sensor=&v=...&r=     probability mass query
+//	GET  /stats         config + per-shard counters (JSON)
+//	GET  /healthz       liveness
+//	GET  /metrics       expvar-style per-shard counters (text)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/query/outlier", s.handleQueryOutlier)
+	mux.HandleFunc("/query/prob", s.handleQueryProb)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Readings) == 0 {
+		writeJSON(w, http.StatusOK, IngestResponse{Results: []ReadingResult{}})
+		return
+	}
+	results, rejected, err := s.Ingest(req.Readings)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	resp := IngestResponse{Results: results, Rejected: rejected}
+	if rejected > 0 {
+		resp.RetryAfterMS = s.cfg.RetryAfter.Milliseconds()
+		if rejected == len(req.Readings) {
+			// Nothing was admitted: a pure backpressure reply.
+			secs := int(s.cfg.RetryAfter.Seconds())
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, resp)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseVec parses "0.1,0.2" into a vector of the server's dimensionality.
+func (s *Server) parseVec(raw string) ([]float64, error) {
+	if raw == "" {
+		return nil, fmt.Errorf("missing v parameter")
+	}
+	parts := strings.Split(raw, ",")
+	if len(parts) != s.cfg.Pipeline.Core.Dim {
+		return nil, fmt.Errorf("v has %d components, want %d", len(parts), s.cfg.Pipeline.Core.Dim)
+	}
+	v := make([]float64, len(parts))
+	for i, p := range parts {
+		x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("v component %d: %v", i, err)
+		}
+		v[i] = x
+	}
+	return v, nil
+}
+
+func (s *Server) handleQueryOutlier(w http.ResponseWriter, r *http.Request) {
+	sensor := r.URL.Query().Get("sensor")
+	if sensor == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing sensor parameter"))
+		return
+	}
+	v, err := s.parseVec(r.URL.Query().Get("v"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.QueryOutlier(sensor, v)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleQueryProb(w http.ResponseWriter, r *http.Request) {
+	sensor := r.URL.Query().Get("sensor")
+	if sensor == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing sensor parameter"))
+		return
+	}
+	v, err := s.parseVec(r.URL.Query().Get("v"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	radius, err := strconv.ParseFloat(r.URL.Query().Get("r"), 64)
+	if err != nil || radius <= 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("r must be a positive number"))
+		return
+	}
+	resp, err := s.QueryProb(sensor, v, radius)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Stats()
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		http.Error(w, "closed", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics emits expvar-style lines from the lock-free counters —
+// cheap enough to scrape without a mailbox round trip (so no latency
+// quantiles here; those are in /stats).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintf(w, "odds_serve_shards %d\n", len(s.shards))
+	var ingested, rejected, outliers uint64
+	for _, sh := range s.shards {
+		in, rej, out := sh.ingested.Load(), sh.rejected.Load(), sh.outliers.Load()
+		ingested, rejected, outliers = ingested+in, rejected+rej, outliers+out
+		fmt.Fprintf(w, "odds_serve_shard_ingested{shard=\"%d\"} %d\n", sh.id, in)
+		fmt.Fprintf(w, "odds_serve_shard_rejected{shard=\"%d\"} %d\n", sh.id, rej)
+		fmt.Fprintf(w, "odds_serve_shard_outliers{shard=\"%d\"} %d\n", sh.id, out)
+		fmt.Fprintf(w, "odds_serve_shard_queue_depth{shard=\"%d\"} %d\n", sh.id, len(sh.reqs))
+	}
+	fmt.Fprintf(w, "odds_serve_ingested_total %d\n", ingested)
+	fmt.Fprintf(w, "odds_serve_rejected_total %d\n", rejected)
+	fmt.Fprintf(w, "odds_serve_outliers_total %d\n", outliers)
+}

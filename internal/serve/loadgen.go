@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"odds/internal/quantile"
+	"odds/internal/stats"
+	"odds/internal/stream"
+)
+
+// LoadOptions configures one load-generation run against a server.
+type LoadOptions struct {
+	// BaseURL of the server, e.g. "http://localhost:8077".
+	BaseURL string
+	// Sensors is the number of simulated sensors (round-robin arrivals).
+	Sensors int
+	// Total is the length of the seeded stream. A run always generates
+	// readings [0, Total) but only sends the suffix the server has not
+	// already processed (see CatchUp).
+	Total int
+	// Batch readings per request.
+	Batch int
+	// Stream names the per-sensor source (stream.ByName).
+	Stream string
+	// Seed derives every per-sensor stream; the same (Seed, Sensors,
+	// Stream) triple regenerates the identical global stream, which is
+	// what lets a second run resume against a restarted server.
+	Seed int64
+	// CatchUp (default true via NewLoadOptions) replays the prefix the
+	// server has already seen into the in-process twin without sending
+	// it, using per-shard arrival counts from /stats. This makes the run
+	// idempotent across server restarts: after a crash+restore the
+	// server's arrivals rewind to the snapshot point and the client
+	// simply re-sends the lost tail, checking the re-served verdicts
+	// against the twin's stored expectations.
+	CatchUp bool
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+	// MaxRetries bounds consecutive backpressure retries of one batch
+	// (0 = unlimited).
+	MaxRetries int
+}
+
+// NewLoadOptions fills defaults.
+func NewLoadOptions(baseURL string) LoadOptions {
+	return LoadOptions{
+		BaseURL: baseURL,
+		Sensors: 8,
+		Total:   20000,
+		Batch:   64,
+		Stream:  "mixture",
+		Seed:    1,
+		CatchUp: true,
+	}
+}
+
+// LoadReport summarizes a run. The acceptance oracle is Disagreements ==
+// 0: every verdict served over the wire was bit-identical to the
+// in-process twin running the same pipelines on the same stream.
+type LoadReport struct {
+	Sent          int           `json:"sent"`
+	CaughtUp      int           `json:"caught_up"` // replayed into the twin only
+	Rejections    int           `json:"rejections"`
+	Agreements    int           `json:"agreements"`
+	Disagreements int           `json:"disagreements"`
+	FirstDiff     string        `json:"first_diff,omitempty"`
+	Elapsed       time.Duration `json:"elapsed_ns"`
+	Throughput    float64       `json:"throughput_rps"`
+	ClientP50us   float64       `json:"client_p50_us"`
+	ClientP99us   float64       `json:"client_p99_us"`
+	Outliers      int           `json:"outliers"`
+}
+
+// reading is one generated stream element with its routing fixed.
+type loadReading struct {
+	Reading
+	shard int
+	seq   uint64 // per-shard sequence this reading occupies
+}
+
+// RunLoad replays a seeded multi-sensor stream against a server and
+// verifies every served verdict against an in-process twin. See
+// LoadOptions for the resume/catch-up semantics.
+func RunLoad(opts LoadOptions) (*LoadReport, error) {
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	if opts.Sensors <= 0 || opts.Total <= 0 || opts.Batch <= 0 {
+		return nil, fmt.Errorf("serve: sensors, total, and batch must be positive")
+	}
+
+	st, err := fetchStats(opts.Client, opts.BaseURL)
+	if err != nil {
+		return nil, err
+	}
+	dim := st.Core.Dim
+
+	// The twin: one pipeline per shard, configured and seeded exactly as
+	// the server's.
+	twins := make([]*Pipeline, st.Shards)
+	for i := range twins {
+		if twins[i], err = NewPipeline(st.PipelineConfigFor(i)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Generate the full seeded stream with per-shard sequence numbers.
+	sensors := make([]stream.Source, opts.Sensors)
+	names := make([]string, opts.Sensors)
+	for i := range sensors {
+		names[i] = fmt.Sprintf("sensor-%03d", i)
+		if sensors[i], err = stream.ByName(opts.Stream, dim, stats.ChildSeed(opts.Seed, i)); err != nil {
+			return nil, err
+		}
+	}
+	readings := make([]loadReading, opts.Total)
+	seqs := make([]uint64, st.Shards)
+	for k := range readings {
+		i := k % opts.Sensors
+		v := sensors[i].Next()
+		sh := ShardOf(names[i], st.Shards)
+		seqs[sh]++
+		readings[k] = loadReading{
+			Reading: Reading{Sensor: names[i], Value: v},
+			shard:   sh,
+			seq:     seqs[sh],
+		}
+	}
+
+	rep := &LoadReport{}
+	lat := quantile.New(0.01)
+
+	// Catch-up: feed the twin the per-shard prefix the server has
+	// already processed, without sending it.
+	arrivals := make([]uint64, st.Shards)
+	if opts.CatchUp {
+		for _, ss := range st.PerShard {
+			arrivals[ss.Shard] = ss.Arrivals
+		}
+	}
+	var pending []loadReading
+	for _, rd := range readings {
+		if rd.seq <= arrivals[rd.shard] {
+			tv := twins[rd.shard].Ingest(rd.Value)
+			if tv.Seq != rd.seq {
+				return nil, fmt.Errorf("serve: twin desync during catch-up: shard %d seq %d vs %d", rd.shard, tv.Seq, rd.seq)
+			}
+			rep.CaughtUp++
+			continue
+		}
+		pending = append(pending, rd)
+	}
+
+	start := time.Now()
+	for len(pending) > 0 {
+		n := opts.Batch
+		if n > len(pending) {
+			n = len(pending)
+		}
+		batch := pending[:n]
+		req := IngestRequest{Readings: make([]Reading, n)}
+		for i, rd := range batch {
+			req.Readings[i] = rd.Reading
+		}
+
+		t0 := time.Now()
+		resp, status, err := postIngest(opts.Client, opts.BaseURL, req)
+		if err != nil {
+			return nil, err
+		}
+		lat.Insert(float64(time.Since(t0)) / float64(time.Microsecond) / float64(n))
+
+		if status == http.StatusTooManyRequests || resp.Rejected > 0 {
+			rep.Rejections += resp.Rejected
+		}
+		if status != http.StatusOK && status != http.StatusTooManyRequests {
+			return nil, fmt.Errorf("serve: ingest returned status %d", status)
+		}
+		if len(resp.Results) != n {
+			return nil, fmt.Errorf("serve: ingest returned %d results for %d readings", len(resp.Results), n)
+		}
+
+		// Check accepted readings against the twin; keep rejected ones
+		// (whole per-shard sub-batches, so per-shard order is intact)
+		// at the front of the next round.
+		var retry []loadReading
+		for i, rd := range batch {
+			res := resp.Results[i]
+			if !res.Accepted {
+				retry = append(retry, rd)
+				continue
+			}
+			tv := twins[rd.shard].Ingest(rd.Value)
+			rep.Sent++
+			if tv.Outlier {
+				rep.Outliers++
+			}
+			if res.Seq == tv.Seq && res.Outlier == tv.Outlier && res.Exact == tv.Exact && res.Warmed == tv.Warmed {
+				rep.Agreements++
+			} else {
+				rep.Disagreements++
+				if rep.FirstDiff == "" {
+					rep.FirstDiff = fmt.Sprintf(
+						"shard %d seq %d (%s): served {seq %d outlier %v exact %v warmed %v} twin {seq %d outlier %v exact %v warmed %v}",
+						rd.shard, rd.seq, rd.Sensor,
+						res.Seq, res.Outlier, res.Exact, res.Warmed,
+						tv.Seq, tv.Outlier, tv.Exact, tv.Warmed)
+				}
+			}
+		}
+		pending = append(retry, pending[n:]...)
+		if len(retry) == n {
+			// Fully rejected round: honor the server's backoff hint.
+			if opts.MaxRetries > 0 {
+				opts.MaxRetries--
+				if opts.MaxRetries == 0 {
+					return nil, fmt.Errorf("serve: retry budget exhausted under backpressure")
+				}
+			}
+			wait := time.Duration(resp.RetryAfterMS) * time.Millisecond
+			if wait <= 0 {
+				wait = 50 * time.Millisecond
+			}
+			time.Sleep(wait)
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	if rep.Elapsed > 0 {
+		rep.Throughput = float64(rep.Sent) / rep.Elapsed.Seconds()
+	}
+	if lat.N() > 0 {
+		rep.ClientP50us = lat.Query(0.5)
+		rep.ClientP99us = lat.Query(0.99)
+	}
+	return rep, nil
+}
+
+func fetchStats(c *http.Client, baseURL string) (*StatsResponse, error) {
+	resp, err := c.Get(baseURL + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("serve: /stats returned %d: %s", resp.StatusCode, body)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	if st.Shards <= 0 {
+		return nil, fmt.Errorf("serve: /stats reported %d shards", st.Shards)
+	}
+	return &st, nil
+}
+
+func postIngest(c *http.Client, baseURL string, req IngestRequest) (*IngestResponse, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.Post(baseURL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	var out IngestResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusTooManyRequests {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, resp.StatusCode, err
+		}
+		return &out, resp.StatusCode, nil
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return nil, resp.StatusCode, fmt.Errorf("serve: ingest status %d: %s", resp.StatusCode, msg)
+}

@@ -1,0 +1,289 @@
+// Package serve is the repo's serving subsystem: a sharded ingest/query
+// engine that runs the paper's online detectors behind an HTTP/JSON API.
+// Sensor ids hash to shards; each shard goroutine owns one Pipeline — a
+// chain sample + kernel model (the paper's §5 estimate path) alongside the
+// exact incremental ground truth (distance.DynIndex / mdef.DynTruth) over
+// the true sliding window — behind a single-writer mailbox with bounded
+// queues and reject-with-retry-after admission control. Periodic
+// checkpoints snapshot every shard deterministically so a crashed server
+// resumes seed-exact, and cmd/oddload verifies that served verdicts are
+// bit-identical to an in-process twin of the same pipelines.
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"odds/internal/core"
+	"odds/internal/distance"
+	"odds/internal/mdef"
+	"odds/internal/window"
+)
+
+// DetectorKind selects the outlier criterion a pipeline serves.
+type DetectorKind string
+
+const (
+	// DetectDistance flags distance-based outliers (D3's criterion,
+	// Section 7): fewer than Threshold window points within L∞ Radius.
+	DetectDistance DetectorKind = "distance"
+	// DetectMDEF flags MDEF-based outliers (MGDD's criterion, Section 8).
+	DetectMDEF DetectorKind = "mdef"
+)
+
+// PipelineConfig configures one shard's detector stack. The same value
+// (with per-shard seeds derived by stats.ChildSeed) configures the
+// server's shards and oddload's in-process twin; verdict agreement between
+// the two is the serving layer's acceptance oracle.
+type PipelineConfig struct {
+	Core     core.Config
+	Kind     DetectorKind
+	Distance distance.Params
+	MDEF     mdef.Params
+	Seed     int64
+}
+
+// Validate reports unusable configurations.
+func (c PipelineConfig) Validate() error {
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	switch c.Kind {
+	case DetectDistance:
+		return c.Distance.Validate()
+	case DetectMDEF:
+		return c.MDEF.Validate()
+	default:
+		return fmt.Errorf("serve: unknown detector kind %q", c.Kind)
+	}
+}
+
+// Verdict is one reading's detection outcome.
+type Verdict struct {
+	// Seq is the 1-based per-shard arrival sequence number; oddload uses
+	// it to align served verdicts with its twin and to rewind after a
+	// server restart.
+	Seq uint64
+	// Outlier is the estimate-path verdict (kernel model), gated on
+	// warm-up exactly like the library detectors.
+	Outlier bool
+	// Exact is the ground-truth verdict from the incremental exact
+	// structures over the true window, ungated.
+	Exact bool
+	// Warmed reports whether the estimate path is past warm-up.
+	Warmed bool
+}
+
+// countedSource wraps math/rand's seeded source and counts draws, making
+// rng state snapshotable: a restore re-seeds and replays the recorded
+// number of draws. Every Rand method the pipeline's chain sample uses
+// (Int63n, Float64) bottoms out in Int63/Uint64, and the underlying
+// source advances exactly one step per call, so draw count is a complete
+// description of rng position.
+type countedSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func newCountedSource(seed int64) *countedSource {
+	return &countedSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countedSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countedSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countedSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
+
+// Pipeline is one shard's detector stack. It is single-goroutine-owned:
+// the shard goroutine (or oddload's twin loop) is the only caller.
+type Pipeline struct {
+	cfg PipelineConfig
+	cs  *countedSource
+	est *core.Estimator
+	ev  mdef.Evaluator
+
+	// True sliding window: ring owns stable per-slot storage (the exact
+	// index stores points by reference), flat backing, oldest at head.
+	ring  []window.Point
+	flat  []float64
+	head  int
+	count int
+
+	dyn   *distance.DynIndex // exact truth, distance kind
+	truth *mdef.DynTruth     // exact truth, mdef kind
+
+	seq uint64
+}
+
+// NewPipeline returns an empty pipeline. Chain-sample recycling is always
+// enabled: the pipeline never lets sample points escape (kernel models
+// deep-copy their centers), so the per-reading ingest path is
+// allocation-free at steady state.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cs := newCountedSource(cfg.Seed)
+	est := core.NewEstimator(cfg.Core, cfg.Core.WindowCap, float64(cfg.Core.WindowCap), rand.New(cs))
+	est.EnableSampleRecycling()
+	p := &Pipeline{cfg: cfg, cs: cs, est: est}
+	p.initWindow()
+	return p, nil
+}
+
+func (p *Pipeline) initWindow() {
+	w, dim := p.cfg.Core.WindowCap, p.cfg.Core.Dim
+	p.flat = make([]float64, w*dim)
+	p.ring = make([]window.Point, w)
+	for i := range p.ring {
+		p.ring[i] = p.flat[i*dim : (i+1)*dim]
+	}
+	switch p.cfg.Kind {
+	case DetectDistance:
+		p.dyn = distance.NewDynIndex(p.cfg.Distance.Radius, dim)
+	case DetectMDEF:
+		p.truth = mdef.NewDynTruth(p.cfg.MDEF, dim)
+	}
+}
+
+// Config returns the pipeline's configuration.
+func (p *Pipeline) Config() PipelineConfig { return p.cfg }
+
+// Seq returns the number of readings ingested.
+func (p *Pipeline) Seq() uint64 { return p.seq }
+
+// Ingest folds one reading into the window, sample, sketch, and exact
+// index, and returns its verdict. This is the shard hot path: at steady
+// state (between amortized model rebuilds) it performs zero allocations
+// for the distance detector. v is copied; the caller keeps ownership.
+func (p *Pipeline) Ingest(v []float64) Verdict {
+	if len(v) != p.cfg.Core.Dim {
+		panic(fmt.Sprintf("serve: reading dim %d, pipeline dim %d", len(v), p.cfg.Core.Dim))
+	}
+	p.seq++
+
+	// Slide the true window: evict the slot the new reading will occupy,
+	// then claim its stable storage. Remove must precede the overwrite
+	// because the exact index holds the slot by reference.
+	slot := p.ring[p.head]
+	if p.count == len(p.ring) {
+		p.exactRemove(slot)
+	} else {
+		p.count++
+	}
+	copy(slot, v)
+	p.exactAdd(slot)
+	p.head++
+	if p.head == len(p.ring) {
+		p.head = 0
+	}
+
+	p.est.Observe(slot)
+	ver := Verdict{Seq: p.seq, Warmed: p.est.Warmed()}
+	ver.Exact = p.exactOutlier(slot)
+	if ver.Warmed {
+		ver.Outlier = p.estimateOutlier(slot)
+	}
+	return ver
+}
+
+func (p *Pipeline) exactAdd(pt window.Point) {
+	if p.dyn != nil {
+		p.dyn.Add(pt)
+	} else {
+		p.truth.Add(pt)
+	}
+}
+
+func (p *Pipeline) exactRemove(pt window.Point) {
+	if p.dyn != nil {
+		p.dyn.Remove(pt)
+	} else {
+		p.truth.Remove(pt)
+	}
+}
+
+func (p *Pipeline) exactOutlier(pt window.Point) bool {
+	if p.dyn != nil {
+		return p.dyn.IsOutlier(pt, p.cfg.Distance)
+	}
+	return p.truth.IsOutlier(pt)
+}
+
+func (p *Pipeline) estimateOutlier(pt window.Point) bool {
+	switch p.cfg.Kind {
+	case DetectDistance:
+		return p.est.IsDistanceOutlier(pt, p.cfg.Distance)
+	default:
+		m := p.est.Model()
+		if m == nil {
+			return false
+		}
+		return p.ev.IsOutlier(m, pt, p.cfg.MDEF)
+	}
+}
+
+// QueryOutlier answers a read-only outlier check of v against the current
+// state without ingesting it. The exact answer counts v against the
+// window as-is (v itself is not a member).
+func (p *Pipeline) QueryOutlier(v []float64) Verdict {
+	if len(v) != p.cfg.Core.Dim {
+		panic(fmt.Sprintf("serve: reading dim %d, pipeline dim %d", len(v), p.cfg.Core.Dim))
+	}
+	ver := Verdict{Seq: p.seq, Warmed: p.est.Warmed()}
+	ver.Exact = p.exactOutlier(window.Point(v))
+	if ver.Warmed {
+		ver.Outlier = p.estimateOutlier(window.Point(v))
+	}
+	return ver
+}
+
+// QueryProb returns the estimated probability mass within L∞ radius r of
+// v under the current kernel model (0 before the first model exists).
+func (p *Pipeline) QueryProb(v []float64, r float64) float64 {
+	if len(v) != p.cfg.Core.Dim {
+		panic(fmt.Sprintf("serve: reading dim %d, pipeline dim %d", len(v), p.cfg.Core.Dim))
+	}
+	q := p.est.Querier()
+	if q == nil {
+		return 0
+	}
+	return q.Prob(window.Point(v), r)
+}
+
+// windowPoints appends the window's points oldest→newest to dst.
+func (p *Pipeline) windowPoints(dst []window.Point) []window.Point {
+	start := p.head - p.count
+	if start < 0 {
+		start += len(p.ring)
+	}
+	for i := 0; i < p.count; i++ {
+		j := start + i
+		if j >= len(p.ring) {
+			j -= len(p.ring)
+		}
+		dst = append(dst, p.ring[j])
+	}
+	return dst
+}
+
+// modelSnapshot marshals the cached kernel model state for the snapshot;
+// see Snapshot for why the model itself must be captured.
+func (p *Pipeline) modelSnapshot() (blob []byte, modelWc float64, dirty bool, sinceBuild int, err error) {
+	m, wc, d, sb := p.est.ModelSnapshot()
+	if m == nil {
+		return nil, wc, d, sb, nil
+	}
+	b, err := m.MarshalBinary()
+	return b, wc, d, sb, err
+}

@@ -1,0 +1,365 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Shards is the number of shard goroutines; sensor ids hash onto
+	// them with ShardOf. Default 1.
+	Shards int
+	// Pipeline is the detection configuration every shard runs;
+	// Pipeline.Seed is the base seed from which per-shard seeds are
+	// derived (shardSeed).
+	Pipeline PipelineConfig
+	// QueueDepth bounds each shard's mailbox; a full mailbox rejects
+	// ingest sub-batches with retry-after. Default 64.
+	QueueDepth int
+	// RetryAfter is the backoff hint returned with rejections.
+	// Default 250ms.
+	RetryAfter time.Duration
+	// SnapshotPath, when set, enables checkpoint/restore: New restores
+	// from the file if it exists, Checkpoint writes it atomically, and
+	// Close writes a final checkpoint.
+	SnapshotPath string
+	// SnapshotEvery, when positive alongside SnapshotPath, checkpoints
+	// periodically in the background.
+	SnapshotEvery time.Duration
+}
+
+func (c *Config) fill() error {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("serve: shards %d must be positive", c.Shards)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("serve: queue depth %d must be positive", c.QueueDepth)
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 250 * time.Millisecond
+	}
+	return c.Pipeline.Validate()
+}
+
+// Server is the sharded ingest/query engine. Construct with New, expose
+// Handler over HTTP, stop with Close (graceful: drains mailboxes and
+// writes a final checkpoint) or Abort (simulated crash: shards stop
+// mid-queue and no checkpoint is written — restart recovery then relies
+// on the last periodic snapshot).
+type Server struct {
+	cfg    Config
+	shards []*shard
+
+	// mu excludes request handling (read side) from shutdown (write
+	// side), so no handler can send on a closing mailbox.
+	mu     sync.RWMutex
+	closed bool
+
+	snapMu sync.Mutex // serializes checkpoint file writes
+
+	ckStop chan struct{}
+	ckDone chan struct{}
+}
+
+// New builds a server, restoring every shard from cfg.SnapshotPath if the
+// file exists (seed-exact resume), and starts the shard goroutines plus
+// the periodic checkpoint loop when configured.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg}
+
+	var blobs [][]byte
+	if cfg.SnapshotPath != "" {
+		data, err := os.ReadFile(cfg.SnapshotPath)
+		switch {
+		case err == nil:
+			blobs, err = decodeFile(data, cfg.Shards, cfg.Pipeline)
+			if err != nil {
+				return nil, err
+			}
+		case errors.Is(err, os.ErrNotExist):
+			// Fresh start.
+		default:
+			return nil, err
+		}
+	}
+
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		pcfg := cfg.Pipeline
+		pcfg.Seed = shardSeed(cfg.Pipeline.Seed, i)
+		var (
+			pl  *Pipeline
+			err error
+		)
+		if blobs != nil {
+			pl, err = RestorePipeline(pcfg, blobs[i])
+		} else {
+			pl, err = NewPipeline(pcfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = newShard(i, pl, cfg.QueueDepth)
+	}
+	for _, sh := range s.shards {
+		go sh.run()
+	}
+
+	if cfg.SnapshotPath != "" && cfg.SnapshotEvery > 0 {
+		s.ckStop = make(chan struct{})
+		s.ckDone = make(chan struct{})
+		go s.checkpointLoop()
+	}
+	return s, nil
+}
+
+func (s *Server) checkpointLoop() {
+	defer close(s.ckDone)
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ckStop:
+			return
+		case <-t.C:
+			// Best-effort: a checkpoint racing shutdown simply fails.
+			_ = s.Checkpoint()
+		}
+	}
+}
+
+// Checkpoint snapshots every shard through its mailbox (so each snapshot
+// is a clean per-shard cut) and writes the snapshot file atomically.
+func (s *Server) Checkpoint() error {
+	if s.cfg.SnapshotPath == "" {
+		return errors.New("serve: no snapshot path configured")
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return errors.New("serve: server closed")
+	}
+	blobs := make([][]byte, len(s.shards))
+	var err error
+	for i, sh := range s.shards {
+		var resp shardResp
+		resp, err = sh.call(shardReq{op: opSnapshot})
+		if err != nil {
+			break
+		}
+		blobs[i] = resp.snap
+	}
+	s.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return writeFileAtomic(s.cfg.SnapshotPath, encodeFile(s.cfg.Shards, s.cfg.Pipeline, blobs))
+}
+
+// stopCheckpointLoop is safe to call more than once.
+func (s *Server) stopCheckpointLoop() {
+	if s.ckStop == nil {
+		return
+	}
+	select {
+	case <-s.ckStop:
+	default:
+		close(s.ckStop)
+	}
+	<-s.ckDone
+}
+
+// Close shuts down gracefully: new requests are refused, queued
+// envelopes are drained, shard goroutines exit, and — when a snapshot
+// path is configured — a final checkpoint captures the drained state.
+// The embedding HTTP server should stop accepting connections first.
+func (s *Server) Close() error {
+	s.stopCheckpointLoop()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.reqs)
+	}
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		<-sh.done
+	}
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	// Goroutines have exited; pipelines are safe to touch directly.
+	blobs := make([][]byte, len(s.shards))
+	for i, sh := range s.shards {
+		b, err := sh.pl.Snapshot()
+		if err != nil {
+			return err
+		}
+		blobs[i] = b
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return writeFileAtomic(s.cfg.SnapshotPath, encodeFile(s.cfg.Shards, s.cfg.Pipeline, blobs))
+}
+
+// Abort simulates a crash: shard goroutines stop at the next envelope
+// boundary, queued work is dropped, and no final checkpoint is written.
+// Recovery from the last periodic checkpoint is exactly what a restarted
+// process would do.
+func (s *Server) Abort() {
+	s.stopCheckpointLoop()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.quit)
+	}
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		<-sh.done
+	}
+}
+
+// Ingest routes a batch to its shards (order-preserving sub-batches),
+// applies admission control per shard, and returns per-reading results in
+// request order plus the number of rejected readings.
+func (s *Server) Ingest(readings []Reading) ([]ReadingResult, int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, 0, errors.New("serve: server closed")
+	}
+
+	n := len(s.shards)
+	results := make([]ReadingResult, len(readings))
+	byShard := make([][]Reading, n)
+	posByShard := make([][]int, n)
+	for i, rd := range readings {
+		if len(rd.Value) != s.cfg.Pipeline.Core.Dim {
+			return nil, 0, fmt.Errorf("serve: reading %d: dim %d, want %d", i, len(rd.Value), s.cfg.Pipeline.Core.Dim)
+		}
+		sh := ShardOf(rd.Sensor, n)
+		results[i].Shard = sh
+		byShard[sh] = append(byShard[sh], rd)
+		posByShard[sh] = append(posByShard[sh], i)
+	}
+
+	// Phase 1: offer every sub-batch (non-blocking). A full mailbox
+	// rejects its whole sub-batch, keeping per-shard order intact for
+	// the client's retry.
+	reqs := make([]shardReq, n)
+	accepted := make([]bool, n)
+	rejected := 0
+	for sid, batch := range byShard {
+		if len(batch) == 0 {
+			continue
+		}
+		req := shardReq{op: opIngest, batch: batch, reply: make(chan shardResp, 1)}
+		if s.shards[sid].offer(req) {
+			reqs[sid] = req
+			accepted[sid] = true
+		} else {
+			s.shards[sid].rejected.Add(uint64(len(batch)))
+			rejected += len(batch)
+		}
+	}
+
+	// Phase 2: collect replies of accepted sub-batches and scatter the
+	// verdicts back into request order.
+	for sid := range byShard {
+		if !accepted[sid] {
+			continue
+		}
+		resp, err := s.shards[sid].await(reqs[sid])
+		if err != nil {
+			return nil, 0, err
+		}
+		for k, v := range resp.verdicts {
+			i := posByShard[sid][k]
+			results[i].Accepted = true
+			results[i].Seq = v.Seq
+			results[i].Outlier = v.Outlier
+			results[i].Exact = v.Exact
+			results[i].Warmed = v.Warmed
+		}
+	}
+	return results, rejected, nil
+}
+
+// QueryOutlier answers a read-only outlier check for a sensor's value.
+func (s *Server) QueryOutlier(sensor string, value []float64) (QueryResponse, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return QueryResponse{}, errors.New("serve: server closed")
+	}
+	sid := ShardOf(sensor, len(s.shards))
+	resp, err := s.shards[sid].call(shardReq{op: opQuery, pt: value})
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	v := resp.verdict
+	return QueryResponse{Shard: sid, Seq: v.Seq, Outlier: v.Outlier, Exact: v.Exact, Warmed: v.Warmed}, nil
+}
+
+// QueryProb answers the estimated probability mass near a sensor's value.
+func (s *Server) QueryProb(sensor string, value []float64, radius float64) (ProbResponse, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ProbResponse{}, errors.New("serve: server closed")
+	}
+	sid := ShardOf(sensor, len(s.shards))
+	resp, err := s.shards[sid].call(shardReq{op: opProb, pt: value, radius: radius})
+	if err != nil {
+		return ProbResponse{}, err
+	}
+	return ProbResponse{Shard: sid, Prob: resp.prob}, nil
+}
+
+// Stats collects the full configuration and per-shard counters.
+func (s *Server) Stats() (StatsResponse, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return StatsResponse{}, errors.New("serve: server closed")
+	}
+	out := StatsResponse{
+		Shards:   len(s.shards),
+		Detector: s.cfg.Pipeline.Kind,
+		Seed:     s.cfg.Pipeline.Seed,
+		Core:     s.cfg.Pipeline.Core,
+		Distance: s.cfg.Pipeline.Distance,
+		MDEF:     s.cfg.Pipeline.MDEF,
+		PerShard: make([]ShardStats, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		resp, err := sh.call(shardReq{op: opStats})
+		if err != nil {
+			return StatsResponse{}, err
+		}
+		out.PerShard[i] = resp.stats
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"odds/internal/quantile"
+	"odds/internal/stats"
+)
+
+// shardSeed derives shard i's rng seed from the server's base seed, a
+// pure function of (seed, shard) so the oddload twin derives the same
+// streams independently.
+func shardSeed(seed int64, shard int) int64 {
+	return stats.ChildSeed(seed, shard)
+}
+
+type opKind uint8
+
+const (
+	opIngest opKind = iota
+	opQuery
+	opProb
+	opStats
+	opSnapshot
+)
+
+// shardReq is one mailbox envelope. Ingest envelopes carry a sub-batch
+// already filtered to this shard; the reply channel is buffered so the
+// shard goroutine never blocks on a departed caller.
+type shardReq struct {
+	op     opKind
+	batch  []Reading
+	pt     []float64
+	radius float64
+	reply  chan shardResp
+}
+
+type shardResp struct {
+	verdicts []Verdict
+	verdict  Verdict
+	prob     float64
+	stats    ShardStats
+	snap     []byte
+	err      error
+}
+
+// shard is one single-writer detection worker: a goroutine owning a
+// Pipeline, fed through a bounded mailbox. Counter reads are lock-free
+// (atomics); the latency sketch is goroutine-owned and only read via a
+// stats envelope.
+type shard struct {
+	id   int
+	pl   *Pipeline
+	reqs chan shardReq
+	quit chan struct{} // Abort: stop without draining
+	done chan struct{}
+
+	ingested atomic.Uint64
+	outliers atomic.Uint64
+	rejected atomic.Uint64 // incremented by the admission layer
+
+	lat *quantile.GK
+}
+
+func newShard(id int, pl *Pipeline, queueDepth int) *shard {
+	return &shard{
+		id:   id,
+		pl:   pl,
+		reqs: make(chan shardReq, queueDepth),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+		lat:  quantile.New(0.01),
+	}
+}
+
+// run is the shard goroutine: drain envelopes until the mailbox closes
+// (graceful shutdown — buffered envelopes are still served) or quit
+// closes (crash simulation — stop at the next envelope boundary).
+func (sh *shard) run() {
+	defer close(sh.done)
+	for {
+		select {
+		case <-sh.quit:
+			return
+		case req, ok := <-sh.reqs:
+			if !ok {
+				return
+			}
+			sh.handle(req)
+		}
+	}
+}
+
+func (sh *shard) handle(req shardReq) {
+	switch req.op {
+	case opIngest:
+		verdicts := make([]Verdict, len(req.batch))
+		for i := range req.batch {
+			t0 := time.Now()
+			v := sh.pl.Ingest(req.batch[i].Value)
+			sh.lat.Insert(float64(time.Since(t0)) / float64(time.Microsecond))
+			verdicts[i] = v
+			if v.Outlier {
+				sh.outliers.Add(1)
+			}
+		}
+		sh.ingested.Add(uint64(len(req.batch)))
+		req.reply <- shardResp{verdicts: verdicts}
+	case opQuery:
+		req.reply <- shardResp{verdict: sh.pl.QueryOutlier(req.pt)}
+	case opProb:
+		req.reply <- shardResp{prob: sh.pl.QueryProb(req.pt, req.radius)}
+	case opStats:
+		req.reply <- shardResp{stats: sh.statsLocked()}
+	case opSnapshot:
+		snap, err := sh.pl.Snapshot()
+		req.reply <- shardResp{snap: snap, err: err}
+	}
+}
+
+// statsLocked reads counters plus the goroutine-owned latency sketch;
+// called only from the shard goroutine.
+func (sh *shard) statsLocked() ShardStats {
+	st := ShardStats{
+		Shard:      sh.id,
+		Arrivals:   sh.pl.Seq(),
+		Ingested:   sh.ingested.Load(),
+		Rejected:   sh.rejected.Load(),
+		Outliers:   sh.outliers.Load(),
+		QueueDepth: len(sh.reqs),
+	}
+	if sh.lat.N() > 0 {
+		st.P50Micros = sh.lat.Query(0.5)
+		st.P99Micros = sh.lat.Query(0.99)
+	}
+	return st
+}
+
+var errShardDown = errors.New("serve: shard stopped")
+
+// call sends a blocking envelope (queries, stats, snapshots — never
+// rejected by admission control) and awaits the reply, failing cleanly if
+// the shard dies first.
+func (sh *shard) call(req shardReq) (shardResp, error) {
+	req.reply = make(chan shardResp, 1)
+	select {
+	case sh.reqs <- req:
+	case <-sh.done:
+		return shardResp{}, errShardDown
+	}
+	return sh.await(req)
+}
+
+// offer attempts a non-blocking ingest send; false means the mailbox is
+// full and the sub-batch was rejected (admission control).
+func (sh *shard) offer(req shardReq) bool {
+	select {
+	case sh.reqs <- req:
+		return true
+	default:
+		return false
+	}
+}
+
+// await collects the reply of a previously accepted ingest envelope.
+func (sh *shard) await(req shardReq) (shardResp, error) {
+	select {
+	case resp := <-req.reply:
+		return resp, resp.err
+	case <-sh.done:
+		select {
+		case resp := <-req.reply:
+			return resp, resp.err
+		default:
+			return shardResp{}, errShardDown
+		}
+	}
+}

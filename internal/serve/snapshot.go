@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"odds/internal/core"
+	"odds/internal/kernel"
+	"odds/internal/window"
+)
+
+// Snapshot formats. A pipeline snapshot ("ODPS") is the complete
+// deterministic state of one shard: rng position (draw count of the
+// counted source), per-shard sequence number, the estimator handoff blob,
+// the *cached kernel model* with its rebuild bookkeeping, and the true
+// window oldest→newest (the exact index is rebuilt from it on restore).
+//
+// The cached model must be captured explicitly: the estimator blob alone
+// would force a rebuild on restore, and a rebuild uses the restore-time
+// variance sigmas — while the uninterrupted original may still be serving
+// a model built several arrivals earlier under older sigmas. Restoring
+// the model bit-exactly (kernel marshaling is deterministic and
+// idempotent) is what makes post-restore verdicts identical to an
+// uninterrupted run.
+//
+// A server snapshot file ("ODSV") frames one pipeline snapshot per shard
+// behind a config fingerprint and a CRC, written via temp-file + rename
+// so a crash mid-checkpoint never corrupts the previous snapshot.
+const (
+	pipelineMagic = uint32(0x4f445053) // "ODPS"
+	fileMagic     = uint32(0x4f445356) // "ODSV"
+	fileVersion   = uint32(1)
+)
+
+// Snapshot encodes the pipeline's complete deterministic state.
+func (p *Pipeline) Snapshot() ([]byte, error) {
+	est, err := p.est.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	model, modelWc, dirty, sinceBuild, err := p.modelSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	dim := p.cfg.Core.Dim
+	buf := make([]byte, 0, 64+len(est)+len(model)+p.count*dim*8)
+	buf = binary.LittleEndian.AppendUint32(buf, pipelineMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, p.cs.n)
+	buf = binary.LittleEndian.AppendUint64(buf, p.seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(est)))
+	buf = append(buf, est...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(model)))
+	buf = append(buf, model...)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(modelWc))
+	if dirty {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(sinceBuild))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.count))
+	pts := p.windowPoints(make([]window.Point, 0, p.count))
+	for _, pt := range pts {
+		for _, x := range pt {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+	}
+	return buf, nil
+}
+
+// RestorePipeline rebuilds a pipeline from a snapshot taken under the same
+// configuration. The restored pipeline is seed-exact: it continues the
+// original's rng stream, rebuild cadence, and window, so subsequent
+// verdicts are bit-identical to an uninterrupted run.
+func RestorePipeline(cfg PipelineConfig, data []byte) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fail := func(msg string) (*Pipeline, error) { return nil, fmt.Errorf("serve: %s", msg) }
+	r := reader{data: data}
+	if m, ok := r.u32(); !ok || m != pipelineMagic {
+		return fail("bad pipeline snapshot magic")
+	}
+	rngN, ok1 := r.u64()
+	seq, ok2 := r.u64()
+	estBlob, ok3 := r.bytes()
+	modelBlob, ok4 := r.bytes()
+	wcBits, ok5 := r.u64()
+	dirtyB, ok6 := r.u8()
+	sinceBuild, ok7 := r.u64()
+	count32, ok8 := r.u32()
+	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7 && ok8) {
+		return fail("truncated pipeline snapshot")
+	}
+	count := int(count32)
+	if count > cfg.Core.WindowCap {
+		return fail("window count exceeds capacity")
+	}
+
+	// Rebuild the rng at the recorded position: re-seed and replay the
+	// recorded number of draws. One source step per draw, so the count is
+	// a complete description of the stream position.
+	cs := newCountedSource(cfg.Seed)
+	for cs.n < rngN {
+		cs.Uint64()
+	}
+	est, err := core.UnmarshalEstimator(estBlob, rand.New(cs))
+	if err != nil {
+		return nil, err
+	}
+	est.EnableSampleRecycling()
+	var model *kernel.Estimator
+	if len(modelBlob) > 0 {
+		model, err = kernel.UnmarshalEstimator(modelBlob)
+		if err != nil {
+			return nil, err
+		}
+	}
+	est.RestoreModelSnapshot(model, math.Float64frombits(wcBits), dirtyB != 0, int(sinceBuild))
+
+	p := &Pipeline{cfg: cfg, cs: cs, est: est, seq: seq}
+	p.initWindow()
+	dim := cfg.Core.Dim
+	for i := 0; i < count; i++ {
+		slot := p.ring[p.head]
+		for d := 0; d < dim; d++ {
+			bits, ok := r.u64()
+			if !ok {
+				return fail("truncated window points")
+			}
+			slot[d] = math.Float64frombits(bits)
+		}
+		p.exactAdd(slot)
+		p.head++
+		if p.head == len(p.ring) {
+			p.head = 0
+		}
+	}
+	p.count = count
+	return p, nil
+}
+
+// reader is a bounds-checked little-endian cursor.
+type reader struct{ data []byte }
+
+func (r *reader) u8() (byte, bool) {
+	if len(r.data) < 1 {
+		return 0, false
+	}
+	v := r.data[0]
+	r.data = r.data[1:]
+	return v, true
+}
+
+func (r *reader) u32() (uint32, bool) {
+	if len(r.data) < 4 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint32(r.data)
+	r.data = r.data[4:]
+	return v, true
+}
+
+func (r *reader) u64() (uint64, bool) {
+	if len(r.data) < 8 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(r.data)
+	r.data = r.data[8:]
+	return v, true
+}
+
+func (r *reader) bytes() ([]byte, bool) {
+	n, ok := r.u32()
+	if !ok || len(r.data) < int(n) {
+		return nil, false
+	}
+	v := r.data[:n]
+	r.data = r.data[n:]
+	return v, true
+}
+
+// fingerprint encodes the configuration a snapshot file was taken under;
+// restore refuses a file whose fingerprint differs from the server's.
+func fingerprint(shards int, cfg PipelineConfig) []byte {
+	buf := make([]byte, 0, 96)
+	app64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	appF := func(v float64) { app64(math.Float64bits(v)) }
+	app64(uint64(shards))
+	app64(uint64(cfg.Seed))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cfg.Kind)))
+	buf = append(buf, cfg.Kind...)
+	c := cfg.Core
+	app64(uint64(c.WindowCap))
+	app64(uint64(c.SampleSize))
+	appF(c.Eps)
+	appF(c.SampleFraction)
+	app64(uint64(c.Dim))
+	app64(uint64(c.RebuildEvery))
+	appF(c.BandwidthScale)
+	appF(cfg.Distance.Radius)
+	appF(cfg.Distance.Threshold)
+	appF(cfg.MDEF.R)
+	appF(cfg.MDEF.AlphaR)
+	appF(cfg.MDEF.KSigma)
+	return buf
+}
+
+// encodeFile frames per-shard snapshots into one server snapshot file.
+func encodeFile(shards int, cfg PipelineConfig, blobs [][]byte) []byte {
+	fp := fingerprint(shards, cfg)
+	size := 16 + len(fp)
+	for _, b := range blobs {
+		size += 4 + len(b)
+	}
+	buf := make([]byte, 0, size+4)
+	buf = binary.LittleEndian.AppendUint32(buf, fileMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, fileVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fp)))
+	buf = append(buf, fp...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blobs)))
+	for _, b := range blobs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
+		buf = append(buf, b...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf
+}
+
+// decodeFile validates framing, CRC, and fingerprint, returning the
+// per-shard snapshots.
+func decodeFile(data []byte, shards int, cfg PipelineConfig) ([][]byte, error) {
+	fail := func(msg string) ([][]byte, error) { return nil, fmt.Errorf("serve: snapshot file: %s", msg) }
+	if len(data) < 4 {
+		return fail("truncated")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return fail("checksum mismatch")
+	}
+	r := reader{data: body}
+	if m, ok := r.u32(); !ok || m != fileMagic {
+		return fail("bad magic")
+	}
+	if v, ok := r.u32(); !ok || v != fileVersion {
+		return fail("unsupported version")
+	}
+	fp, ok := r.bytes()
+	if !ok {
+		return fail("truncated fingerprint")
+	}
+	if want := fingerprint(shards, cfg); string(fp) != string(want) {
+		return fail("configuration fingerprint mismatch (snapshot taken under different settings)")
+	}
+	n32, ok := r.u32()
+	if !ok || int(n32) != shards {
+		return fail("shard count mismatch")
+	}
+	blobs := make([][]byte, shards)
+	for i := range blobs {
+		b, ok := r.bytes()
+		if !ok {
+			return fail("truncated shard snapshot")
+		}
+		blobs[i] = b
+	}
+	return blobs, nil
+}
+
+// writeFileAtomic writes data to path via a temp file + rename in the
+// same directory, so an interrupted checkpoint never clobbers the last
+// good snapshot.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"odds/internal/core"
+	"odds/internal/distance"
+	"odds/internal/mdef"
+)
+
+// JSON wire types shared by the server handlers and the oddload client.
+
+// Reading is one sensor reading to ingest.
+type Reading struct {
+	Sensor string    `json:"sensor"`
+	Value  []float64 `json:"value"`
+}
+
+// IngestRequest is the POST /ingest body.
+type IngestRequest struct {
+	Readings []Reading `json:"readings"`
+}
+
+// ReadingResult is one reading's outcome, in request order. When a
+// shard's bounded queue is full its whole sub-batch is rejected
+// atomically (Accepted=false, no verdict); the client must re-send
+// rejected readings, in order, before any newer reading for the same
+// sensor.
+type ReadingResult struct {
+	Shard    int    `json:"shard"`
+	Accepted bool   `json:"accepted"`
+	Seq      uint64 `json:"seq,omitempty"`
+	Outlier  bool   `json:"outlier"`
+	Exact    bool   `json:"exact"`
+	Warmed   bool   `json:"warmed"`
+}
+
+// IngestResponse is the POST /ingest reply. RetryAfterMS is set whenever
+// at least one sub-batch was rejected; a fully-rejected request is
+// answered 429 with a Retry-After header instead.
+type IngestResponse struct {
+	Results      []ReadingResult `json:"results"`
+	Rejected     int             `json:"rejected"`
+	RetryAfterMS int64           `json:"retry_after_ms,omitempty"`
+}
+
+// QueryResponse answers GET /query/outlier: a read-only check of the
+// value against the sensor's shard state, without ingesting it.
+type QueryResponse struct {
+	Shard   int    `json:"shard"`
+	Seq     uint64 `json:"seq"`
+	Outlier bool   `json:"outlier"`
+	Exact   bool   `json:"exact"`
+	Warmed  bool   `json:"warmed"`
+}
+
+// ProbResponse answers GET /query/prob.
+type ProbResponse struct {
+	Shard int     `json:"shard"`
+	Prob  float64 `json:"prob"`
+}
+
+// ShardStats is one shard's counters in GET /stats.
+type ShardStats struct {
+	Shard      int     `json:"shard"`
+	Arrivals   uint64  `json:"arrivals"`
+	Ingested   uint64  `json:"ingested"`
+	Rejected   uint64  `json:"rejected"`
+	Outliers   uint64  `json:"outliers"`
+	QueueDepth int     `json:"queue_depth"`
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+}
+
+// StatsResponse answers GET /stats. It carries the full detection
+// configuration so a client (oddload) can construct a bit-identical
+// in-process twin, and per-shard arrival counts so it can resume a
+// seeded stream against a restarted server.
+type StatsResponse struct {
+	Shards   int             `json:"shards"`
+	Detector DetectorKind    `json:"detector"`
+	Seed     int64           `json:"seed"`
+	Core     core.Config     `json:"core"`
+	Distance distance.Params `json:"distance"`
+	MDEF     mdef.Params     `json:"mdef"`
+	PerShard []ShardStats    `json:"per_shard"`
+}
+
+// PipelineConfigFor reconstructs the pipeline configuration of one shard
+// from a stats reply — the client half of the twin contract. Seeds are
+// derived exactly as the server derives them.
+func (s *StatsResponse) PipelineConfigFor(shard int) PipelineConfig {
+	return PipelineConfig{
+		Core:     s.Core,
+		Kind:     s.Detector,
+		Distance: s.Distance,
+		MDEF:     s.MDEF,
+		Seed:     shardSeed(s.Seed, shard),
+	}
+}
+
+// ShardOf routes a sensor id to a shard: 32-bit FNV-1a over the id,
+// modulo the shard count. Exported so clients can predict routing.
+func ShardOf(sensor string, shards int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(sensor); i++ {
+		h ^= uint32(sensor[i])
+		h *= prime32
+	}
+	return int(h % uint32(shards))
+}

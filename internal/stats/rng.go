@@ -29,13 +29,21 @@ func SplitRand(parent *rand.Rand) *rand.Rand {
 // per-index streams. The parallel evaluation harness keys every
 // independent unit of work (a sweep run, a sensor) this way.
 func Child(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(ChildSeed(seed, i)))
+}
+
+// ChildSeed returns the seed Child(seed, i) sources its stream from.
+// Components that need to own the raw source — the serving shards wrap it
+// in a draw-counting adapter so snapshots can record the rng position —
+// derive their per-index seeds here and stay stream-identical to Child.
+func ChildSeed(seed int64, i int) int64 {
 	x := uint64(seed) + (uint64(i)+1)*0x9e3779b97f4a7c15
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
-	return rand.New(rand.NewSource(int64(x)))
+	return int64(x)
 }
 
 // SkewNormal draws from a skew-normal distribution with location loc, scale

@@ -1,0 +1,39 @@
+package stream
+
+import "fmt"
+
+// ByName constructs a named seeded source — the registry the serving
+// load generator (cmd/oddload) and external callers select streams from.
+// Fixed-dimensionality sources (shifting, engine, enviro) reject a
+// mismatched dim; mixture accepts any positive dim.
+func ByName(name string, dim int, seed int64) (Source, error) {
+	switch name {
+	case "mixture":
+		if dim <= 0 {
+			return nil, fmt.Errorf("stream: mixture dim %d must be positive", dim)
+		}
+		return NewMixture(DefaultMixture(), dim, seed), nil
+	case "shifting":
+		if dim != 1 {
+			return nil, fmt.Errorf("stream: shifting is 1-dimensional, got dim %d", dim)
+		}
+		return DefaultShifting(seed), nil
+	case "engine":
+		if dim != 1 {
+			return nil, fmt.Errorf("stream: engine is 1-dimensional, got dim %d", dim)
+		}
+		return NewEngine(DefaultEngine(), seed), nil
+	case "enviro":
+		if dim != 2 {
+			return nil, fmt.Errorf("stream: enviro is 2-dimensional, got dim %d", dim)
+		}
+		return NewEnviro(DefaultEnviro(), seed), nil
+	default:
+		return nil, fmt.Errorf("stream: unknown source %q (have %v)", name, Names())
+	}
+}
+
+// Names lists the sources ByName accepts.
+func Names() []string {
+	return []string{"mixture", "shifting", "engine", "enviro"}
+}

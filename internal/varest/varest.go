@@ -103,8 +103,15 @@ func (e *Estimator) Push(x float64) {
 	if e.now > e.w {
 		cut = e.now - e.w // indices ≤ cut are expired
 	}
-	for len(e.buckets) > 0 && e.buckets[0].last <= cut {
-		e.buckets = e.buckets[1:]
+	drop := 0
+	for drop < len(e.buckets) && e.buckets[drop].last <= cut {
+		drop++
+	}
+	if drop > 0 {
+		// Shift in place rather than reslicing forward: e.buckets[1:] would
+		// strand capacity at the front of the backing array and force a
+		// reallocation once the stranded prefix has eaten it all.
+		e.buckets = append(e.buckets[:0], e.buckets[drop:]...)
 	}
 	e.buckets = append(e.buckets, bucket{first: e.now, last: e.now, mean: x})
 	e.compress()

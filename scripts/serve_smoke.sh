@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end check of the serving subsystem.
+#
+# Builds oddserve + oddload, starts a sharded server with periodic
+# checkpoints, replays a bounded seeded load against it, and asserts
+#   1. every served verdict agreed bit-identically with oddload's twin
+#      (oddload exits non-zero on any disagreement), and
+#   2. the server shuts down cleanly on SIGTERM (final checkpoint, exit 0).
+#
+# Usage: scripts/serve_smoke.sh [readings]   (default 20000)
+set -euo pipefail
+
+READINGS="${1:-20000}"
+PORT="${ODDS_SMOKE_PORT:-8077}"
+ADDR="http://127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+    if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill -9 "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building binaries"
+go build -o "$WORK/oddserve" ./cmd/oddserve
+go build -o "$WORK/oddload" ./cmd/oddload
+
+echo "serve-smoke: starting oddserve on $ADDR"
+"$WORK/oddserve" -addr "127.0.0.1:${PORT}" -shards 4 -window 2000 \
+    -snapshot "$WORK/snap" -snapshot-interval 2s >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+    if curl -fsS "$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "serve-smoke: server died during startup" >&2
+        cat "$WORK/server.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+curl -fsS "$ADDR/healthz" >/dev/null
+
+echo "serve-smoke: replaying $READINGS readings (verdict agreement enforced by oddload)"
+"$WORK/oddload" -addr "$ADDR" -n "$READINGS" -sensors 16 -batch 128 -max-retries 200
+
+echo "serve-smoke: scraping /metrics and /stats"
+curl -fsS "$ADDR/metrics" | grep -q "odds_serve_ingested_total ${READINGS}" || {
+    echo "serve-smoke: metrics do not account for all readings" >&2
+    curl -fsS "$ADDR/metrics" >&2
+    exit 1
+}
+curl -fsS "$ADDR/stats" >/dev/null
+
+echo "serve-smoke: SIGTERM — expecting clean shutdown with a final checkpoint"
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+SERVER_PID=""
+if [[ "$STATUS" -ne 0 ]]; then
+    echo "serve-smoke: server exited with status $STATUS" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+fi
+if [[ ! -s "$WORK/snap" ]]; then
+    echo "serve-smoke: no snapshot written on shutdown" >&2
+    exit 1
+fi
+
+echo "serve-smoke: OK"

@@ -47,6 +47,17 @@ func Describe(xs []float64) (Summary, error) { return stats.Describe(xs) }
 // TakeSource drains n readings from a source.
 func TakeSource(src Source, n int) []Point { return stream.Take(src, n) }
 
+// NewSourceByName constructs one of the named seeded stream generators
+// ("mixture", "shifting", "engine", "enviro") — the registry the serving
+// load generator selects streams from. Fixed-dimensionality sources
+// reject a mismatched dim.
+func NewSourceByName(name string, dim int, seed int64) (Source, error) {
+	return stream.ByName(name, dim, seed)
+}
+
+// SourceNames lists the names NewSourceByName accepts.
+func SourceNames() []string { return stream.Names() }
+
 // CalibrateKSigma searches for the MDEF significance factor at which the
 // exact criterion yields between targetLo and targetHi outliers on a
 // reference window of the caller's workload. The paper fixes k_σ = 3;
