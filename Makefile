@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-all bench-fault bench-serve serve-smoke chaos experiments quick-experiments verify-figures update-golden fmt vet clean
+.PHONY: all build test race cover bench bench-all bench-fault bench-rebuild bench-serve serve-smoke chaos experiments quick-experiments verify-figures update-golden fmt vet clean
 
 # The default verify path includes vet and the race detector: the
 # parallel evaluation harness and the concurrent runtime are only correct
@@ -41,6 +41,15 @@ bench-all:
 bench-fault:
 	$(GO) test -run=NONE -bench=BenchmarkStep -benchmem -benchtime 2000000x ./internal/tagsim/
 	$(GO) test -run=NONE -bench=BenchmarkParallelRunD3 -benchtime 3x .
+
+# Incremental-maintenance suite whose numbers land in BENCH_REBUILD.json:
+# one in-place maintenance cycle vs a from-scratch kernel rebuild, the
+# per-arrival detector refresh in both modes (watch the full_builds and
+# models_per_10k metrics), and the serving hot loop the savings feed.
+bench-rebuild:
+	$(GO) test -run=NONE -bench='BenchmarkMaintainCycle|BenchmarkFromScratchRebuild' -benchmem -benchtime 20000x ./internal/kernel/
+	$(GO) test -run=NONE -bench=BenchmarkEstimatorRefresh -benchmem -benchtime 1s ./internal/core/
+	$(GO) test -run=NONE -bench=BenchmarkPipelineIngest -benchmem -benchtime 1s ./internal/serve/
 
 # Serving benchmark suite whose numbers land in BENCH_SERVE.json (update
 # the file from this output when the serving path changes): the per-reading

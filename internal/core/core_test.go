@@ -324,13 +324,17 @@ func TestGlobalModelReplica(t *testing.T) {
 	if m.WindowCount() != 1000 {
 		t.Errorf("replica window count = %v", m.WindowCount())
 	}
-	// Model caches until next update.
-	if g.Model() != m {
-		t.Error("model rebuilt without update")
+	// Model caches until next update; once maintained it refreshes in
+	// place, so staleness shows up as a generation bump, not a new pointer.
+	gen := m.Gen()
+	if g.Model() != m || m.Gen() != gen {
+		t.Error("model refreshed without update")
 	}
 	g.Update(window.Point{0.9}, 0.05, 10)
-	if g.Model() == m {
-		t.Error("model not rebuilt after update")
+	if m2 := g.Model(); m2 != m {
+		t.Error("maintained replica model was rebuilt instead of patched")
+	} else if m2.Gen() == gen {
+		t.Error("model generation did not advance after update")
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"slices"
 
 	"odds/internal/kernel"
 	"odds/internal/sample"
@@ -31,6 +32,24 @@ type Estimator struct {
 	dirty      bool
 	sinceBuild int
 	arrivals   uint64
+
+	// Incremental model maintenance (EnableIncrementalModel): instead of
+	// rebuilding the kernel model from scratch on every refresh, the
+	// detector tracks which chain-sample slots changed since the last
+	// build and patches only those centers in the maintained model.
+	incremental bool
+	pendingList []int32 // slots changed since the model last absorbed them
+	pendingSet  []bool  // dedup membership for pendingList
+	fullBuilds  uint64
+	patchBuilds uint64
+
+	// Rebuild-path scratch, reused across refreshes (satellite of the
+	// incremental work: the old path allocated a fresh scaled-sigma slice
+	// per rebuild whenever BandwidthScale != 1).
+	sigmaBuf []float64
+	bwBuf    []float64
+	ptsBuf   []window.Point
+	slotBuf  []int
 }
 
 // NewEstimator returns estimation state for a node whose range queries
@@ -65,6 +84,9 @@ func (e *Estimator) Observe(p window.Point) bool {
 	if included {
 		e.dirty = true
 	}
+	if e.incremental {
+		e.pendingList = e.smp.DrainChangedSlots(e.pendingList, e.pendingSet)
+	}
 	return included
 }
 
@@ -77,35 +99,61 @@ func (e *Estimator) WindowCount() float64 { return e.wcount }
 // StdDevs exposes the sketch's current per-dimension deviation estimates.
 func (e *Estimator) StdDevs() []float64 { return e.vars.StdDevs() }
 
+// scaledSigmas returns the per-dimension bandwidth inputs — the variance
+// sketch's standard deviations, scaled by BandwidthScale when configured —
+// written into a reused scratch slice. The result is only valid until the
+// next call; kernel constructors do not retain it.
+func (e *Estimator) scaledSigmas() []float64 {
+	e.sigmaBuf = e.vars.StdDevsInto(e.sigmaBuf)
+	if s := e.cfg.BandwidthScale; s > 0 && s != 1 {
+		for i := range e.sigmaBuf {
+			e.sigmaBuf[i] *= s
+		}
+	}
+	return e.sigmaBuf
+}
+
+// clearPending empties the changed-slot queue after a build absorbed it.
+func (e *Estimator) clearPending() {
+	for _, s := range e.pendingList {
+		e.pendingSet[s] = false
+	}
+	e.pendingList = e.pendingList[:0]
+}
+
 // Model returns the kernel density model for the current window, rebuilding
 // it if the sample changed and the rebuild interval elapsed. It returns nil
 // until at least one value has been observed.
+//
+// With EnableIncrementalModel the refresh patches the maintained model in
+// place — one ordered remove/insert per changed sample slot — instead of
+// rebuilding from scratch, with identical query results; the model pointer
+// then stays stable across refreshes and only Gen advances.
 func (e *Estimator) Model() *kernel.Estimator {
 	if e.model == nil || (e.dirty && e.sinceBuild >= e.cfg.RebuildEvery) {
-		pts := e.smp.Points()
-		if len(pts) == 0 {
-			return nil
-		}
 		// Scale queries by the filled fraction of the sample window so
 		// counts are not inflated while windows fill. For a leaf the
 		// sample window is |W| itself; for a parent it is the expected
 		// receipts per union-window span, so the fraction tracks how much
 		// of the union window the receipts represent.
 		wc := e.EffectiveWindowCount()
-		sigmas := e.vars.StdDevs()
-		if s := e.cfg.BandwidthScale; s > 0 && s != 1 {
-			scaled := make([]float64, len(sigmas))
-			for i, sd := range sigmas {
-				scaled[i] = sd * s
+		if e.incremental {
+			if !e.refreshMaintained(wc) {
+				return nil
 			}
-			sigmas = scaled
+		} else {
+			pts := e.smp.Points()
+			if len(pts) == 0 {
+				return nil
+			}
+			m, err := kernel.FromSample(pts, e.scaledSigmas(), wc)
+			if err != nil {
+				// The only reachable error is an empty sample, handled above.
+				panic(err)
+			}
+			e.model = m
+			e.fullBuilds++
 		}
-		m, err := kernel.FromSample(pts, sigmas, wc)
-		if err != nil {
-			// The only reachable error is an empty sample, handled above.
-			panic(err)
-		}
-		e.model = m
 		e.modelWc = wc
 		e.dirty = false
 		e.sinceBuild = 0
@@ -114,11 +162,66 @@ func (e *Estimator) Model() *kernel.Estimator {
 		// warm-up every arrival grows the filled fraction, and a cached
 		// model built a few arrivals ago would keep scaling queries by the
 		// stale, smaller count (undercounting neighbors and over-flagging
-		// outliers). Rescaling is O(1); centers and bandwidths are shared.
-		e.model = e.model.WithWindowCount(wc)
+		// outliers). Rescaling is O(1); a maintained model rescales in
+		// place (keeping the cached Querier bound), an immutable one
+		// shares centers and bandwidths with its replacement.
+		if e.model.IsMaintained() {
+			e.model.SetWindowCount(wc)
+		} else {
+			e.model = e.model.WithWindowCount(wc)
+		}
 		e.modelWc = wc
 	}
 	return e.model
+}
+
+// refreshMaintained brings the maintained model up to date with the chain
+// sample: a patch cycle over the pending slots when a maintained model
+// exists, a full maintained build otherwise. It reports false when the
+// sample is empty (no model can exist; pending changes are kept so a later
+// refresh still sees them).
+func (e *Estimator) refreshMaintained(wc float64) bool {
+	if e.model != nil && e.model.IsMaintained() {
+		if e.smp.Occupied() == 0 {
+			return false
+		}
+		e.model.BeginMaintain()
+		slices.Sort(e.pendingList)
+		for _, s := range e.pendingList {
+			e.model.SetSlot(int(s), e.smp.SampleAt(int(s)))
+		}
+		e.clearPending()
+		e.bwBuf = kernel.BandwidthsInto(e.bwBuf, e.scaledSigmas(), e.model.SampleSize())
+		if err := e.model.FinishMaintain(e.bwBuf, wc); err != nil {
+			// Unreachable: Occupied() > 0 guarantees live centers.
+			panic(err)
+		}
+		e.patchBuilds++
+		return true
+	}
+	// First build (or the restored model predates maintenance): build a
+	// maintained model from the full sample, keyed by slot index so later
+	// patches address centers by the slot that changed.
+	e.ptsBuf, e.slotBuf = e.ptsBuf[:0], e.slotBuf[:0]
+	for s := 0; s < e.smp.Size(); s++ {
+		if p := e.smp.SampleAt(s); p != nil {
+			e.ptsBuf = append(e.ptsBuf, p)
+			e.slotBuf = append(e.slotBuf, s)
+		}
+	}
+	if len(e.ptsBuf) == 0 {
+		return false
+	}
+	e.bwBuf = kernel.BandwidthsInto(e.bwBuf, e.scaledSigmas(), len(e.ptsBuf))
+	m, err := kernel.NewMaintained(e.ptsBuf, e.slotBuf, e.smp.Size(), e.bwBuf, wc)
+	if err != nil {
+		// The only reachable error is an empty sample, handled above.
+		panic(err)
+	}
+	e.model = m
+	e.clearPending()
+	e.fullBuilds++
+	return true
 }
 
 // Querier returns an allocation-free query handle bound to the current
@@ -146,6 +249,37 @@ func (e *Estimator) Querier() *kernel.Querier {
 // that ship sample points in delayed messages (MGDD refresh) do not.
 // Call before the first Observe or immediately after UnmarshalEstimator.
 func (e *Estimator) EnableSampleRecycling() { e.smp.EnableRecycling() }
+
+// EnableIncrementalModel switches Model to in-place maintenance of the
+// kernel model: the chain sample reports which slots changed, and each
+// refresh patches exactly those centers (tombstone the departed value,
+// ordered-insert the replacement) instead of rebuilding from scratch —
+// O(changed·log|R|) amortized instead of O(|R|·(d+log|R|)) per refresh,
+// with bit-identical query results. The model pointer stays stable across
+// patches, so cached Querier handles keep their binding; consumers that
+// memoize per-model results must watch kernel.Estimator.Gen instead of the
+// pointer. Call before the first Observe or immediately after
+// UnmarshalEstimator (before RestoreModelSnapshot, whose maintained model
+// then keeps patching). Idempotent.
+func (e *Estimator) EnableIncrementalModel() {
+	if e.incremental {
+		return
+	}
+	e.incremental = true
+	e.smp.EnableChangeTracking()
+	if e.pendingSet == nil {
+		e.pendingSet = make([]bool, e.smp.Size())
+		e.pendingList = make([]int32, 0, e.smp.Size())
+	}
+}
+
+// ModelBuildStats reports how many Model refreshes rebuilt the kernel
+// model from scratch versus patching it in place — the incremental
+// scheme's effectiveness gauge (a healthy steady state is one full build
+// and all subsequent refreshes patches).
+func (e *Estimator) ModelBuildStats() (fullBuilds, patchBuilds uint64) {
+	return e.fullBuilds, e.patchBuilds
+}
 
 // ModelSnapshot captures the cached-model state Model's lazy-rebuild
 // bookkeeping evolves between rebuilds. Serialization via

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"odds/internal/kernel"
+	"odds/internal/window"
+)
+
+// TestGlobalModelMaintainedDifferential drives a replica through random
+// update/query interleavings and demands that its maintained model answer
+// bit-identically to a from-scratch kernel.FromSample over the replica's
+// slots — the exact contract the maintained refresh replaced.
+func TestGlobalModelMaintainedDifferential(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		refRng := rand.New(rand.NewSource(seed))
+		const capacity, dim = 25, 2
+		g := NewGlobalModel(capacity, dim, 5000, rng)
+
+		// Reference replica: the pre-maintenance Update/Model semantics.
+		refSlots := make([]window.Point, capacity)
+		refFill := 0
+		refSigmas := make([]float64, dim)
+
+		point := func(r *rand.Rand) window.Point {
+			p := make(window.Point, dim)
+			for i := range p {
+				p[i] = r.Float64()
+			}
+			return p
+		}
+		steps := 400
+		if testing.Short() {
+			steps = 100
+		}
+		for i := 0; i < steps; i++ {
+			v := point(rng)
+			refV := append(window.Point(nil), v...)
+			// Consume identical randomness from the paired source so the
+			// reference replaces the same slot the replica does.
+			_ = point(refRng)
+			sigma := 0.01 + 0.3*rng.Float64()
+			_ = 0.01 + 0.3*refRng.Float64()
+			g.Update(v, sigma, i)
+			if refFill < capacity {
+				refSlots[refFill] = refV
+				refFill++
+			} else {
+				refSlots[refRng.Intn(capacity)] = refV
+			}
+			for d := range refSigmas {
+				refSigmas[d] = sigma
+			}
+
+			skip := rng.Intn(3) == 0
+			if refRng.Intn(3) == 0 != skip {
+				t.Fatalf("step %d: paired random streams desynced", i)
+			}
+			if !g.Ready() || skip {
+				continue
+			}
+			m := g.Model()
+			ref, err := kernel.FromSample(refSlots[:refFill], refSigmas, 5000)
+			if err != nil {
+				t.Fatalf("reference FromSample: %v", err)
+			}
+			if m.SampleSize() != ref.SampleSize() {
+				t.Fatalf("step %d: sample size %d, want %d", i, m.SampleSize(), ref.SampleSize())
+			}
+			q := point(rng)
+			_ = point(refRng)
+			lo := window.Point{q[0] - 0.2, q[1] - 0.2}
+			hi := window.Point{q[0] + 0.2, q[1] + 0.2}
+			checks := []struct {
+				name      string
+				got, want float64
+			}{
+				{"Density", m.Density(q), ref.Density(q)},
+				{"ProbBox", m.ProbBox(lo, hi), ref.ProbBox(lo, hi)},
+				{"ProbBoxNaive", m.ProbBoxNaive(lo, hi), ref.ProbBoxNaive(lo, hi)},
+				{"CountBox", m.CountBox(lo, hi), ref.CountBox(lo, hi)},
+			}
+			for _, c := range checks {
+				if math.Float64bits(c.got) != math.Float64bits(c.want) {
+					t.Fatalf("step %d (seed %d): %s = %v, want %v", i, seed, c.name, c.got, c.want)
+				}
+			}
+		}
+	}
+}

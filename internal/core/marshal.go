@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 
 	"odds/internal/sample"
 	"odds/internal/varest"
@@ -45,6 +46,17 @@ func (e *Estimator) MarshalBinary() ([]byte, error) {
 		}
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(vd)))
 		buf = append(buf, vd...)
+	}
+	// Incremental-maintenance queue: sample slots that changed after the
+	// last model build and are still waiting to be patched in. Written in
+	// ascending slot order — the order patches are applied in — so a
+	// restored estimator resumes maintenance bit-identically. Empty (and
+	// the flag itself unset) for estimators without incremental mode.
+	pending := slices.Clone(e.pendingList)
+	slices.Sort(pending)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pending)))
+	for _, s := range pending {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s))
 	}
 	return buf, nil
 }
@@ -129,17 +141,43 @@ func UnmarshalEstimator(data []byte, rng *rand.Rand) (*Estimator, error) {
 		}
 		data = data[vLen:]
 	}
+	nPend, ok := read32()
+	if !ok {
+		return fail("truncated pending-slot section")
+	}
+	var pendingList []int32
+	var pendingSet []bool
+	if nPend > 0 {
+		if int(nPend) > smp.Size() || len(data) < 4*int(nPend) {
+			return fail("implausible pending-slot section")
+		}
+		pendingList = make([]int32, 0, smp.Size())
+		pendingSet = make([]bool, smp.Size())
+		prev := int32(-1)
+		for i := 0; i < int(nPend); i++ {
+			s32, _ := read32()
+			s := int32(s32)
+			if s <= prev || int(s) >= smp.Size() {
+				return fail("pending slots not ascending in range")
+			}
+			prev = s
+			pendingList = append(pendingList, s)
+			pendingSet[s] = true
+		}
+	}
 	if len(data) != 0 {
 		return fail("trailing bytes")
 	}
 
 	e := &Estimator{
-		cfg:      cfg,
-		smp:      smp,
-		vars:     varest.NewMultiFrom(sketches),
-		wcount:   wcount,
-		arrivals: arrivals,
-		dirty:    true,
+		cfg:         cfg,
+		smp:         smp,
+		vars:        varest.NewMultiFrom(sketches),
+		wcount:      wcount,
+		arrivals:    arrivals,
+		dirty:       true,
+		pendingList: pendingList,
+		pendingSet:  pendingSet,
 	}
 	return e, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"slices"
 
 	"odds/internal/divergence"
 	"odds/internal/kernel"
@@ -26,8 +27,17 @@ type GlobalModel struct {
 	rng    *rand.Rand
 	stamp  int // epoch of the last folded update; -1 until the first
 
-	model *kernel.Estimator
-	dirty bool
+	// The replica's kernel model is maintained in place: each folded
+	// update touches exactly one slot, so the refresh patches that one
+	// center instead of rebuilding from all |Rg| of them. Query results
+	// are bit-identical to a from-scratch build; consumers watch Gen for
+	// staleness because the pointer no longer changes.
+	model      *kernel.Estimator
+	dirty      bool
+	pending    []int32 // slots written since the model last absorbed them
+	pendingSet []bool
+	bwBuf      []float64
+	slotBuf    []int
 }
 
 // NewGlobalModel returns an empty replica with the given sample capacity,
@@ -38,11 +48,13 @@ func NewGlobalModel(capacity, dim int, windowCount float64, rng *rand.Rand) *Glo
 		panic("core: bad global model parameters")
 	}
 	return &GlobalModel{
-		slots:  make([]window.Point, capacity),
-		sigmas: make([]float64, dim),
-		wcount: windowCount,
-		rng:    rng,
-		stamp:  -1,
+		slots:      make([]window.Point, capacity),
+		sigmas:     make([]float64, dim),
+		wcount:     windowCount,
+		rng:        rng,
+		stamp:      -1,
+		pending:    make([]int32, 0, capacity),
+		pendingSet: make([]bool, capacity),
 	}
 }
 
@@ -50,11 +62,22 @@ func NewGlobalModel(capacity, dim int, windowCount float64, rng *rand.Rand) *Glo
 // with the epoch the update was applied — the staleness clock the
 // self-healing layer reads.
 func (g *GlobalModel) Update(v window.Point, sigma float64, epoch int) {
+	s := g.fill
 	if g.fill < len(g.slots) {
-		g.slots[g.fill] = v.Clone()
 		g.fill++
 	} else {
-		g.slots[g.rng.Intn(len(g.slots))] = v.Clone()
+		s = g.rng.Intn(len(g.slots))
+	}
+	// Reuse the replaced slot's storage when possible: the kernel model
+	// copies coordinates into its own layout, so nothing aliases it.
+	if old := g.slots[s]; len(old) == len(v) {
+		copy(old, v)
+	} else {
+		g.slots[s] = v.Clone()
+	}
+	if !g.pendingSet[s] {
+		g.pendingSet[s] = true
+		g.pending = append(g.pending, int32(s))
 	}
 	for i := range g.sigmas {
 		g.sigmas[i] = sigma
@@ -74,20 +97,50 @@ func (g *GlobalModel) Ready() bool { return g.fill >= 2 }
 // Updates returns the number of slots currently populated.
 func (g *GlobalModel) Fill() int { return g.fill }
 
-// Model returns the kernel model over the replica, rebuilding lazily.
+// Model returns the kernel model over the replica, refreshed lazily: a
+// per-changed-slot patch of the maintained model when one exists, a full
+// maintained build on first use.
 func (g *GlobalModel) Model() *kernel.Estimator {
 	if !g.Ready() {
 		return nil
 	}
 	if g.model == nil || g.dirty {
-		m, err := kernel.FromSample(g.slots[:g.fill], g.sigmas, g.wcount)
-		if err != nil {
-			panic(err)
+		if g.model != nil && g.model.IsMaintained() {
+			g.model.BeginMaintain()
+			slices.Sort(g.pending)
+			for _, s := range g.pending {
+				g.model.SetSlot(int(s), g.slots[s])
+			}
+			g.clearPending()
+			g.bwBuf = kernel.BandwidthsInto(g.bwBuf, g.sigmas, g.model.SampleSize())
+			if err := g.model.FinishMaintain(g.bwBuf, g.wcount); err != nil {
+				// Unreachable: Ready() guarantees live centers.
+				panic(err)
+			}
+		} else {
+			g.slotBuf = g.slotBuf[:0]
+			for s := 0; s < g.fill; s++ {
+				g.slotBuf = append(g.slotBuf, s)
+			}
+			g.bwBuf = kernel.BandwidthsInto(g.bwBuf, g.sigmas, g.fill)
+			m, err := kernel.NewMaintained(g.slots[:g.fill], g.slotBuf, len(g.slots), g.bwBuf, g.wcount)
+			if err != nil {
+				panic(err)
+			}
+			g.model = m
+			g.clearPending()
 		}
-		g.model = m
 		g.dirty = false
 	}
 	return g.model
+}
+
+// clearPending empties the changed-slot queue after a refresh absorbed it.
+func (g *GlobalModel) clearPending() {
+	for _, s := range g.pending {
+		g.pendingSet[s] = false
+	}
+	g.pending = g.pending[:0]
 }
 
 // MGDDLeaf is the leaf process of the MGDD algorithm (Figure 4): it
@@ -212,9 +265,9 @@ func (n *MGDDLeaf) OnEpoch(s tagsim.Sender, epoch int) {
 	}
 	out := false
 	if m := n.global.Model(); m != nil && n.est.Warmed() {
-		if n.cache == nil || n.cache.Model() != mdef.Counter(m) {
-			n.cache = mdef.NewCachedCounter(m, n.prm.AlphaR)
-		}
+		// The replica's model is maintained in place, so the pointer alone
+		// no longer signals staleness — the refresh tracks its generation.
+		n.cache = mdef.RefreshCachedCounter(n.cache, m, n.prm.AlphaR)
 		out = n.eval.IsOutlier(n.cache, v, n.prm)
 		if out && n.Flagged != nil {
 			n.Flagged(v, epoch)

@@ -632,9 +632,9 @@ func RunMGDD(c PRConfig) MGDDResult {
 				}
 			}
 			if m := replicas[li].Model(); m != nil && leafEsts[li].Warmed() {
-				if caches[li] == nil || caches[li].Model() != mdef.Counter(m) {
-					caches[li] = mdef.NewCachedCounter(m, c.MDEF.AlphaR)
-				}
+				// The replica model is maintained in place, so the cache must
+				// track its generation, not just its pointer.
+				caches[li] = mdef.RefreshCachedCounter(caches[li], m, c.MDEF.AlphaR)
 				flagged = eval.IsOutlier(caches[li], st.v, c.MDEF)
 			}
 		case KindHistogram:

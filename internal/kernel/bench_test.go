@@ -88,3 +88,75 @@ func BenchmarkKernelProb(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMaintainCycle measures one incremental maintenance cycle —
+// BeginMaintain, `changed` slot replacements, FinishMaintain with fresh
+// bandwidths — on a steady-state maintained estimator. These numbers land
+// in BENCH_REBUILD.json next to the from-scratch rebuild they replace.
+func BenchmarkMaintainCycle(b *testing.B) {
+	const d = 2
+	for _, n := range []int{50, 500} {
+		for _, changed := range []int{1, 4} {
+			b.Run(fmt.Sprintf("R=%d/changed=%d", n, changed), func(b *testing.B) {
+				r := stats.NewRand(int64(10*n + changed))
+				pts := make([]window.Point, n)
+				slots := make([]int, n)
+				for i := range pts {
+					p := make(window.Point, d)
+					for j := range p {
+						p[j] = r.Float64()
+					}
+					pts[i] = p
+					slots[i] = i
+				}
+				bw := []float64{0.05, 0.05}
+				m, err := NewMaintained(pts, slots, n, bw, 10000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pool := make([]window.Point, 1024)
+				for i := range pool {
+					pool[i] = window.Point{r.Float64(), r.Float64()}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.BeginMaintain()
+					for j := 0; j < changed; j++ {
+						m.SetSlot((i*changed+j)*2654435761%n, pool[(i*changed+j)%len(pool)])
+					}
+					if err := m.FinishMaintain(bw, 10000); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFromScratchRebuild is the cost BenchmarkMaintainCycle avoids:
+// a full New over the same sample, once per refresh.
+func BenchmarkFromScratchRebuild(b *testing.B) {
+	const d = 2
+	for _, n := range []int{50, 500} {
+		b.Run(fmt.Sprintf("R=%d", n), func(b *testing.B) {
+			r := stats.NewRand(int64(n))
+			pts := make([]window.Point, n)
+			for i := range pts {
+				p := make(window.Point, d)
+				for j := range p {
+					p[j] = r.Float64()
+				}
+				pts[i] = p
+			}
+			bw := []float64{0.05, 0.05}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := New(pts, bw, 10000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

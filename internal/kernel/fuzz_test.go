@@ -1,7 +1,9 @@
 package kernel
 
 import (
+	"bytes"
 	"math"
+	"math/rand"
 	"testing"
 
 	"odds/internal/stats"
@@ -121,6 +123,123 @@ func FuzzProbBox(f *testing.F) {
 		naive := e.ProbBoxNaive([]float64{lo}, []float64{hi})
 		if math.Abs(got-naive) > 1e-9 {
 			t.Fatalf("fast path diverges from naive: %v vs %v", got, naive)
+		}
+	})
+}
+
+// fuzzCursor doles out bytes from the fuzz input, reporting exhaustion.
+type fuzzCursor struct {
+	data []byte
+	pos  int
+}
+
+func (c *fuzzCursor) next() (byte, bool) {
+	if c.pos >= len(c.data) {
+		return 0, false
+	}
+	b := c.data[c.pos]
+	c.pos++
+	return b, true
+}
+
+// FuzzIncrementalVsRebuild interprets the fuzz input as a maintenance
+// history — cycles of slot writes/clears with per-cycle bandwidths and
+// window counts — and demands that the maintained estimator stays
+// bit-identical to a from-scratch build at every step, including across a
+// marshal round trip (whose re-marshal must also be byte-identical).
+func FuzzIncrementalVsRebuild(f *testing.F) {
+	f.Add([]byte{2, 8, 1, 0x10, 0x40, 0x80, 5, 0x20, 0x60, 0xff, 0x01})
+	f.Add([]byte{0, 3, 3, 7, 7, 7, 0, 0, 0, 9, 9, 9, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte{1, 15, 2, 0xaa, 0x55, 0xaa, 0x55, 0x11, 0x22, 0x33, 0x44,
+		0x55, 0x66, 0x77, 0x88, 0x99, 0xbb, 0xcc, 0xdd, 0xee})
+	f.Add(bytes.Repeat([]byte{5, 0x80}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			t.Skip("too short to describe a history")
+		}
+		cur := &fuzzCursor{data: data}
+		b0, _ := cur.next()
+		b1, _ := cur.next()
+		dim := 1 + int(b0)%3
+		maxSlots := 3 + int(b1)%13
+		sim := newSlotSim(maxSlots, dim)
+		// Query-point randomness only; the history itself is fully
+		// determined by the input bytes.
+		rng := rand.New(rand.NewSource(int64(len(data))))
+
+		var m *Estimator
+		for cycle := 0; ; cycle++ {
+			nb, ok := cur.next()
+			if !ok {
+				break
+			}
+			if m != nil {
+				m.BeginMaintain()
+			}
+			ops := 1 + int(nb)%4
+			for i := 0; i < ops; i++ {
+				sb, ok := cur.next()
+				if !ok {
+					break
+				}
+				s := int(sb) % maxSlots
+				var p window.Point
+				if sb%5 == 0 && sim.pts[s] != nil && sim.occupied() > 1 {
+					p = nil // clear the slot
+				} else {
+					p = make(window.Point, dim)
+					for d := range p {
+						cb, _ := cur.next()
+						p[d] = float64(cb) / 256
+					}
+				}
+				sim.pts[s] = p
+				if m != nil {
+					m.SetSlot(s, p)
+				}
+			}
+			if sim.occupied() == 0 {
+				p := randPoint(rng, dim)
+				sim.pts[0] = p
+				if m != nil {
+					m.SetSlot(0, p)
+				}
+			}
+			bw := make([]float64, dim)
+			for d := range bw {
+				bb, _ := cur.next()
+				bw[d] = 0.001 + 0.2*float64(bb)/255
+			}
+			wb, _ := cur.next()
+			wc := 1 + 4*float64(wb)
+			if m == nil {
+				pts, slots := sim.liveSlots()
+				var err error
+				m, err = NewMaintained(pts, slots, maxSlots, bw, wc)
+				if err != nil {
+					t.Fatalf("cycle %d: NewMaintained: %v", cycle, err)
+				}
+			} else if err := m.FinishMaintain(bw, wc); err != nil {
+				t.Fatalf("cycle %d: FinishMaintain: %v", cycle, err)
+			}
+			checkBitIdentical(t, m, sim.reference(t, bw, wc), rng, "fuzz cycle")
+
+			blob, err := m.MarshalBinary()
+			if err != nil {
+				t.Fatalf("cycle %d: marshal: %v", cycle, err)
+			}
+			back, err := UnmarshalEstimator(blob)
+			if err != nil {
+				t.Fatalf("cycle %d: unmarshal: %v", cycle, err)
+			}
+			blob2, err := back.MarshalBinary()
+			if err != nil {
+				t.Fatalf("cycle %d: re-marshal: %v", cycle, err)
+			}
+			if !bytes.Equal(blob, blob2) {
+				t.Fatalf("cycle %d: re-marshal not byte-identical", cycle)
+			}
+			checkBitIdentical(t, back, m, rng, "fuzz round trip")
 		}
 	})
 }

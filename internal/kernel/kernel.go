@@ -65,8 +65,19 @@ var ErrNoSample = errors.New("kernel: empty sample")
 // otherwise produce an infinite bandwidth that passes the lower-bound
 // clamp and silently flattens every query to zero mass.
 func Bandwidths(sigmas []float64, n int) []float64 {
+	return BandwidthsInto(nil, sigmas, n)
+}
+
+// BandwidthsInto is Bandwidths writing into dst (grown as needed) so the
+// frequent rebuild paths — detector model maintenance, global-model
+// refreshes — compute bandwidths without allocating. The returned slice
+// is dst resliced to len(sigmas).
+func BandwidthsInto(dst, sigmas []float64, n int) []float64 {
 	d := len(sigmas)
-	out := make([]float64, d)
+	if cap(dst) < d {
+		dst = make([]float64, d)
+	}
+	dst = dst[:d]
 	if n <= 0 {
 		n = 1
 	}
@@ -76,9 +87,9 @@ func Bandwidths(sigmas []float64, n int) []float64 {
 		if math.IsNaN(b) || math.IsInf(b, 0) || b < minBandwidth {
 			b = minBandwidth
 		}
-		out[i] = b
+		dst[i] = b
 	}
-	return out
+	return dst
 }
 
 // Estimator is an immutable kernel density model: a set of centers (the
@@ -102,6 +113,28 @@ type Estimator struct {
 	// pruning to pay (the full-scan fallback). When pruneDim >= 0 the
 	// scan order is ascending in that dimension.
 	pruneDim int
+
+	// live is the number of centers contributing mass: len(centers) for
+	// an immutable estimator, the non-tombstoned count for a maintained
+	// one. Query sums divide by live, never by the physical length.
+	live int
+
+	// dead flags tombstoned physical entries of a maintained estimator
+	// (nil on immutable estimators, where every entry is live). A dead
+	// entry keeps its prune-column coordinate — so the column stays
+	// sorted and binary searches stay valid — but is skipped by every
+	// scan, contributing exactly nothing.
+	dead []bool
+
+	// gen counts in-place mutations (maintenance patches and window-count
+	// rescales) so callers caching derived state keyed by the model
+	// pointer can detect that the pointed-to model changed underneath
+	// them. Always 0 on immutable estimators.
+	gen uint64
+
+	// mnt holds the incremental-maintenance state; nil on estimators
+	// built by New/FromSample/UnmarshalEstimator's immutable path.
+	mnt *maint
 }
 
 // New constructs an estimator from sample centers, per-dimension
@@ -155,6 +188,7 @@ func New(centers []window.Point, bandwidths []float64, windowCount float64) (*Es
 		bw:      bw,
 		wcount:  windowCount,
 		dim:     dim,
+		live:    len(centers),
 	}
 	e.layout()
 	return e, nil
@@ -195,20 +229,40 @@ func (e *Estimator) layout() {
 // smallest bandwidth-to-spread ratio — or -1 when even the best dimension
 // is non-selective (bandwidth at least as wide as the coordinate spread,
 // so every candidate run would cover essentially all centers and the
-// binary searches would be pure overhead).
+// binary searches would be pure overhead). It is split into an extremes
+// scan and a decision rule so the incremental maintenance path, which
+// tracks extremes between patches, reproduces the exact same choice.
 func selectPruneDim(centers []window.Point, bw []float64) int {
-	best, bestRatio := -1, math.Inf(1)
-	for i := range bw {
-		lo, hi := centers[0][i], centers[0][i]
-		for _, p := range centers[1:] {
-			if p[i] < lo {
-				lo = p[i]
+	ext := make([]float64, 2*len(bw))
+	lo, hi := ext[:len(bw)], ext[len(bw):]
+	scanExtremes(centers, lo, hi)
+	return decidePruneDim(lo, hi, bw)
+}
+
+// scanExtremes fills lo/hi with the per-dimension coordinate extremes of
+// centers, seeding from the first point and comparing in iteration order —
+// the semantics decidePruneDim's spread is defined against.
+func scanExtremes(centers []window.Point, lo, hi []float64) {
+	for i := range lo {
+		lo[i], hi[i] = centers[0][i], centers[0][i]
+	}
+	for _, p := range centers[1:] {
+		for i := range lo {
+			if p[i] < lo[i] {
+				lo[i] = p[i]
 			}
-			if p[i] > hi {
-				hi = p[i]
+			if p[i] > hi[i] {
+				hi[i] = p[i]
 			}
 		}
-		spread := hi - lo
+	}
+}
+
+// decidePruneDim applies the selectivity rule to precomputed extremes.
+func decidePruneDim(lo, hi, bw []float64) int {
+	best, bestRatio := -1, math.Inf(1)
+	for i := range bw {
+		spread := hi[i] - lo[i]
 		if spread <= 0 {
 			continue
 		}
@@ -242,8 +296,12 @@ func FromSample(pts []window.Point, sigmas []float64, windowCount float64) (*Est
 // O(1); when wc equals the current count the receiver itself is
 // returned. The online detector uses this to keep a cached model's |W|
 // tracking the effective window count while the window is still filling,
-// without paying for a rebuild.
+// without paying for a rebuild. It panics on a maintained estimator —
+// a shallow copy would alias live maintenance state; use SetWindowCount.
 func (e *Estimator) WithWindowCount(wc float64) *Estimator {
+	if e.mnt != nil {
+		panic("kernel: WithWindowCount on a maintained estimator; use SetWindowCount")
+	}
 	if wc <= 0 || math.IsNaN(wc) || math.IsInf(wc, 0) {
 		panic(fmt.Sprintf("kernel: window count %v must be positive and finite", wc))
 	}
@@ -255,11 +313,32 @@ func (e *Estimator) WithWindowCount(wc float64) *Estimator {
 	return &cp
 }
 
+// SetWindowCount rescales range queries by wc in place — the maintained
+// counterpart of WithWindowCount. The model pointer is unchanged, so bound
+// Queriers keep working without a rebind (Querier scratch depends only on
+// dimensionality); the generation counter advances so pointer-keyed caches
+// of scaled counts know to invalidate. Panics on an immutable estimator,
+// whose published contract is that it never changes underneath callers.
+func (e *Estimator) SetWindowCount(wc float64) {
+	if e.mnt == nil {
+		panic("kernel: SetWindowCount on an immutable estimator; use WithWindowCount")
+	}
+	if wc <= 0 || math.IsNaN(wc) || math.IsInf(wc, 0) {
+		panic(fmt.Sprintf("kernel: window count %v must be positive and finite", wc))
+	}
+	if wc == e.wcount {
+		return
+	}
+	e.wcount = wc
+	e.gen++
+}
+
 // Dim returns the dimensionality of the model.
 func (e *Estimator) Dim() int { return e.dim }
 
-// SampleSize returns |R|, the number of kernel centers.
-func (e *Estimator) SampleSize() int { return len(e.centers) }
+// SampleSize returns |R|, the number of live kernel centers (tombstoned
+// entries of a maintained estimator do not count).
+func (e *Estimator) SampleSize() int { return e.live }
 
 // WindowCount returns |W|, the count range queries scale by.
 func (e *Estimator) WindowCount() float64 { return e.wcount }
@@ -267,9 +346,34 @@ func (e *Estimator) WindowCount() float64 { return e.wcount }
 // Bandwidth returns the bandwidth of dimension i.
 func (e *Estimator) Bandwidth(i int) float64 { return e.bw[i] }
 
-// Centers returns the kernel centers in the estimator's scan order. The
-// slice is shared; callers must not mutate it.
-func (e *Estimator) Centers() []window.Point { return e.centers }
+// Centers returns the kernel centers in the estimator's scan order. On an
+// immutable estimator the slice is shared and must not be mutated. On a
+// maintained estimator it is a freshly allocated slice of the live
+// centers whose points alias maintenance storage: they are valid only
+// until the next maintenance cycle, and callers needing longevity must
+// copy.
+func (e *Estimator) Centers() []window.Point {
+	if e.mnt == nil {
+		return e.centers
+	}
+	out := make([]window.Point, 0, e.live)
+	for j, p := range e.centers {
+		if !e.dead[j] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Gen returns the mutation generation: 0 forever on an immutable
+// estimator, incremented by every maintenance patch and in-place rescale
+// on a maintained one. Callers caching state derived from a model pointer
+// should key it by (pointer, Gen).
+func (e *Estimator) Gen() uint64 { return e.gen }
+
+// IsMaintained reports whether the estimator supports in-place
+// maintenance (built by NewMaintained or decoded from its wire format).
+func (e *Estimator) IsMaintained() bool { return e.mnt != nil }
 
 // PruneDim returns the dimension driving sorted range pruning, or -1 when
 // the estimator runs full scans (no dimension is selective).
@@ -306,9 +410,13 @@ func (e *Estimator) Density(x window.Point) float64 {
 		pruneCol = e.cols[k]
 	}
 	sum := 0.0
+	dead := e.dead
 	for j := first; j < n; j++ {
 		if pruneCol != nil && pruneCol[j] >= bound {
 			break
+		}
+		if dead != nil && dead[j] {
+			continue
 		}
 		term := 1.0
 		for i := 0; i < e.dim; i++ {
@@ -321,7 +429,7 @@ func (e *Estimator) Density(x window.Point) float64 {
 		}
 		sum += term
 	}
-	return sum / float64(n)
+	return sum / float64(e.live)
 }
 
 // epaCDF is the antiderivative of the unit Epanechnikov kernel (up to the
@@ -376,6 +484,7 @@ func (e *Estimator) probBox(lo, hi []float64) float64 {
 		}
 	}
 	n := len(e.centers)
+	dead := e.dead
 	if e.dim == 1 {
 		// Specialized 1-d scan: the run in the (only) column, summed with
 		// one interval mass per center — the original Theorem 2 fast path.
@@ -389,9 +498,12 @@ func (e *Estimator) probBox(lo, hi []float64) float64 {
 			hiB = math.Inf(1)
 		}
 		for j := first; j < n && col[j] < hiB; j++ {
+			if dead != nil && dead[j] {
+				continue
+			}
 			sum += intervalMass(col[j], b, lo[0], hi[0])
 		}
-		return sum / float64(n)
+		return sum / float64(e.live)
 	}
 	// With no prune dimension the bound is +Inf and the comparison below
 	// never fires: the scan degrades to the full-scan fallback.
@@ -407,6 +519,9 @@ func (e *Estimator) probBox(lo, hi []float64) float64 {
 		if pruneCol[j] >= bound {
 			break
 		}
+		if dead != nil && dead[j] {
+			continue
+		}
 		term := 1.0
 		for i := 0; i < d; i++ {
 			m := intervalMass(e.cols[i][j], e.bw[i], lo[i], hi[i])
@@ -418,7 +533,7 @@ func (e *Estimator) probBox(lo, hi []float64) float64 {
 		}
 		sum += term
 	}
-	return sum / float64(n)
+	return sum / float64(e.live)
 }
 
 // ProbBoxNaive answers the same query as ProbBox but always scans every
@@ -431,7 +546,11 @@ func (e *Estimator) ProbBoxNaive(lo, hi []float64) float64 {
 		panic(fmt.Sprintf("kernel: box dims %d,%d, model dim %d", len(lo), len(hi), e.dim))
 	}
 	sum := 0.0
-	for _, t := range e.centers {
+	dead := e.dead
+	for j, t := range e.centers {
+		if dead != nil && dead[j] {
+			continue
+		}
 		term := 1.0
 		for i := 0; i < e.dim; i++ {
 			m := intervalMass(t[i], e.bw[i], lo[i], hi[i])
@@ -443,7 +562,7 @@ func (e *Estimator) ProbBoxNaive(lo, hi []float64) float64 {
 		}
 		sum += term
 	}
-	return sum / float64(len(e.centers))
+	return sum / float64(e.live)
 }
 
 // centeredBox fills lo/hi with the box [p-r, p+r].

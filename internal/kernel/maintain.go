@@ -1,0 +1,642 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"odds/internal/window"
+)
+
+// Incremental model maintenance. A window slide changes only a handful of
+// chain-sample slots, yet the detectors historically rebuilt the whole
+// kernel model — O(|R| log |R|) sort plus fresh allocations — on every
+// rebuild tick. A maintained estimator instead patches its sorted SoA
+// layout in place: departed centers are tombstoned where they stand, new
+// centers are ordered-inserted by shifting entries toward the nearest
+// tombstone (one overlap-safe memmove per column), and a full relayout
+// happens only when the prune-dimension decision changes or tombstone
+// density crosses the compaction limit. The amortized cost per changed
+// slot is O(log |R| + shift distance) instead of O(|R| log |R|) per tick.
+//
+// # Bit-identity with from-scratch builds
+//
+// Every query must return exactly the bits a from-scratch New over the
+// same live sample would — float summation is order-sensitive, so this
+// reduces to reproducing New's scan order. New stable-sorts centers by
+// the prune coordinate; its input (chain-sample Points, or the global
+// replica's slots) arrives in ascending slot order, so the from-scratch
+// scan order is precisely ascending (coord[pruneDim], slot). A maintained
+// estimator keys every physical entry by its owning slot and inserts at
+// the position ordered by that exact composite key, so its live
+// subsequence is always in (coord, slot) order; tombstones keep their
+// coordinate, preserving the sorted column for binary search while the
+// scans skip them (contributing exactly zero — not a rounded zero).
+// Bandwidths and the effective window count are recomputed by the caller
+// on every FinishMaintain, exactly as a from-scratch build would, so no
+// frozen-bandwidth drift can creep in. The prune-dimension decision is
+// replayed from exact per-dimension extremes (maintained lazily, rescanned
+// in slot order when an extreme is tombstoned), through the same
+// decidePruneDim the from-scratch path uses. Bit-identity is guaranteed
+// for finite coordinates — the package contract already requires values
+// in [0,1]^d; NaN coordinates make sort order ill-defined in either path.
+//
+// # Usage
+//
+//	m, _ := kernel.NewMaintained(pts, slots, maxSlots, bw, wc)
+//	...
+//	m.BeginMaintain()
+//	for _, s := range changedSlotsAscending {
+//		m.SetSlot(s, currentPointOrNil)
+//	}
+//	m.FinishMaintain(newBandwidths, newWindowCount)
+//
+// A maintained estimator is single-goroutine-owned during maintenance;
+// between Begin/Finish pairs it answers queries exactly like an immutable
+// one. MarshalBinary captures the physical layout (tombstones included)
+// verbatim, so checkpoints round-trip bit-exactly.
+
+// maint is the mutable bookkeeping behind a maintained Estimator.
+type maint struct {
+	maxSlots  int // highest slot id + 1 the estimator accepts
+	tombLimit int // compaction threshold on tombstone count
+	capN      int // physical capacity: maxSlots + tombLimit
+
+	slots []int32 // per physical entry: owning sample slot
+	posOf []int32 // slot -> physical position, -1 when absent
+	nDead int
+
+	// Exact per-dimension extremes over the live centers, maintained
+	// lazily: inserts update them directly; removing an extreme (or any
+	// NaN involvement) marks them dirty for a slot-order rescan at
+	// FinishMaintain — the order selectPruneDim sees on a from-scratch
+	// build.
+	lo, hi   []float64
+	extDirty bool
+
+	active bool // between BeginMaintain and FinishMaintain
+
+	aosFlat []float64      // capN rows of dim coords, backing hdrs
+	hdrs    []window.Point // pre-built row headers into aosFlat
+	colFlat []float64      // dim columns of capN entries, backing cols
+	deadBuf []bool         // backing for Estimator.dead
+
+	perm     []int32   // relayout permutation scratch
+	scratchF []float64 // relayout column scratch
+	scratchI []int32   // relayout slot scratch
+
+	stats MaintStats
+}
+
+// MaintStats counts maintenance work for guardrail tests and benchmarks.
+type MaintStats struct {
+	// Patches is the number of completed Begin/Finish maintenance cycles.
+	Patches uint64
+	// SlotOps is the number of SetSlot calls applied.
+	SlotOps uint64
+	// Relayouts counts full re-sorts forced by a prune-dimension change.
+	Relayouts uint64
+	// Compactions counts tombstone sweeps forced by the density limit.
+	Compactions uint64
+	// Tombstones is the tombstone count after the last finished patch.
+	Tombstones int
+}
+
+// MaintainStats returns the maintenance counters (zero value on an
+// immutable estimator).
+func (e *Estimator) MaintainStats() MaintStats {
+	if e.mnt == nil {
+		return MaintStats{}
+	}
+	return e.mnt.stats
+}
+
+// TombstoneLimit returns the tombstone density threshold that triggers
+// compaction (0 on an immutable estimator).
+func (e *Estimator) TombstoneLimit() int {
+	if e.mnt == nil {
+		return 0
+	}
+	return e.mnt.tombLimit
+}
+
+// MaxSlots returns the slot-id capacity of a maintained estimator (0 on
+// an immutable one).
+func (e *Estimator) MaxSlots() int {
+	if e.mnt == nil {
+		return 0
+	}
+	return e.mnt.maxSlots
+}
+
+// tombLimitFor derives the compaction threshold from the slot capacity.
+// A quarter of the sample keeps the scan overhead of skipping tombstones
+// bounded while amortizing compaction over many patches; the floor keeps
+// tiny samples from compacting on every removal.
+func tombLimitFor(maxSlots int) int {
+	t := maxSlots / 4
+	if t < 4 {
+		t = 4
+	}
+	return t
+}
+
+// newMaint allocates maintenance state for maxSlots slots of dim
+// dimensions. All backing arrays are sized once, up front, so steady-state
+// maintenance never allocates.
+func newMaint(maxSlots, dim int) *maint {
+	m := &maint{
+		maxSlots:  maxSlots,
+		tombLimit: tombLimitFor(maxSlots),
+	}
+	m.capN = maxSlots + m.tombLimit
+	m.slots = make([]int32, m.capN)
+	m.posOf = make([]int32, maxSlots)
+	for s := range m.posOf {
+		m.posOf[s] = -1
+	}
+	m.lo = make([]float64, dim)
+	m.hi = make([]float64, dim)
+	m.aosFlat = make([]float64, m.capN*dim)
+	m.hdrs = make([]window.Point, m.capN)
+	for j := range m.hdrs {
+		m.hdrs[j] = m.aosFlat[j*dim : (j+1)*dim]
+	}
+	m.colFlat = make([]float64, dim*m.capN)
+	m.deadBuf = make([]bool, m.capN)
+	m.perm = make([]int32, m.capN)
+	m.scratchF = make([]float64, m.capN)
+	m.scratchI = make([]int32, m.capN)
+	return m
+}
+
+// resize publishes the physical length physN through the query-facing
+// slices (centers, per-dimension columns, dead flags).
+func (e *Estimator) resize(physN int) {
+	m := e.mnt
+	e.centers = m.hdrs[:physN]
+	for i := 0; i < e.dim; i++ {
+		e.cols[i] = m.colFlat[i*m.capN : i*m.capN+physN]
+	}
+	e.dead = m.deadBuf[:physN]
+}
+
+// NewMaintained constructs an incrementally maintainable estimator from
+// centers and their owning sample slots (strictly ascending, each in
+// [0, maxSlots)). The result answers every query bit-identically to
+// New(centers, bandwidths, windowCount) — ascending slot order of the
+// input is what ties the maintained (coord, slot) scan order to New's
+// stable sort — and additionally accepts BeginMaintain/SetSlot/
+// FinishMaintain patches. Centers are deep-copied.
+func NewMaintained(centers []window.Point, slots []int, maxSlots int, bandwidths []float64, windowCount float64) (*Estimator, error) {
+	if len(centers) == 0 {
+		return nil, ErrNoSample
+	}
+	if len(slots) != len(centers) {
+		return nil, fmt.Errorf("kernel: %d slots for %d centers", len(slots), len(centers))
+	}
+	if maxSlots < len(centers) {
+		return nil, fmt.Errorf("kernel: %d centers exceed %d slots", len(centers), maxSlots)
+	}
+	dim := len(centers[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("kernel: zero-dimensional centers")
+	}
+	if len(bandwidths) != dim {
+		return nil, fmt.Errorf("kernel: %d bandwidths for %d dimensions", len(bandwidths), dim)
+	}
+	for i, p := range centers {
+		if len(p) != dim {
+			return nil, fmt.Errorf("kernel: center %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	prev := -1
+	for i, s := range slots {
+		if s < prev+1 || s >= maxSlots {
+			return nil, fmt.Errorf("kernel: slot %d at %d not strictly ascending in [0,%d)", s, i, maxSlots)
+		}
+		prev = s
+	}
+	bw := make([]float64, dim)
+	for i, b := range bandwidths {
+		bw[i] = clampBandwidth(b)
+	}
+	if windowCount <= 0 || math.IsNaN(windowCount) || math.IsInf(windowCount, 0) {
+		return nil, fmt.Errorf("kernel: window count %v must be positive and finite", windowCount)
+	}
+
+	n := len(centers)
+	m := newMaint(maxSlots, dim)
+	e := &Estimator{
+		bw:     bw,
+		wcount: windowCount,
+		dim:    dim,
+		live:   n,
+		mnt:    m,
+	}
+	e.cols = make([][]float64, dim)
+
+	// Prune-dimension selection sees the input (slot) order, exactly as
+	// layout() does on a from-scratch build.
+	scanExtremes(centers, m.lo, m.hi)
+	e.pruneDim = decidePruneDim(m.lo, m.hi, e.bw)
+
+	// Scan order: stable sort of input indices by the prune coordinate.
+	// With ascending input slots this is the (coord, slot) total order.
+	perm := m.perm[:n]
+	for j := range perm {
+		perm[j] = int32(j)
+	}
+	if k := e.pruneDim; k >= 0 {
+		slices.SortStableFunc(perm, func(a, b int32) int {
+			switch {
+			case centers[a][k] < centers[b][k]:
+				return -1
+			case centers[a][k] > centers[b][k]:
+				return 1
+			}
+			return 0
+		})
+	}
+	for j, src := range perm {
+		copy(m.aosFlat[j*dim:(j+1)*dim], centers[src])
+		m.slots[j] = int32(slots[src])
+		m.posOf[slots[src]] = int32(j)
+	}
+	for i := 0; i < dim; i++ {
+		col := m.colFlat[i*m.capN : i*m.capN+n]
+		for j := 0; j < n; j++ {
+			col[j] = m.aosFlat[j*dim+i]
+		}
+	}
+	e.resize(n)
+	return e, nil
+}
+
+// clampBandwidth applies New's bandwidth sanitation rule.
+func clampBandwidth(b float64) float64 {
+	if math.IsNaN(b) || math.IsInf(b, 0) || b < minBandwidth {
+		return minBandwidth
+	}
+	return b
+}
+
+// BeginMaintain opens a maintenance cycle. If tombstones have reached the
+// density limit the layout is compacted first, so the cycle's inserts are
+// guaranteed to fit the physical capacity. Panics on an immutable
+// estimator or a nested cycle.
+func (e *Estimator) BeginMaintain() {
+	m := e.mnt
+	if m == nil {
+		panic("kernel: BeginMaintain on an immutable estimator")
+	}
+	if m.active {
+		panic("kernel: nested BeginMaintain")
+	}
+	m.active = true
+	if m.nDead >= m.tombLimit {
+		e.compact()
+	}
+}
+
+// SetSlot declares the current content of one sample slot: p is the
+// slot's point (inserted, replacing any previous entry for the slot) or
+// nil (the slot went empty; its entry is tombstoned). Must be called
+// between BeginMaintain and FinishMaintain; callers apply changed slots
+// in ascending order so layout evolution is deterministic.
+func (e *Estimator) SetSlot(slot int, p window.Point) {
+	m := e.mnt
+	if m == nil || !m.active {
+		panic("kernel: SetSlot outside a maintenance cycle")
+	}
+	if slot < 0 || slot >= m.maxSlots {
+		panic(fmt.Sprintf("kernel: slot %d out of [0,%d)", slot, m.maxSlots))
+	}
+	if p != nil && len(p) != e.dim {
+		panic(fmt.Sprintf("kernel: slot %d point dim %d, model dim %d", slot, len(p), e.dim))
+	}
+	if pos := m.posOf[slot]; pos >= 0 {
+		e.removeAt(int(pos), slot)
+	}
+	if p != nil {
+		e.insert(slot, p)
+	}
+	m.stats.SlotOps++
+}
+
+// FinishMaintain closes a maintenance cycle: it installs the cycle's
+// bandwidths and window count (recomputed by the caller from current
+// sigmas and live sample size, exactly as a from-scratch build would),
+// refreshes the extremes if an extreme was tombstoned, replays the
+// prune-dimension decision, and relayouts if it changed. The estimator
+// must end the cycle non-empty.
+func (e *Estimator) FinishMaintain(bandwidths []float64, windowCount float64) error {
+	m := e.mnt
+	if m == nil || !m.active {
+		panic("kernel: FinishMaintain outside a maintenance cycle")
+	}
+	m.active = false
+	if e.live == 0 {
+		return ErrNoSample
+	}
+	if len(bandwidths) != e.dim {
+		return fmt.Errorf("kernel: %d bandwidths for %d dimensions", len(bandwidths), e.dim)
+	}
+	if windowCount <= 0 || math.IsNaN(windowCount) || math.IsInf(windowCount, 0) {
+		return fmt.Errorf("kernel: window count %v must be positive and finite", windowCount)
+	}
+	for i, b := range bandwidths {
+		e.bw[i] = clampBandwidth(b)
+	}
+	e.wcount = windowCount
+	if m.extDirty {
+		e.rescanExtremes()
+		m.extDirty = false
+	}
+	if k := decidePruneDim(m.lo, m.hi, e.bw); k != e.pruneDim {
+		e.relayout(k)
+		e.pruneDim = k
+	}
+	e.gen++
+	m.stats.Patches++
+	m.stats.Tombstones = m.nDead
+	return nil
+}
+
+// removeAt tombstones the physical entry at pos owned by slot. The entry
+// keeps its coordinates — the prune column stays sorted — but every scan
+// skips it from now on.
+func (e *Estimator) removeAt(pos, slot int) {
+	m := e.mnt
+	e.dead[pos] = true
+	m.posOf[slot] = -1
+	m.nDead++
+	e.live--
+	if !m.extDirty {
+		row := m.hdrs[pos]
+		for i, c := range row {
+			// Dirty when a recorded extreme leaves, or when NaN is involved
+			// anywhere (NaN comparisons make incremental updates diverge
+			// from a full rescan).
+			if c == m.lo[i] || c == m.hi[i] || c != c || m.lo[i] != m.lo[i] || m.hi[i] != m.hi[i] {
+				m.extDirty = true
+				break
+			}
+		}
+	}
+}
+
+// insert places slot's point at its (coord[pruneDim], slot) position,
+// consuming the nearest tombstone via one overlap-safe shift per column —
+// or growing the physical tail when no tombstone exists (the capacity
+// analysis in newMaint guarantees room: the tail only grows while
+// tombstones are exhausted, so physN never exceeds maxSlots + tombLimit).
+func (e *Estimator) insert(slot int, p window.Point) {
+	m := e.mnt
+	physN := len(e.centers)
+
+	// Insertion position: first physical entry whose (coord, slot) key
+	// exceeds the new entry's. Tombstones participate with their stale
+	// keys — they were inserted consistently with this order, so the
+	// physical sequence is totally sorted and the search stays valid.
+	var pos int
+	if k := e.pruneDim; k >= 0 {
+		c := p[k]
+		col := e.cols[k]
+		pos = sort.Search(physN, func(j int) bool {
+			if col[j] != c {
+				return col[j] > c
+			}
+			return int(m.slots[j]) > slot
+		})
+	} else {
+		pos = sort.Search(physN, func(j int) bool { return int(m.slots[j]) > slot })
+	}
+
+	// Nearest tombstone on each side of the insertion position.
+	dl, dr := -1, -1
+	if m.nDead > 0 {
+		for j := pos - 1; j >= 0; j-- {
+			if e.dead[j] {
+				dl = j
+				break
+			}
+		}
+		for j := pos; j < physN; j++ {
+			if e.dead[j] {
+				dr = j
+				break
+			}
+		}
+	}
+
+	var q int // the hole the new entry lands in
+	switch {
+	case dr >= 0 && (dl < 0 || dr-pos <= pos-1-dl):
+		// Shift [pos, dr) one right into the tombstone at dr; the range
+		// holds no tombstones (dr is the nearest), so every shifted entry
+		// is live and needs its posOf updated.
+		e.shift(pos, dr, +1)
+		m.nDead--
+		q = pos
+	case dl >= 0:
+		// Shift (dl, pos) one left into the tombstone at dl; the hole
+		// surfaces at pos-1, which is exactly where the new entry belongs
+		// relative to the unmoved entries at pos and beyond.
+		e.shift(dl+1, pos, -1)
+		m.nDead--
+		q = pos - 1
+	default:
+		// No tombstone: grow the tail and shift [pos, physN) one right.
+		physN++
+		e.resize(physN)
+		e.shift(pos, physN-1, +1)
+		q = pos
+	}
+
+	copy(m.hdrs[q], p)
+	for i := 0; i < e.dim; i++ {
+		e.cols[i][q] = p[i]
+	}
+	m.slots[q] = int32(slot)
+	e.dead[q] = false
+	m.posOf[slot] = int32(q)
+	e.live++
+	if !m.extDirty {
+		for i, c := range p {
+			if c != c || m.lo[i] != m.lo[i] || m.hi[i] != m.hi[i] {
+				m.extDirty = true
+				break
+			}
+			if c < m.lo[i] {
+				m.lo[i] = c
+			}
+			if c > m.hi[i] {
+				m.hi[i] = c
+			}
+		}
+	}
+}
+
+// shift moves the physical range [from, to) by one position in direction
+// dir (+1 right, -1 left), across the AoS rows, every column, the slot
+// keys, and the dead flags, updating posOf for the moved entries. The
+// destination endpoint must be a tombstone (or the freshly grown tail),
+// so no information is lost.
+func (e *Estimator) shift(from, to, dir int) {
+	if from >= to {
+		return
+	}
+	m := e.mnt
+	d := e.dim
+	if dir > 0 {
+		copy(m.aosFlat[(from+1)*d:(to+1)*d], m.aosFlat[from*d:to*d])
+		for i := 0; i < e.dim; i++ {
+			col := m.colFlat[i*m.capN:]
+			copy(col[from+1:to+1], col[from:to])
+		}
+		copy(m.slots[from+1:to+1], m.slots[from:to])
+		copy(m.deadBuf[from+1:to+1], m.deadBuf[from:to])
+		for j := from + 1; j <= to; j++ {
+			if !m.deadBuf[j] {
+				m.posOf[m.slots[j]] = int32(j)
+			}
+		}
+	} else {
+		copy(m.aosFlat[(from-1)*d:(to-1)*d], m.aosFlat[from*d:to*d])
+		for i := 0; i < e.dim; i++ {
+			col := m.colFlat[i*m.capN:]
+			copy(col[from-1:to-1], col[from:to])
+		}
+		copy(m.slots[from-1:to-1], m.slots[from:to])
+		copy(m.deadBuf[from-1:to-1], m.deadBuf[from:to])
+		for j := from - 1; j < to-1; j++ {
+			if !m.deadBuf[j] {
+				m.posOf[m.slots[j]] = int32(j)
+			}
+		}
+	}
+}
+
+// compact removes every tombstone with one stable in-place sweep,
+// preserving the live order.
+func (e *Estimator) compact() {
+	m := e.mnt
+	if m.nDead == 0 {
+		return
+	}
+	physN := len(e.centers)
+	d := e.dim
+	w := 0
+	for j := 0; j < physN; j++ {
+		if e.dead[j] {
+			continue
+		}
+		if w != j {
+			copy(m.aosFlat[w*d:(w+1)*d], m.aosFlat[j*d:(j+1)*d])
+			for i := 0; i < d; i++ {
+				col := m.colFlat[i*m.capN:]
+				col[w] = col[j]
+			}
+			m.slots[w] = m.slots[j]
+		}
+		m.posOf[m.slots[w]] = int32(w)
+		w++
+	}
+	for j := 0; j < w; j++ {
+		m.deadBuf[j] = false
+	}
+	m.nDead = 0
+	e.resize(w)
+	m.stats.Compactions++
+}
+
+// relayout re-sorts the live centers for a new prune dimension k (or slot
+// order for k == -1, matching New's unsorted layout), after compacting
+// away tombstones. Used only when the prune decision changes — the
+// amortized full-rebuild case.
+func (e *Estimator) relayout(k int) {
+	m := e.mnt
+	e.compact()
+	n := len(e.centers)
+	perm := m.perm[:n]
+	for j := range perm {
+		perm[j] = int32(j)
+	}
+	if k >= 0 {
+		col := e.cols[k]
+		slices.SortFunc(perm, func(a, b int32) int {
+			ca, cb := col[a], col[b]
+			switch {
+			case ca < cb:
+				return -1
+			case ca > cb:
+				return 1
+			}
+			// Slot ids are unique among live entries, so this total order
+			// equals the stable-sort-by-coord order over ascending slots.
+			if m.slots[a] < m.slots[b] {
+				return -1
+			}
+			return 1
+		})
+	} else {
+		slices.SortFunc(perm, func(a, b int32) int {
+			if m.slots[a] < m.slots[b] {
+				return -1
+			}
+			return 1
+		})
+	}
+	for i := 0; i < e.dim; i++ {
+		col := e.cols[i]
+		sc := m.scratchF[:n]
+		for j, src := range perm {
+			sc[j] = col[src]
+		}
+		copy(col, sc)
+	}
+	sc := m.scratchI[:n]
+	for j, src := range perm {
+		sc[j] = m.slots[src]
+	}
+	copy(m.slots, sc)
+	for j := 0; j < n; j++ {
+		for i := 0; i < e.dim; i++ {
+			m.aosFlat[j*e.dim+i] = e.cols[i][j]
+		}
+		m.posOf[m.slots[j]] = int32(j)
+	}
+	m.stats.Relayouts++
+}
+
+// rescanExtremes recomputes the per-dimension extremes over the live
+// centers in ascending slot order — the input order a from-scratch
+// selectPruneDim would scan, so the comparison semantics (NaN seeding
+// included) match exactly.
+func (e *Estimator) rescanExtremes() {
+	m := e.mnt
+	seeded := false
+	for s := 0; s < m.maxSlots; s++ {
+		pos := m.posOf[s]
+		if pos < 0 {
+			continue
+		}
+		row := m.hdrs[pos]
+		if !seeded {
+			copy(m.lo, row)
+			copy(m.hi, row)
+			seeded = true
+			continue
+		}
+		for i, c := range row {
+			if c < m.lo[i] {
+				m.lo[i] = c
+			}
+			if c > m.hi[i] {
+				m.hi[i] = c
+			}
+		}
+	}
+}

@@ -17,15 +17,29 @@ import (
 // size is dominated by the d·|R| center coordinates, i.e. exactly the
 // O(d|R|) the paper charges for a model.
 
-const marshalMagic = uint32(0x4f444453) // "ODDS"
+const (
+	marshalMagic = uint32(0x4f444453) // "ODDS": immutable estimator
+	// maintainedMagic frames a maintained estimator: the physical layout —
+	// slot keys, tombstones, prune dimension — is captured verbatim so a
+	// restored model continues patching bit-identically to the original
+	// (and re-marshals to the same bytes, which the serving layer's
+	// snapshot determinism contract relies on).
+	maintainedMagic = uint32(0x4f444b4d) // "ODKM"
+)
 
 // MarshaledSize returns the encoded size in bytes.
 func (e *Estimator) MarshaledSize() int {
+	if e.mnt != nil {
+		return 4 + 4 + 4 + 4 + 4 + 8 + 8*e.dim + len(e.centers)*(4+1+8*e.dim)
+	}
 	return 4 + 4 + 8 + 8*e.dim + 4 + 8*e.dim*len(e.centers)
 }
 
 // MarshalBinary encodes the model.
 func (e *Estimator) MarshalBinary() ([]byte, error) {
+	if e.mnt != nil {
+		return e.marshalMaintained()
+	}
 	buf := make([]byte, 0, e.MarshaledSize())
 	buf = binary.LittleEndian.AppendUint32(buf, marshalMagic)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.dim))
@@ -40,6 +54,149 @@ func (e *Estimator) MarshalBinary() ([]byte, error) {
 		}
 	}
 	return buf, nil
+}
+
+// marshalMaintained encodes the maintained wire format: header (magic,
+// dim, maxSlots, physN, pruneDim), window count, bandwidths, then every
+// physical entry — slot key, tombstone flag, coordinates — in layout
+// order, tombstones included verbatim.
+func (e *Estimator) marshalMaintained() ([]byte, error) {
+	if e.mnt.active {
+		return nil, fmt.Errorf("kernel: marshal during an open maintenance cycle")
+	}
+	buf := make([]byte, 0, e.MarshaledSize())
+	buf = binary.LittleEndian.AppendUint32(buf, maintainedMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.mnt.maxSlots))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.centers)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(e.pruneDim)))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.wcount))
+	for _, b := range e.bw {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b))
+	}
+	for j, c := range e.centers {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.mnt.slots[j]))
+		if e.dead[j] {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		for _, x := range c {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+	}
+	return buf, nil
+}
+
+// unmarshalMaintained decodes the maintained wire format (magic already
+// consumed) and revalidates the layout invariants the query engine
+// depends on.
+func unmarshalMaintained(data []byte) (*Estimator, error) {
+	fail := func(msg string) (*Estimator, error) { return nil, fmt.Errorf("kernel: %s", msg) }
+	read32 := func() (uint32, bool) {
+		if len(data) < 4 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		return v, true
+	}
+	readF := func() (float64, bool) {
+		if len(data) < 8 {
+			return 0, false
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data))
+		data = data[8:]
+		return v, true
+	}
+	dim32, ok1 := read32()
+	max32, ok2 := read32()
+	phys32, ok3 := read32()
+	prune32, ok4 := read32()
+	wcount, ok5 := readF()
+	if !(ok1 && ok2 && ok3 && ok4 && ok5) {
+		return fail("truncated maintained model encoding")
+	}
+	dim, maxSlots, physN, pruneDim := int(dim32), int(max32), int(phys32), int(int32(prune32))
+	if dim <= 0 || dim > 1<<10 {
+		return fail(fmt.Sprintf("implausible dimensionality %d", dim))
+	}
+	if maxSlots <= 0 || maxSlots > 1<<24 {
+		return fail(fmt.Sprintf("implausible slot capacity %d", maxSlots))
+	}
+	if pruneDim < -1 || pruneDim >= dim {
+		return fail(fmt.Sprintf("prune dimension %d out of range", pruneDim))
+	}
+	if wcount <= 0 || math.IsNaN(wcount) || math.IsInf(wcount, 0) {
+		return fail(fmt.Sprintf("window count %v must be positive and finite", wcount))
+	}
+	bw := make([]float64, dim)
+	for i := range bw {
+		b, ok := readF()
+		if !ok {
+			return fail("truncated maintained model encoding")
+		}
+		bw[i] = clampBandwidth(b)
+	}
+	m := newMaint(maxSlots, dim)
+	if physN <= 0 || physN > m.capN {
+		return fail(fmt.Sprintf("physical length %d exceeds capacity %d", physN, m.capN))
+	}
+	if len(data) != physN*(4+1+8*dim) {
+		return fail(fmt.Sprintf("maintained payload %d bytes, want %d", len(data), physN*(4+1+8*dim)))
+	}
+	e := &Estimator{
+		bw:       bw,
+		wcount:   wcount,
+		dim:      dim,
+		pruneDim: pruneDim,
+		mnt:      m,
+	}
+	e.cols = make([][]float64, dim)
+	for j := 0; j < physN; j++ {
+		s32, _ := read32()
+		slot := int(s32)
+		if slot >= maxSlots {
+			return fail(fmt.Sprintf("entry %d references slot %d of %d", j, slot, maxSlots))
+		}
+		deadB := data[0]
+		data = data[1:]
+		if deadB > 1 {
+			return fail("bad tombstone flag")
+		}
+		m.slots[j] = int32(slot)
+		if deadB == 1 {
+			m.deadBuf[j] = true
+			m.nDead++
+		} else {
+			if m.posOf[slot] >= 0 {
+				return fail(fmt.Sprintf("slot %d owned by two live entries", slot))
+			}
+			m.posOf[slot] = int32(j)
+			e.live++
+		}
+		row := m.aosFlat[j*dim : (j+1)*dim]
+		for i := range row {
+			row[i], _ = readF()
+		}
+		for i := 0; i < dim; i++ {
+			m.colFlat[i*m.capN+j] = row[i]
+		}
+	}
+	if e.live == 0 {
+		return fail("maintained model has no live centers")
+	}
+	if pruneDim >= 0 {
+		col := m.colFlat[pruneDim*m.capN : pruneDim*m.capN+physN]
+		for j := 1; j < physN; j++ {
+			if col[j] < col[j-1] {
+				return fail("prune column not sorted")
+			}
+		}
+	}
+	e.resize(physN)
+	e.rescanExtremes()
+	return e, nil
 }
 
 // UnmarshalEstimator decodes a model encoded by MarshalBinary.
@@ -63,6 +220,9 @@ func UnmarshalEstimator(data []byte) (*Estimator, error) {
 	magic, err := read32()
 	if err != nil {
 		return nil, err
+	}
+	if magic == maintainedMagic {
+		return unmarshalMaintained(data)
 	}
 	if magic != marshalMagic {
 		return nil, fmt.Errorf("kernel: bad model magic %#x", magic)

@@ -16,7 +16,16 @@ type CachedCounter struct {
 	m      Counter
 	alphaR float64
 	w      float64
+	gen    uint64
 	memo   map[uint64]float64
+}
+
+// Generational is the optional staleness extension of Counter: models
+// that mutate in place (the kernel's maintained estimators) advance a
+// generation counter on every mutation, since their pointer no longer
+// signals change. RefreshCachedCounter consults it.
+type Generational interface {
+	Gen() uint64
 }
 
 // NewCachedCounter wraps a model for MDEF queries with counting radius
@@ -25,7 +34,31 @@ func NewCachedCounter(m Counter, alphaR float64) *CachedCounter {
 	if alphaR <= 0 || math.IsNaN(alphaR) {
 		panic("mdef: cached counter needs positive alphaR")
 	}
-	return &CachedCounter{m: m, alphaR: alphaR, w: 2 * alphaR, memo: make(map[uint64]float64)}
+	c := &CachedCounter{m: m, alphaR: alphaR, w: 2 * alphaR, memo: make(map[uint64]float64)}
+	if g, ok := m.(Generational); ok {
+		c.gen = g.Gen()
+	}
+	return c
+}
+
+// RefreshCachedCounter returns a cache that is valid for model m: the
+// existing cache c when it already wraps m at the current generation, c
+// with its memo dropped when m is the same in-place-maintained model at a
+// newer generation, and a fresh cache otherwise (including c == nil).
+// Every per-arrival evaluation site should route its cache through this —
+// comparing model pointers alone silently serves stale counts once models
+// mutate in place.
+func RefreshCachedCounter(c *CachedCounter, m Counter, alphaR float64) *CachedCounter {
+	if c == nil || c.m != m || c.alphaR != alphaR {
+		return NewCachedCounter(m, alphaR)
+	}
+	if g, ok := m.(Generational); ok {
+		if cur := g.Gen(); cur != c.gen {
+			clear(c.memo)
+			c.gen = cur
+		}
+	}
+	return c
 }
 
 // Model returns the wrapped model, letting callers detect staleness.
@@ -76,6 +109,12 @@ func (c *CachedCounter) CountBoxBatch(los, his [][]float64, out []float64) []flo
 	}
 	return out
 }
+
+// Invalidate drops all memoized cells while keeping the wrapper (and its
+// allocated map) in place. Callers that track model generations — a
+// maintained kernel model mutates in place, so its pointer alone no
+// longer signals staleness — invalidate instead of rebuilding.
+func (c *CachedCounter) Invalidate() { clear(c.memo) }
 
 // CacheSize returns the number of memoized cells.
 func (c *CachedCounter) CacheSize() int { return len(c.memo) }

@@ -63,6 +63,71 @@ type Chain struct {
 	recycle   bool
 	freePts   []window.Point
 	freeLists [][]int
+
+	// Change tracking (EnableChangeTracking): slots whose current sample
+	// changed — adoption, expiry promotion, going empty, or a direct
+	// successor capture — accumulate in a dedup set drained by
+	// DrainChangedSlots. The incremental kernel-model maintenance path
+	// patches exactly these slots instead of rebuilding from scratch.
+	trackChanges bool
+	changed      []int32
+	changedSet   []bool
+}
+
+// EnableChangeTracking starts recording which slots' current samples
+// change on each Push. Tracking costs one flag check per slot event and
+// allocates its buffers once here, so the steady-state Push path stays
+// allocation-free. Callers drain the accumulated set with
+// DrainChangedSlots; an undrained set keeps growing (bounded by Size).
+func (c *Chain) EnableChangeTracking() {
+	if c.trackChanges {
+		return
+	}
+	c.trackChanges = true
+	if c.changedSet == nil {
+		c.changedSet = make([]bool, len(c.slots))
+		c.changed = make([]int32, 0, len(c.slots))
+	}
+}
+
+// markChanged records that slot s's current sample changed.
+func (c *Chain) markChanged(s int) {
+	if !c.trackChanges || c.changedSet[s] {
+		return
+	}
+	c.changedSet[s] = true
+	c.changed = append(c.changed, int32(s))
+}
+
+// DrainChangedSlots moves the accumulated changed-slot set into the
+// caller's dedup set (set[s] true when slot s is already pending) and
+// list, returning the extended list. The chain's own set is left empty,
+// so a marshal after a drain carries no tracking state to re-encode.
+func (c *Chain) DrainChangedSlots(list []int32, set []bool) []int32 {
+	for _, s := range c.changed {
+		c.changedSet[s] = false
+		if !set[s] {
+			set[s] = true
+			list = append(list, s)
+		}
+	}
+	c.changed = c.changed[:0]
+	return list
+}
+
+// SampleAt returns slot s's current sample (nil while the slot is
+// momentarily empty). The point is shared; callers must not mutate it.
+func (c *Chain) SampleAt(s int) window.Point { return c.slots[s].sample }
+
+// Occupied returns the number of slots currently holding a sample.
+func (c *Chain) Occupied() int {
+	n := 0
+	for s := range c.slots {
+		if c.slots[s].sample != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // EnableRecycling switches the chain to pooled storage: expired points and
@@ -195,6 +260,7 @@ func (c *Chain) Push(p window.Point) bool {
 			if sl.sample == nil || sl.sampleIdx+c.w != i {
 				continue // stale event from a superseded sample
 			}
+			c.markChanged(s) // promotion or going empty: the sample changes
 			c.release(sl.sample)
 			if len(sl.chain) > 0 {
 				head := sl.chain[0]
@@ -220,6 +286,7 @@ func (c *Chain) Push(p window.Point) bool {
 				continue // stale event
 			}
 			if sl.sample == nil {
+				c.markChanged(s) // direct capture into an empty slot
 				sl.sampleIdx, sl.sample = i, cloneOf()
 				c.sched(c.expireAt, i+c.w, s)
 			} else {
@@ -235,6 +302,7 @@ func (c *Chain) Push(p window.Point) bool {
 	included := false
 	adopt := func(s int) {
 		sl := &c.slots[s]
+		c.markChanged(s)
 		c.release(sl.sample)
 		for j := range sl.chain {
 			c.release(sl.chain[j].val)

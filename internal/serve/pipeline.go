@@ -136,6 +136,7 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	cs := newCountedSource(cfg.Seed)
 	est := core.NewEstimator(cfg.Core, cfg.Core.WindowCap, float64(cfg.Core.WindowCap), rand.New(cs))
 	est.EnableSampleRecycling()
+	est.EnableIncrementalModel()
 	p := &Pipeline{cfg: cfg, cs: cs, est: est}
 	p.initWindow()
 	return p, nil
@@ -161,6 +162,12 @@ func (p *Pipeline) Config() PipelineConfig { return p.cfg }
 
 // Seq returns the number of readings ingested.
 func (p *Pipeline) Seq() uint64 { return p.seq }
+
+// ModelBuildStats reports how many model refreshes rebuilt the kernel
+// from scratch versus patching the maintained model in place.
+func (p *Pipeline) ModelBuildStats() (fullBuilds, patchBuilds uint64) {
+	return p.est.ModelBuildStats()
+}
 
 // Ingest folds one reading into the window, sample, sketch, and exact
 // index, and returns its verdict. This is the shard hot path: at steady

@@ -114,6 +114,7 @@ func RestorePipeline(cfg PipelineConfig, data []byte) (*Pipeline, error) {
 		return nil, err
 	}
 	est.EnableSampleRecycling()
+	est.EnableIncrementalModel()
 	var model *kernel.Estimator
 	if len(modelBlob) > 0 {
 		model, err = kernel.UnmarshalEstimator(modelBlob)

@@ -308,11 +308,20 @@ func (m *Multi) Push(p []float64) {
 
 // StdDevs returns the per-dimension standard deviation estimates.
 func (m *Multi) StdDevs() []float64 {
-	out := make([]float64, len(m.dims))
-	for i, e := range m.dims {
-		out[i] = e.StdDev()
+	return m.StdDevsInto(nil)
+}
+
+// StdDevsInto is StdDevs writing into dst (grown as needed), so the
+// detector's frequent model refreshes read sigmas without allocating.
+func (m *Multi) StdDevsInto(dst []float64) []float64 {
+	if cap(dst) < len(m.dims) {
+		dst = make([]float64, len(m.dims))
 	}
-	return out
+	dst = dst[:len(m.dims)]
+	for i, e := range m.dims {
+		dst[i] = e.StdDev()
+	}
+	return dst
 }
 
 // Means returns the per-dimension mean estimates.

@@ -157,9 +157,7 @@ func (d *MDEFDetector) Observe(p Point) bool {
 	if m == nil || !d.est.Warmed() {
 		return false
 	}
-	if d.cache == nil || d.cache.Model() != mdef.Counter(m) {
-		d.cache = mdef.NewCachedCounter(m, d.prm.AlphaR)
-	}
+	d.cache = mdef.RefreshCachedCounter(d.cache, m, d.prm.AlphaR)
 	return d.eval.IsOutlier(d.cache, p, d.prm)
 }
 
