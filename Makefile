@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-all bench-fault bench-rebuild bench-serve serve-smoke chaos experiments quick-experiments verify-figures update-golden fmt vet clean
+.PHONY: all build test race cover bench bench-all bench-fault bench-rebuild bench-serve bench-wire serve-smoke chaos experiments quick-experiments verify-figures update-golden fmt vet clean
 
 # The default verify path includes vet and the race detector: the
 # parallel evaluation harness and the concurrent runtime are only correct
@@ -57,6 +57,14 @@ bench-rebuild:
 # at a shard sweep, reporting readings/s and p99 ingest latency.
 bench-serve:
 	$(GO) test -run=NONE -bench='BenchmarkPipelineIngest|BenchmarkServerIngest' -benchmem -benchtime 1s ./internal/serve/
+
+# Wire-protocol A/B suite whose numbers land in BENCH_WIRE.json (update
+# the file from this output when the codec or HTTP path changes): full
+# HTTP /ingest rounds JSON vs ODWP binary at shards {1,4}, the isolated
+# codec round trip (binary must report 0 allocs/op), and the /subscribe
+# fan-out overhead at 0/1/4 live streams.
+bench-wire:
+	$(GO) test -run=NONE -bench='BenchmarkWireHTTP|BenchmarkCodecRoundTrip|BenchmarkSubscribeFanout' -benchmem -benchtime 3s ./internal/serve/
 
 # End-to-end smoke of the serving subsystem: build oddserve + oddload,
 # replay a seeded load over HTTP with verdict agreement enforced against

@@ -9,7 +9,14 @@
 // after a crash+restore from snapshot the same invocation re-sends the
 // lost tail and re-verifies it.
 //
+// -wire binary sends batches over the ODWP binary frame format instead
+// of JSON (same verdict oracle, so the two encodings are A/B'd for
+// free); -subscribe additionally opens a /subscribe stream and verifies
+// every pushed verdict against the twin, requiring delivered events
+// plus gap-counted drops to conserve the sent total.
+//
 //	oddload -addr http://localhost:8077 -n 50000 -sensors 16 -batch 128
+//	oddload -addr http://localhost:8077 -n 50000 -wire binary -subscribe
 package main
 
 import (
@@ -31,6 +38,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "load stream seed")
 		catchUp = flag.Bool("catch-up", true, "fast-forward the twin past readings the server already processed")
 		retries = flag.Int("max-retries", 0, "max consecutive backpressure retries per batch (0 = unlimited)")
+		wire    = flag.String("wire", "json", "ingest encoding: json or binary (ODWP)")
+		subs    = flag.Bool("subscribe", false, "also verify verdicts pushed over a /subscribe stream")
 		asJSON  = flag.Bool("json", false, "print the report as JSON")
 	)
 	flag.Parse()
@@ -48,6 +57,8 @@ func main() {
 	opts.Seed = *seed
 	opts.CatchUp = *catchUp
 	opts.MaxRetries = *retries
+	opts.Encoding = *wire
+	opts.Subscribe = *subs
 
 	rep, err := serve.RunLoad(opts)
 	if err != nil {
@@ -65,10 +76,19 @@ func main() {
 		fmt.Printf("client latency per reading: p50 %.1fµs p99 %.1fµs\n", rep.ClientP50us, rep.ClientP99us)
 		fmt.Printf("verdicts: %d outliers, %d/%d agree with in-process twin\n",
 			rep.Outliers, rep.Agreements, rep.Agreements+rep.Disagreements)
+		if *subs {
+			fmt.Printf("stream: %d events delivered, %d dropped (gap-counted), %d disagreements\n",
+				rep.StreamEvents, rep.StreamDropped, rep.StreamDisagreements)
+		}
 	}
 	if rep.Disagreements > 0 {
 		fmt.Fprintf(os.Stderr, "oddload: VERDICT MISMATCH: %d disagreements; first: %s\n",
 			rep.Disagreements, rep.FirstDiff)
+		os.Exit(1)
+	}
+	if rep.StreamDisagreements > 0 {
+		fmt.Fprintf(os.Stderr, "oddload: STREAM MISMATCH: %d disagreements; first: %s\n",
+			rep.StreamDisagreements, rep.StreamFirstDiff)
 		os.Exit(1)
 	}
 }

@@ -61,3 +61,74 @@ func TestIngestHotPathZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state Ingest allocates %v per reading, want 0", avg)
 	}
 }
+
+// TestWireIngestZeroAlloc extends the guard to the full binary serving
+// path: encode a batch (client side), decode it into pooled scratch
+// (interned sensors, recycled Value arrays), route it through the shard,
+// and encode the ODWR reply — zero allocations per round at steady state,
+// measured across all goroutines including the shard's.
+func TestWireIngestZeroAlloc(t *testing.T) {
+	const wcap = 200
+	cfg := Config{
+		Shards:     1,
+		Pipeline:   testPipelineConfig(DetectDistance, 1, wcap, 3),
+		QueueDepth: 1024,
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cycle := make([]float64, 256)
+	src := rand.New(rand.NewSource(11))
+	for i := range cycle {
+		cycle[i] = src.Float64()
+	}
+	const batchLen = 64
+	readings := make([]Reading, batchLen)
+	for i := range readings {
+		readings[i].Sensor = "s0"
+		readings[i].Value = make([]float64, 1)
+	}
+	pos := 0
+
+	sc := newIngestScratch(1)
+	var frame []byte
+	step := func() {
+		for i := range readings {
+			readings[i].Value[0] = cycle[pos%len(cycle)]
+			pos++
+		}
+		frame = appendBatch(frame[:0], readings, 1, srv.wireFP)
+		var err error
+		sc.readings, err = decodeBatchInto(frame, sc.readings, 1, srv.cfg.MaxBatch, srv.wireFP, &srv.names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.results = growResults(sc.results, len(sc.readings))
+		rejected, err := srv.ingestInto(sc.readings, sc.results, &sc.route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rejected != 0 {
+			t.Fatalf("rejected %d readings with an idle queue", rejected)
+		}
+		sc.out = appendResults(sc.out[:0], sc.results, rejected, 0)
+	}
+
+	// Warm with live randomness (fill the window, build models, seed the
+	// free pools), then freeze the rng and let the chain settle into its
+	// deterministic periodic regime, as hotPipeline does.
+	for i := 0; i < (6*wcap+len(cycle))/batchLen+1; i++ {
+		step()
+	}
+	srv.shards[0].pl.cs.src = constSrc{v: int64(wcap - 1)}
+	for i := 0; i < 4*wcap/batchLen+1; i++ {
+		step()
+	}
+
+	if avg := testing.AllocsPerRun(200, step); avg != 0 {
+		t.Fatalf("steady-state binary ingest round allocates %v per batch, want 0", avg)
+	}
+}

@@ -1,0 +1,484 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"math"
+	"sync"
+)
+
+// ODWP — the odds binary wire protocol. JSON is the default encoding on
+// every endpoint, but at serving rates the codec dominates the budget:
+// the shard pipeline costs ~1.2 µs/reading while JSON encode/decode of a
+// batch costs several times that. A client opts into ODWP by POSTing
+// /ingest with Content-Type: application/x-odds-batch; the response
+// comes back in the same encoding. Subscription streams negotiate the
+// frame flavor with ?format=binary (see subscribe.go).
+//
+// Framing follows the snapshot idioms ("ODPS"/"ODSV" in snapshot.go):
+// little-endian, a magic + version prefix, the server's configuration
+// fingerprint so a frame built against a differently-configured server
+// fails closed, and a trailing CRC-32 over everything before it.
+//
+// Batch request frame ("ODWB"):
+//
+//	u32  magic 0x4f445742
+//	u8   version (1)
+//	u8   reserved (must be 0)
+//	u16  dim           — must equal the server's Core.Dim
+//	u32  count         — number of readings; bounded by Config.MaxBatch
+//	u64  fingerprint   — wireFingerprint of the server config (from /stats)
+//	count × { u16 sensorLen | sensor bytes | dim × f64 value }
+//	u32  crc32-IEEE over all preceding bytes
+//
+// Batch response frame ("ODWR"):
+//
+//	u32  magic 0x4f445752
+//	u8   version (1)
+//	u8   flags         — bit0: at least one sub-batch was rejected
+//	u16  reserved (0)
+//	u32  count
+//	u32  rejected
+//	u32  retryAfterMS
+//	count × { u8 flags (1 accepted | 2 outlier | 4 exact | 8 warmed) | u16 shard | u64 seq }
+//	u32  crc32-IEEE over all preceding bytes
+//
+// The encoding is canonical: a frame that decodes successfully re-encodes
+// to the identical bytes (reserved fields are enforced zero, values must
+// be finite), which is the round-trip property FuzzDecodeBatch pins.
+const (
+	wireBatchMagic  = uint32(0x4f445742) // "ODWB"
+	wireRespMagic   = uint32(0x4f445752) // "ODWR"
+	wireStreamMagic = uint32(0x4f445753) // "ODWS"
+	wireVersion     = byte(1)
+
+	wireBatchHeaderLen  = 20
+	wireRespHeaderLen   = 20
+	wireResultLen       = 11
+	wireStreamHeaderLen = 8
+
+	// maxSensorLen bounds sensor-id bytes in a binary frame; the JSON
+	// path is bounded by MaxBodyBytes alone.
+	maxSensorLen = 255
+)
+
+// ContentTypeBinary selects the ODWP batch encoding on POST /ingest.
+const ContentTypeBinary = "application/x-odds-batch"
+
+// ContentTypeStream is the binary subscription stream encoding.
+const ContentTypeStream = "application/x-odds-stream"
+
+// Decode failures. Every one of them must map to a 4xx at the HTTP
+// layer — a malformed frame can never reach a shard.
+var (
+	errFrameTruncated   = errors.New("serve: wire: truncated frame")
+	errFrameMagic       = errors.New("serve: wire: bad magic")
+	errFrameVersion     = errors.New("serve: wire: unsupported version")
+	errFrameReserved    = errors.New("serve: wire: nonzero reserved field")
+	errFrameCRC         = errors.New("serve: wire: checksum mismatch")
+	errFrameDim         = errors.New("serve: wire: dimension mismatch")
+	errFrameFingerprint = errors.New("serve: wire: configuration fingerprint mismatch")
+	errFrameSensor      = errors.New("serve: wire: bad sensor id")
+	errFrameValue       = errors.New("serve: wire: non-finite value")
+	errFrameTrailing    = errors.New("serve: wire: trailing bytes")
+	errBatchTooLarge    = errors.New("serve: wire: batch exceeds limit")
+)
+
+// wireFingerprint compresses the snapshot configuration fingerprint into
+// the u64 every binary frame carries. Clients learn it from /stats
+// (StatsResponse.WireFingerprint); the server refuses frames built
+// against a different configuration, exactly as snapshot restore refuses
+// a mismatched file.
+func wireFingerprint(shards int, cfg PipelineConfig) uint64 {
+	h := fnv.New64a()
+	h.Write(fingerprint(shards, cfg))
+	return h.Sum64()
+}
+
+// appendBatch encodes readings as an ODWB frame appended to dst (the
+// frame starts at len(dst); the CRC covers only the appended bytes).
+// This is the client half: oddload and the benchmarks reuse dst across
+// batches so steady-state encoding allocates nothing.
+func appendBatch(dst []byte, readings []Reading, dim int, fp uint64) []byte {
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, wireBatchMagic)
+	dst = append(dst, wireVersion, 0)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(dim))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(readings)))
+	dst = binary.LittleEndian.AppendUint64(dst, fp)
+	for i := range readings {
+		rd := &readings[i]
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(rd.Sensor)))
+		dst = append(dst, rd.Sensor...)
+		for _, x := range rd.Value {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+		}
+	}
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// decodeBatchInto decodes an ODWB frame into dst, reusing dst's backing
+// array and each element's Value capacity, and interning sensor ids so
+// the steady-state decode of a known sensor set performs zero
+// allocations. It fails closed on any framing violation.
+func decodeBatchInto(data []byte, dst []Reading, dim, maxBatch int, fp uint64, names *interner) ([]Reading, error) {
+	if len(data) < wireBatchHeaderLen+4 {
+		return nil, errFrameTruncated
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, errFrameCRC
+	}
+	if binary.LittleEndian.Uint32(body) != wireBatchMagic {
+		return nil, errFrameMagic
+	}
+	if body[4] != wireVersion {
+		return nil, fmt.Errorf("%w: %d", errFrameVersion, body[4])
+	}
+	if body[5] != 0 {
+		return nil, errFrameReserved
+	}
+	if d := int(binary.LittleEndian.Uint16(body[6:])); d != dim {
+		return nil, fmt.Errorf("%w: frame dim %d, server dim %d", errFrameDim, d, dim)
+	}
+	count := int(binary.LittleEndian.Uint32(body[8:]))
+	if count > maxBatch {
+		return nil, fmt.Errorf("%w: %d readings, max %d", errBatchTooLarge, count, maxBatch)
+	}
+	if got := binary.LittleEndian.Uint64(body[12:]); got != fp {
+		return nil, errFrameFingerprint
+	}
+
+	// Grow dst preserving the Value capacity of recycled elements.
+	if cap(dst) < count {
+		nd := make([]Reading, count)
+		copy(nd, dst[:cap(dst)])
+		dst = nd
+	} else {
+		dst = dst[:count]
+	}
+
+	off := wireBatchHeaderLen
+	for k := 0; k < count; k++ {
+		if off+2 > len(body) {
+			return nil, errFrameTruncated
+		}
+		sl := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if sl == 0 || sl > maxSensorLen {
+			return nil, errFrameSensor
+		}
+		if off+sl+8*dim > len(body) {
+			return nil, errFrameTruncated
+		}
+		dst[k].Sensor = names.intern(body[off : off+sl])
+		off += sl
+		v := dst[k].Value
+		if cap(v) < dim {
+			v = make([]float64, dim)
+		} else {
+			v = v[:dim]
+		}
+		for j := 0; j < dim; j++ {
+			x := math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, errFrameValue
+			}
+			v[j] = x
+			off += 8
+		}
+		dst[k].Value = v
+	}
+	if off != len(body) {
+		return nil, errFrameTrailing
+	}
+	return dst, nil
+}
+
+// Result flag bits in ODWR frames and verdict stream frames.
+const (
+	wireFlagAccepted = 1 << iota
+	wireFlagOutlier
+	wireFlagExact
+	wireFlagWarmed
+)
+
+// appendResults encodes an ingest reply as an ODWR frame appended to dst.
+func appendResults(dst []byte, results []ReadingResult, rejected int, retryMS int64) []byte {
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, wireRespMagic)
+	var flags byte
+	if rejected > 0 {
+		flags = 1
+	}
+	dst = append(dst, wireVersion, flags)
+	dst = binary.LittleEndian.AppendUint16(dst, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(results)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(rejected))
+	if retryMS < 0 {
+		retryMS = 0
+	}
+	if retryMS > math.MaxUint32 {
+		retryMS = math.MaxUint32
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(retryMS))
+	for i := range results {
+		r := &results[i]
+		var f byte
+		if r.Accepted {
+			f |= wireFlagAccepted
+		}
+		if r.Outlier {
+			f |= wireFlagOutlier
+		}
+		if r.Exact {
+			f |= wireFlagExact
+		}
+		if r.Warmed {
+			f |= wireFlagWarmed
+		}
+		dst = append(dst, f)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(r.Shard))
+		dst = binary.LittleEndian.AppendUint64(dst, r.Seq)
+	}
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// decodeResultsInto decodes an ODWR frame into dst (reusing its backing
+// array), returning the results, the rejected count, and the retry hint.
+func decodeResultsInto(data []byte, dst []ReadingResult) ([]ReadingResult, int, int64, error) {
+	fail := func(err error) ([]ReadingResult, int, int64, error) { return nil, 0, 0, err }
+	if len(data) < wireRespHeaderLen+4 {
+		return fail(errFrameTruncated)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return fail(errFrameCRC)
+	}
+	if binary.LittleEndian.Uint32(body) != wireRespMagic {
+		return fail(errFrameMagic)
+	}
+	if body[4] != wireVersion {
+		return fail(fmt.Errorf("%w: %d", errFrameVersion, body[4]))
+	}
+	if binary.LittleEndian.Uint16(body[6:]) != 0 {
+		return fail(errFrameReserved)
+	}
+	count := int(binary.LittleEndian.Uint32(body[8:]))
+	rejected := int(binary.LittleEndian.Uint32(body[12:]))
+	retryMS := int64(binary.LittleEndian.Uint32(body[16:]))
+	if (body[5]&1 == 0) != (rejected == 0) {
+		return fail(errFrameReserved)
+	}
+	if len(body) != wireRespHeaderLen+count*wireResultLen {
+		return fail(errFrameTruncated)
+	}
+	if cap(dst) < count {
+		dst = make([]ReadingResult, count)
+	} else {
+		dst = dst[:count]
+	}
+	off := wireRespHeaderLen
+	for k := 0; k < count; k++ {
+		f := body[off]
+		if f&^byte(wireFlagAccepted|wireFlagOutlier|wireFlagExact|wireFlagWarmed) != 0 {
+			return fail(errFrameReserved)
+		}
+		dst[k] = ReadingResult{
+			Shard:    int(binary.LittleEndian.Uint16(body[off+1:])),
+			Accepted: f&wireFlagAccepted != 0,
+			Seq:      binary.LittleEndian.Uint64(body[off+3:]),
+			Outlier:  f&wireFlagOutlier != 0,
+			Exact:    f&wireFlagExact != 0,
+			Warmed:   f&wireFlagWarmed != 0,
+		}
+		off += wireResultLen
+	}
+	return dst, rejected, retryMS, nil
+}
+
+// Subscription stream framing ("ODWS"). A binary stream opens with one
+// 8-byte header, then carries self-delimiting frames:
+//
+//	u32 frameLen — bytes that follow this field (payload + crc)
+//	payload: u8 type | type-specific body
+//	u32 crc32-IEEE over the payload
+//
+// Frame types: verdict (u8 flags | u16 shard | u64 seq | u16 sensorLen |
+// sensor bytes) and gap (u64 dropped — the number of verdicts the
+// subscriber's ring dropped oldest-first while the client lagged).
+const (
+	streamFrameVerdict = byte(1)
+	streamFrameGap     = byte(2)
+)
+
+func appendStreamHeader(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, wireStreamMagic)
+	dst = append(dst, wireVersion, 0)
+	return binary.LittleEndian.AppendUint16(dst, 0)
+}
+
+// appendFrame wraps payload-producing code with the length prefix and
+// trailing CRC: fill appends the payload to dst and returns it.
+func appendFrame(dst []byte, fill func([]byte) []byte) []byte {
+	lenAt := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // patched below
+	payloadAt := len(dst)
+	dst = fill(dst)
+	crc := crc32.ChecksumIEEE(dst[payloadAt:])
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-payloadAt))
+	return dst
+}
+
+func appendVerdictFrame(dst []byte, ev subEvent) []byte {
+	return appendFrame(dst, func(b []byte) []byte {
+		var f byte = wireFlagAccepted
+		if ev.Outlier {
+			f |= wireFlagOutlier
+		}
+		if ev.Exact {
+			f |= wireFlagExact
+		}
+		if ev.Warmed {
+			f |= wireFlagWarmed
+		}
+		b = append(b, streamFrameVerdict, f)
+		b = binary.LittleEndian.AppendUint16(b, uint16(ev.Shard))
+		b = binary.LittleEndian.AppendUint64(b, ev.Seq)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(ev.Sensor)))
+		return append(b, ev.Sensor...)
+	})
+}
+
+func appendGapFrame(dst []byte, dropped uint64) []byte {
+	return appendFrame(dst, func(b []byte) []byte {
+		b = append(b, streamFrameGap)
+		return binary.LittleEndian.AppendUint64(b, dropped)
+	})
+}
+
+// maxStreamFrame bounds one stream frame on the reading side; verdict
+// frames are tiny, so anything larger is a corrupt length prefix.
+const maxStreamFrame = 4096
+
+// streamReader is the client half of a binary subscription stream
+// (oddload and the tests). Next blocks until a frame arrives, the stream
+// ends (io.EOF), or framing is violated.
+type streamReader struct {
+	r         io.Reader
+	buf       []byte
+	gotHeader bool
+}
+
+func newStreamReader(r io.Reader) *streamReader {
+	return &streamReader{r: r}
+}
+
+// Next returns the next frame: a verdict event, or a gap count when
+// kind == streamFrameGap.
+func (sr *streamReader) Next() (ev subEvent, gap uint64, kind byte, err error) {
+	fail := func(err error) (subEvent, uint64, byte, error) { return subEvent{}, 0, 0, err }
+	if !sr.gotHeader {
+		var hdr [wireStreamHeaderLen]byte
+		if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+			return fail(err)
+		}
+		if binary.LittleEndian.Uint32(hdr[:]) != wireStreamMagic {
+			return fail(errFrameMagic)
+		}
+		if hdr[4] != wireVersion {
+			return fail(fmt.Errorf("%w: %d", errFrameVersion, hdr[4]))
+		}
+		if hdr[5] != 0 || binary.LittleEndian.Uint16(hdr[6:]) != 0 {
+			return fail(errFrameReserved)
+		}
+		sr.gotHeader = true
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(sr.r, lenBuf[:]); err != nil {
+		return fail(err)
+	}
+	n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if n < 5 || n > maxStreamFrame {
+		return fail(errFrameTruncated)
+	}
+	if cap(sr.buf) < n {
+		sr.buf = make([]byte, n)
+	}
+	frame := sr.buf[:n]
+	if _, err := io.ReadFull(sr.r, frame); err != nil {
+		return fail(err)
+	}
+	payload, tail := frame[:n-4], frame[n-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(tail) {
+		return fail(errFrameCRC)
+	}
+	switch payload[0] {
+	case streamFrameVerdict:
+		if len(payload) < 14 {
+			return fail(errFrameTruncated)
+		}
+		f := payload[1]
+		sl := int(binary.LittleEndian.Uint16(payload[12:]))
+		if len(payload) != 14+sl {
+			return fail(errFrameTruncated)
+		}
+		ev = subEvent{
+			Sensor:  string(payload[14:]),
+			Shard:   int(binary.LittleEndian.Uint16(payload[2:])),
+			Seq:     binary.LittleEndian.Uint64(payload[4:]),
+			Outlier: f&wireFlagOutlier != 0,
+			Exact:   f&wireFlagExact != 0,
+			Warmed:  f&wireFlagWarmed != 0,
+		}
+		return ev, 0, streamFrameVerdict, nil
+	case streamFrameGap:
+		if len(payload) != 9 {
+			return fail(errFrameTruncated)
+		}
+		return subEvent{}, binary.LittleEndian.Uint64(payload[1:]), streamFrameGap, nil
+	default:
+		return fail(fmt.Errorf("serve: wire: unknown stream frame type %d", payload[0]))
+	}
+}
+
+// interner deduplicates sensor-id strings so the binary decode path does
+// not allocate a fresh string per reading. Sensor fleets are finite; the
+// map is bounded, and an overflowing fleet degrades to plain allocation
+// rather than unbounded memory growth.
+type interner struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// maxInterned bounds the interner; beyond it, new names are allocated
+// per frame (correct, just slower) instead of being remembered.
+const maxInterned = 1 << 16
+
+func (in *interner) intern(b []byte) string {
+	in.mu.RLock()
+	s, ok := in.m[string(b)] // compiler elides the []byte→string copy on lookup
+	in.mu.RUnlock()
+	if ok {
+		return s
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if s, ok = in.m[string(b)]; ok {
+		return s
+	}
+	if in.m == nil {
+		in.m = make(map[string]string)
+	}
+	if len(in.m) >= maxInterned {
+		return string(b)
+	}
+	s = string(b)
+	in.m[s] = s
+	return s
+}

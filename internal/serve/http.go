@@ -2,15 +2,22 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Handler returns the server's HTTP API:
 //
 //	POST /ingest        batch ingest, per-shard admission control
+//	                    (JSON, or ODWP binary via Content-Type: application/x-odds-batch)
+//	GET  /subscribe     ?sensors=a,b&only=outlier&format=sse|binary  verdict push stream
 //	GET  /query/outlier ?sensor=&v=x[,y...]   read-only outlier check
 //	GET  /query/prob    ?sensor=&v=...&r=     probability mass query
 //	GET  /stats         config + per-shard counters (JSON)
@@ -19,6 +26,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/subscribe", s.handleSubscribe)
 	mux.HandleFunc("/query/outlier", s.handleQueryOutlier)
 	mux.HandleFunc("/query/prob", s.handleQueryProb)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -27,50 +35,203 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// jsonEncodeFailures counts response-encode errors (almost always a
+// client that hung up mid-response). The first one is logged; the rest
+// only count, so a flapping client cannot flood the log.
+var (
+	jsonEncodeFailures atomic.Uint64
+	jsonEncodeLogOnce  sync.Once
+)
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already on the wire, so there is nothing to
+		// send the client; surface the failure instead of dropping it.
+		jsonEncodeFailures.Add(1)
+		jsonEncodeLogOnce.Do(func() {
+			log.Printf("serve: response encode failed (further failures counted, not logged): %v", err)
+		})
+	}
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// requireMethod answers 405 with an Allow header unless the request uses
+// the given method. Every endpoint fails closed on method mismatch.
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed; use %s", r.Method, method))
+	return false
+}
+
+// ingestErrStatus maps an ingest failure to its HTTP status: client-side
+// batch defects are 400, everything else (shutdown, shard death) is 503.
+func ingestErrStatus(err error) int {
+	if errors.Is(err, errBadBatch) {
+		return http.StatusBadRequest
+	}
+	return http.StatusServiceUnavailable
+}
+
+// wireErrStatus maps a binary decode failure to its HTTP status. Every
+// frame defect is a 4xx — a malformed frame can never reach a shard.
+func wireErrStatus(err error) int {
+	if errors.Is(err, errBatchTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	var req IngestRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case strings.HasPrefix(ct, ContentTypeBinary):
+		s.handleIngestBinary(w, r)
+	case ct == "" || strings.HasPrefix(ct, "application/json"):
+		s.handleIngestJSON(w, r)
+	default:
+		w.Header().Set("Accept", "application/json, "+ContentTypeBinary)
+		writeErr(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("unsupported Content-Type %q; use application/json or %s", ct, ContentTypeBinary))
+	}
+}
+
+func (s *Server) handleIngestJSON(w http.ResponseWriter, r *http.Request) {
+	sc := s.getScratch()
+	// Decode into the pooled readings slice so a steady stream of
+	// same-shaped batches reuses both the slice and each element's
+	// Value backing array.
+	req := IngestRequest{Readings: sc.readings[:0]}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.scratch.Put(sc)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	sc.readings = req.Readings
+	if len(req.Readings) > s.cfg.MaxBatch {
+		s.scratch.Put(sc)
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d readings exceeds max %d", len(req.Readings), s.cfg.MaxBatch))
+		return
+	}
 	if len(req.Readings) == 0 {
+		s.scratch.Put(sc)
 		writeJSON(w, http.StatusOK, IngestResponse{Results: []ReadingResult{}})
 		return
 	}
-	results, rejected, err := s.Ingest(req.Readings)
+	sc.results = growResults(sc.results, len(req.Readings))
+	rejected, err := s.ingestInto(req.Readings, sc.results, &sc.route)
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
+		// A failed round may leave an un-awaited reply in a pooled
+		// channel; drop the scratch rather than poison the pool.
+		writeErr(w, ingestErrStatus(err), err)
 		return
 	}
-	resp := IngestResponse{Results: results, Rejected: rejected}
+	resp := IngestResponse{Results: sc.results, Rejected: rejected}
+	status := http.StatusOK
 	if rejected > 0 {
 		resp.RetryAfterMS = s.cfg.RetryAfter.Milliseconds()
 		if rejected == len(req.Readings) {
 			// Nothing was admitted: a pure backpressure reply.
-			secs := int(s.cfg.RetryAfter.Seconds())
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			writeJSON(w, http.StatusTooManyRequests, resp)
-			return
+			w.Header().Set("Retry-After", retryAfterSecs(s.cfg.RetryAfter.Seconds()))
+			status = http.StatusTooManyRequests
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, status, resp)
+	s.scratch.Put(sc)
+}
+
+func retryAfterSecs(secs float64) string {
+	n := int(secs)
+	if n < 1 {
+		n = 1
+	}
+	return strconv.Itoa(n)
+}
+
+// handleIngestBinary is the ODWP path: read the body into pooled scratch,
+// decode the frame (interned sensors, recycled Value arrays), route
+// through the same pooled core as JSON, and encode the ODWR reply into a
+// reused buffer — zero steady-state allocations per reading.
+func (s *Server) handleIngestBinary(w http.ResponseWriter, r *http.Request) {
+	sc := s.getScratch()
+	body, err := readAllInto(sc.body, r.Body)
+	sc.body = body
+	if err != nil {
+		s.scratch.Put(sc)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	readings, err := decodeBatchInto(body, sc.readings, s.cfg.Pipeline.Core.Dim, s.cfg.MaxBatch, s.wireFP, &s.names)
+	if err != nil {
+		s.scratch.Put(sc)
+		writeErr(w, wireErrStatus(err), err)
+		return
+	}
+	sc.readings = readings
+	sc.results = growResults(sc.results, len(readings))
+	rejected, err := s.ingestInto(readings, sc.results, &sc.route)
+	if err != nil {
+		// Same pool-poisoning discipline as the JSON path: drop sc.
+		writeErr(w, ingestErrStatus(err), err)
+		return
+	}
+	var retryMS int64
+	status := http.StatusOK
+	if rejected > 0 {
+		retryMS = s.cfg.RetryAfter.Milliseconds()
+		if rejected == len(readings) {
+			w.Header().Set("Retry-After", retryAfterSecs(s.cfg.RetryAfter.Seconds()))
+			status = http.StatusTooManyRequests
+		}
+	}
+	sc.out = appendResults(sc.out[:0], sc.results, rejected, retryMS)
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	w.Header().Set("Content-Length", strconv.Itoa(len(sc.out)))
+	w.WriteHeader(status)
+	_, _ = w.Write(sc.out)
+	s.scratch.Put(sc)
+}
+
+// readAllInto is io.ReadAll into a reused buffer: once the buffer has
+// grown to the steady batch size, reading a request body allocates
+// nothing.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
 }
 
 // parseVec parses "0.1,0.2" into a vector of the server's dimensionality.
@@ -94,6 +255,9 @@ func (s *Server) parseVec(raw string) ([]float64, error) {
 }
 
 func (s *Server) handleQueryOutlier(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
 	sensor := r.URL.Query().Get("sensor")
 	if sensor == "" {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing sensor parameter"))
@@ -113,6 +277,9 @@ func (s *Server) handleQueryOutlier(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQueryProb(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
 	sensor := r.URL.Query().Get("sensor")
 	if sensor == "" {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing sensor parameter"))
@@ -137,6 +304,9 @@ func (s *Server) handleQueryProb(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
 	st, err := s.Stats()
 	if err != nil {
 		writeErr(w, http.StatusServiceUnavailable, err)
@@ -146,6 +316,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
 	s.mu.RLock()
 	closed := s.closed
 	s.mu.RUnlock()
@@ -161,6 +334,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // cheap enough to scrape without a mailbox round trip (so no latency
 // quantiles here; those are in /stats).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	w.Header().Set("Content-Type", "text/plain")
@@ -177,4 +353,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "odds_serve_ingested_total %d\n", ingested)
 	fmt.Fprintf(w, "odds_serve_rejected_total %d\n", rejected)
 	fmt.Fprintf(w, "odds_serve_outliers_total %d\n", outliers)
+	fmt.Fprintf(w, "odds_serve_subscribers %d\n", s.hub.subscribers())
+	fmt.Fprintf(w, "odds_serve_subscriber_dropped_total %d\n", s.hub.dropped.Load())
+	fmt.Fprintf(w, "odds_serve_json_encode_failures_total %d\n", jsonEncodeFailures.Load())
 }

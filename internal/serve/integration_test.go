@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
@@ -23,17 +24,27 @@ func loadConfig(kind DetectorKind, shards int, snapshotPath string) Config {
 
 func runLoadAgainst(t *testing.T, url string, total int) *LoadReport {
 	t.Helper()
+	return runLoadOpts(t, url, total, "", false)
+}
+
+func runLoadOpts(t *testing.T, url string, total int, encoding string, subscribe bool) *LoadReport {
+	t.Helper()
 	opts := NewLoadOptions(url)
 	opts.Sensors = 6
 	opts.Total = total
 	opts.Batch = 48
 	opts.Seed = 99
+	opts.Encoding = encoding
+	opts.Subscribe = subscribe
 	rep, err := RunLoad(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Disagreements > 0 {
 		t.Fatalf("%d verdict disagreements; first: %s", rep.Disagreements, rep.FirstDiff)
+	}
+	if rep.StreamDisagreements > 0 {
+		t.Fatalf("%d stream disagreements; first: %s", rep.StreamDisagreements, rep.StreamFirstDiff)
 	}
 	return rep
 }
@@ -126,6 +137,114 @@ func TestLoadAgreement(t *testing.T) {
 				t.Fatalf("final checkpoint arrivals %d, want 6000", arrivals)
 			}
 		})
+	}
+}
+
+// TestLoadAgreementBinary is the wire-protocol acceptance oracle: the
+// identical seeded run through the ODWP binary client — with the
+// subscribe-stream oracle attached — produces verdicts bit-identical to
+// the in-process twin, including across a kill + restore from snapshot.
+// Combined with TestLoadAgreement (the JSON client over the same seeded
+// stream), this pins JSON, binary, and push-stream delivery to the same
+// verdict sequence.
+func TestLoadAgreementBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end load run")
+	}
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		t.Run("shards-"+strconv.Itoa(shards), func(t *testing.T) {
+			t.Parallel()
+			snap := t.TempDir() + "/snap"
+			srv, err := New(loadConfig(DetectDistance, shards, snap))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+
+			// Phase 1: binary client + live subscribe stream, fully verified.
+			rep := runLoadOpts(t, ts.URL, 2500, "binary", true)
+			if rep.Sent != 2500 || rep.CaughtUp != 0 {
+				t.Fatalf("phase 1: sent %d caught up %d", rep.Sent, rep.CaughtUp)
+			}
+			if rep.StreamEvents+int(rep.StreamDropped) != 2500 {
+				t.Fatalf("phase 1 stream: %d events + %d dropped, want 2500 total",
+					rep.StreamEvents, rep.StreamDropped)
+			}
+
+			// Checkpoint, push load the crash will lose, then kill.
+			if err := srv.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			runLoadOpts(t, ts.URL, 4000, "binary", false)
+			srv.Abort()
+			ts.Close()
+
+			// Restore: the binary client re-derives the wire fingerprint
+			// from /stats, catches its twin up, re-sends the lost tail, and
+			// the fresh stream verifies the re-served verdicts.
+			srv2, err := New(loadConfig(DetectDistance, shards, snap))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv2.Close()
+			ts2 := httptest.NewServer(srv2.Handler())
+			defer ts2.Close()
+			rep = runLoadOpts(t, ts2.URL, 6000, "binary", true)
+			if rep.CaughtUp != 2500 || rep.Sent != 3500 {
+				t.Fatalf("post-restore: caught up %d sent %d, want 2500/3500", rep.CaughtUp, rep.Sent)
+			}
+		})
+	}
+}
+
+// TestSubscribeAcrossRestore pins the stream lifecycle across a crash: an
+// open stream ends cleanly (EOF after a final flush) when the server
+// dies, and a reconnect to the restored server delivers the re-served
+// tail bit-identical to the twin.
+func TestSubscribeAcrossRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end load run")
+	}
+	snap := t.TempDir() + "/snap"
+	srv, err := New(loadConfig(DetectDistance, 2, snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	runLoadAgainst(t, ts.URL, 2000)
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A long-lived subscriber is mid-stream when the server crashes.
+	ls, err := openLoadStream(http.DefaultClient, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runLoadAgainst(t, ts.URL, 3000) // load the crash will lose
+	srv.Abort()
+	ts.Close()
+	if _, _, serr := ls.stop(); serr != nil {
+		t.Fatalf("crash did not end the stream cleanly: %v", serr)
+	}
+
+	// The subscriber reconnects to the restored server; the same seeded
+	// run re-sends the lost tail and the new stream verifies it.
+	srv2, err := New(loadConfig(DetectDistance, 2, snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	rep := runLoadOpts(t, ts2.URL, 3000, "binary", true)
+	if rep.CaughtUp != 2000 || rep.Sent != 1000 {
+		t.Fatalf("post-restore: caught up %d sent %d, want 2000/1000", rep.CaughtUp, rep.Sent)
+	}
+	if rep.StreamEvents+int(rep.StreamDropped) != 1000 {
+		t.Fatalf("post-restore stream: %d events + %d dropped, want 1000", rep.StreamEvents, rep.StreamDropped)
 	}
 }
 

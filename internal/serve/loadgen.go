@@ -2,10 +2,12 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"odds/internal/quantile"
@@ -44,6 +46,15 @@ type LoadOptions struct {
 	// MaxRetries bounds consecutive backpressure retries of one batch
 	// (0 = unlimited).
 	MaxRetries int
+	// Encoding selects the /ingest wire encoding: "json" (default) or
+	// "binary" (ODWP frames over a persistent connection). Both run the
+	// identical twin oracle, so an A/B of the two encodings pins their
+	// verdicts bit-identical.
+	Encoding string
+	// Subscribe additionally opens a binary /subscribe stream for the
+	// run and verifies every pushed verdict against the twin — the
+	// push-path half of the oracle.
+	Subscribe bool
 }
 
 // NewLoadOptions fills defaults.
@@ -74,6 +85,14 @@ type LoadReport struct {
 	ClientP50us   float64       `json:"client_p50_us"`
 	ClientP99us   float64       `json:"client_p99_us"`
 	Outliers      int           `json:"outliers"`
+
+	// Subscribe-stream oracle (populated when LoadOptions.Subscribe):
+	// every pushed verdict must match the twin, and events + ring drops
+	// must account for every reading sent while the stream was open.
+	StreamEvents        int    `json:"stream_events,omitempty"`
+	StreamDropped       uint64 `json:"stream_dropped,omitempty"`
+	StreamDisagreements int    `json:"stream_disagreements,omitempty"`
+	StreamFirstDiff     string `json:"stream_first_diff,omitempty"`
 }
 
 // reading is one generated stream element with its routing fixed.
@@ -92,6 +111,14 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	}
 	if opts.Sensors <= 0 || opts.Total <= 0 || opts.Batch <= 0 {
 		return nil, fmt.Errorf("serve: sensors, total, and batch must be positive")
+	}
+	binaryEnc := false
+	switch opts.Encoding {
+	case "", "json":
+	case "binary":
+		binaryEnc = true
+	default:
+		return nil, fmt.Errorf("serve: unknown encoding %q (json or binary)", opts.Encoding)
 	}
 
 	st, err := fetchStats(opts.Client, opts.BaseURL)
@@ -156,20 +183,51 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		pending = append(pending, rd)
 	}
 
+	// The push-path oracle: open the subscribe stream before the first
+	// batch so every verdict the run produces is expected on it.
+	var (
+		ls     *loadStream
+		expect map[evKey]subEvent
+	)
+	if opts.Subscribe {
+		if ls, err = openLoadStream(opts.Client, opts.BaseURL); err != nil {
+			return nil, err
+		}
+		defer ls.cancel()
+		expect = make(map[evKey]subEvent, len(pending))
+	}
+
+	// Reused binary-client buffers: at steady state the encode→POST→decode
+	// round allocates only what net/http itself needs.
+	var (
+		encBuf  []byte
+		binResp IngestResponse
+	)
+
 	start := time.Now()
+	batchReadings := make([]Reading, 0, opts.Batch)
 	for len(pending) > 0 {
 		n := opts.Batch
 		if n > len(pending) {
 			n = len(pending)
 		}
 		batch := pending[:n]
-		req := IngestRequest{Readings: make([]Reading, n)}
-		for i, rd := range batch {
-			req.Readings[i] = rd.Reading
+		batchReadings = batchReadings[:0]
+		for _, rd := range batch {
+			batchReadings = append(batchReadings, rd.Reading)
 		}
 
 		t0 := time.Now()
-		resp, status, err := postIngest(opts.Client, opts.BaseURL, req)
+		var (
+			resp   *IngestResponse
+			status int
+		)
+		if binaryEnc {
+			encBuf = appendBatch(encBuf[:0], batchReadings, dim, st.WireFingerprint)
+			resp, status, err = postIngestBinary(opts.Client, opts.BaseURL, encBuf, &binResp)
+		} else {
+			resp, status, err = postIngest(opts.Client, opts.BaseURL, IngestRequest{Readings: batchReadings})
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -199,6 +257,12 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 			rep.Sent++
 			if tv.Outlier {
 				rep.Outliers++
+			}
+			if expect != nil {
+				expect[evKey{rd.shard, tv.Seq}] = subEvent{
+					Sensor: rd.Sensor, Shard: rd.shard, Seq: tv.Seq,
+					Outlier: tv.Outlier, Exact: tv.Exact, Warmed: tv.Warmed,
+				}
 			}
 			if res.Seq == tv.Seq && res.Outlier == tv.Outlier && res.Exact == tv.Exact && res.Warmed == tv.Warmed {
 				rep.Agreements++
@@ -237,7 +301,122 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		rep.ClientP50us = lat.Query(0.5)
 		rep.ClientP99us = lat.Query(0.99)
 	}
+
+	if ls != nil {
+		// Quiesce: nothing is being ingested anymore, so the stream drains
+		// to conservation — every sent reading accounted for as a delivered
+		// event or a counted ring drop.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			n, d := ls.counts()
+			if n+int(d) >= rep.Sent || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		events, dropped, serr := ls.stop()
+		if serr != nil {
+			return nil, fmt.Errorf("serve: subscribe stream: %w", serr)
+		}
+		rep.StreamEvents = len(events)
+		rep.StreamDropped = dropped
+		for _, ev := range events {
+			exp, ok := expect[evKey{ev.Shard, ev.Seq}]
+			if ok && exp == ev {
+				continue
+			}
+			rep.StreamDisagreements++
+			if rep.StreamFirstDiff == "" {
+				rep.StreamFirstDiff = fmt.Sprintf("stream event %+v vs twin %+v (expected=%t)", ev, exp, ok)
+			}
+		}
+		if rep.StreamEvents+int(rep.StreamDropped) != rep.Sent && rep.StreamFirstDiff == "" {
+			rep.StreamDisagreements++
+			rep.StreamFirstDiff = fmt.Sprintf("stream conservation: %d events + %d dropped for %d sent",
+				rep.StreamEvents, rep.StreamDropped, rep.Sent)
+		}
+	}
 	return rep, nil
+}
+
+// evKey identifies one verdict: sequence numbers are per-shard.
+type evKey struct {
+	shard int
+	seq   uint64
+}
+
+// loadStream is the subscribe half of the oracle: a goroutine reading a
+// binary /subscribe stream, accumulating verdict events and gap counts.
+type loadStream struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu      sync.Mutex
+	events  []subEvent
+	dropped uint64
+	err     error
+}
+
+func openLoadStream(c *http.Client, baseURL string) (*loadStream, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/subscribe?format=binary", nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		cancel()
+		return nil, fmt.Errorf("serve: /subscribe returned %d: %s", resp.StatusCode, body)
+	}
+	ls := &loadStream{cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(ls.done)
+		defer resp.Body.Close()
+		sr := newStreamReader(resp.Body)
+		for {
+			ev, gap, kind, err := sr.Next()
+			if err != nil {
+				// EOF is a clean server-side close; a cancelled context is
+				// our own stop. Anything else is a framing failure.
+				if err != io.EOF && ctx.Err() == nil {
+					ls.mu.Lock()
+					ls.err = err
+					ls.mu.Unlock()
+				}
+				return
+			}
+			ls.mu.Lock()
+			if kind == streamFrameGap {
+				ls.dropped += gap
+			} else {
+				ls.events = append(ls.events, ev)
+			}
+			ls.mu.Unlock()
+		}
+	}()
+	return ls, nil
+}
+
+func (ls *loadStream) counts() (int, uint64) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return len(ls.events), ls.dropped
+}
+
+// stop ends the stream and returns everything it delivered.
+func (ls *loadStream) stop() ([]subEvent, uint64, error) {
+	ls.cancel()
+	<-ls.done
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.events, ls.dropped, ls.err
 }
 
 func fetchStats(c *http.Client, baseURL string) (*StatsResponse, error) {
@@ -275,8 +454,37 @@ func postIngest(c *http.Client, baseURL string, req IngestRequest) (*IngestRespo
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			return nil, resp.StatusCode, err
 		}
+		// Drain the trailing newline so the keep-alive connection is reused.
+		_, _ = io.Copy(io.Discard, resp.Body)
 		return &out, resp.StatusCode, nil
 	}
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 	return nil, resp.StatusCode, fmt.Errorf("serve: ingest status %d: %s", resp.StatusCode, msg)
+}
+
+// postIngestBinary is the ODWP client round: POST a pre-encoded ODWB
+// frame, decode the ODWR reply into scratch's reused Results slice. Bodies
+// are read to EOF, so the transport keeps the connection persistent.
+func postIngestBinary(c *http.Client, baseURL string, frame []byte, scratch *IngestResponse) (*IngestResponse, int, error) {
+	resp, err := c.Post(baseURL+"/ingest", ContentTypeBinary, bytes.NewReader(frame))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, resp.StatusCode, fmt.Errorf("serve: ingest status %d: %s", resp.StatusCode, msg)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	results, rejected, retryMS, err := decodeResultsInto(body, scratch.Results[:0])
+	if err != nil {
+		return nil, resp.StatusCode, fmt.Errorf("serve: bad ingest reply: %w", err)
+	}
+	scratch.Results = results
+	scratch.Rejected = rejected
+	scratch.RetryAfterMS = retryMS
+	return scratch, resp.StatusCode, nil
 }

@@ -30,6 +30,16 @@ type Config struct {
 	// SnapshotEvery, when positive alongside SnapshotPath, checkpoints
 	// periodically in the background.
 	SnapshotEvery time.Duration
+	// MaxBatch bounds readings per ingest request (JSON and binary);
+	// larger batches are refused with 413. Default 8192.
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies; larger bodies are refused with
+	// 413 before decoding. Default 4 MiB.
+	MaxBodyBytes int64
+	// SubscribeBuffer is each /subscribe ring's capacity; a subscriber
+	// lagging further than this loses the oldest verdicts (counted and
+	// reported as a gap record on its stream). Default 256.
+	SubscribeBuffer int
 }
 
 func (c *Config) fill() error {
@@ -48,6 +58,24 @@ func (c *Config) fill() error {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 250 * time.Millisecond
 	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8192
+	}
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("serve: max batch %d must be positive", c.MaxBatch)
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.MaxBodyBytes < 0 {
+		return fmt.Errorf("serve: max body bytes %d must be positive", c.MaxBodyBytes)
+	}
+	if c.SubscribeBuffer == 0 {
+		c.SubscribeBuffer = 256
+	}
+	if c.SubscribeBuffer < 0 {
+		return fmt.Errorf("serve: subscribe buffer %d must be positive", c.SubscribeBuffer)
+	}
 	return c.Pipeline.Validate()
 }
 
@@ -59,6 +87,11 @@ func (c *Config) fill() error {
 type Server struct {
 	cfg    Config
 	shards []*shard
+	hub    *subHub // /subscribe fan-out
+
+	wireFP  uint64    // config fingerprint carried by every binary frame
+	names   interner  // sensor-id intern table for zero-alloc binary decode
+	scratch sync.Pool // *ingestScratch
 
 	// mu excludes request handling (read side) from shutdown (write
 	// side), so no handler can send on a closing mailbox.
@@ -71,6 +104,12 @@ type Server struct {
 	ckDone chan struct{}
 }
 
+var errServerClosed = errors.New("serve: server closed")
+
+// errBadBatch marks client-side batch defects (wrong dimensionality);
+// the HTTP layer answers them 400, never 5xx.
+var errBadBatch = errors.New("serve: bad batch")
+
 // New builds a server, restoring every shard from cfg.SnapshotPath if the
 // file exists (seed-exact resume), and starts the shard goroutines plus
 // the periodic checkpoint loop when configured.
@@ -78,7 +117,7 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg}
+	s := &Server{cfg: cfg, hub: newSubHub(), wireFP: wireFingerprint(cfg.Shards, cfg.Pipeline)}
 
 	var blobs [][]byte
 	if cfg.SnapshotPath != "" {
@@ -112,7 +151,7 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.shards[i] = newShard(i, pl, cfg.QueueDepth)
+		s.shards[i] = newShard(i, pl, cfg.QueueDepth, s.hub)
 	}
 	for _, sh := range s.shards {
 		go sh.run()
@@ -150,7 +189,7 @@ func (s *Server) Checkpoint() error {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return errors.New("serve: server closed")
+		return errServerClosed
 	}
 	blobs := make([][]byte, len(s.shards))
 	var err error
@@ -203,6 +242,9 @@ func (s *Server) Close() error {
 	for _, sh := range s.shards {
 		<-sh.done
 	}
+	// Shards have drained, so every verdict has been published; let the
+	// subscription streams flush their rings and end.
+	s.hub.shutdown()
 	if s.cfg.SnapshotPath == "" {
 		return nil
 	}
@@ -239,47 +281,97 @@ func (s *Server) Abort() {
 	for _, sh := range s.shards {
 		<-sh.done
 	}
+	s.hub.shutdown()
 }
 
 // Ingest routes a batch to its shards (order-preserving sub-batches),
 // applies admission control per shard, and returns per-reading results in
 // request order plus the number of rejected readings.
 func (s *Server) Ingest(readings []Reading) ([]ReadingResult, int, error) {
+	results := make([]ReadingResult, len(readings))
+	sc := s.getScratch()
+	rejected, err := s.ingestInto(readings, results, &sc.route)
+	if err != nil {
+		// A failed round may leave an un-awaited reply in a pooled
+		// channel; drop the scratch rather than poison the pool.
+		return nil, 0, err
+	}
+	s.scratch.Put(sc)
+	return results, rejected, nil
+}
+
+// ingestInto is the pooled ingest core shared by the JSON handler, the
+// binary handler, and Ingest: route readings to shards, offer sub-batches
+// non-blocking, and scatter verdicts back into results (len(results) ==
+// len(readings)). All per-call state lives in rs, so at steady state the
+// whole route→detect→scatter path allocates nothing.
+func (s *Server) ingestInto(readings []Reading, results []ReadingResult, rs *routeScratch) (int, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return nil, 0, errors.New("serve: server closed")
+		return 0, errServerClosed
+	}
+
+	dim := s.cfg.Pipeline.Core.Dim
+	for i := range readings {
+		if len(readings[i].Value) != dim {
+			return 0, fmt.Errorf("%w: reading %d: dim %d, want %d", errBadBatch, i, len(readings[i].Value), dim)
+		}
 	}
 
 	n := len(s.shards)
-	results := make([]ReadingResult, len(readings))
-	byShard := make([][]Reading, n)
-	posByShard := make([][]int, n)
-	for i, rd := range readings {
-		if len(rd.Value) != s.cfg.Pipeline.Core.Dim {
-			return nil, 0, fmt.Errorf("serve: reading %d: dim %d, want %d", i, len(rd.Value), s.cfg.Pipeline.Core.Dim)
+	if n == 1 {
+		// Single-shard fast path: the batch is already the sub-batch and
+		// the scatter is the identity.
+		sh := s.shards[0]
+		rs.verdicts[0] = growVerdicts(rs.verdicts[0], len(readings))
+		req := shardReq{op: opIngest, batch: readings, verdicts: rs.verdicts[0], reply: rs.replies[0]}
+		if !sh.offer(req) {
+			sh.rejected.Add(uint64(len(readings)))
+			for i := range results {
+				results[i] = ReadingResult{}
+			}
+			return len(readings), nil
 		}
-		sh := ShardOf(rd.Sensor, n)
-		results[i].Shard = sh
-		byShard[sh] = append(byShard[sh], rd)
-		posByShard[sh] = append(posByShard[sh], i)
+		resp, err := sh.await(req)
+		if err != nil {
+			return 0, err
+		}
+		for k := range resp.verdicts {
+			v := &resp.verdicts[k]
+			results[k] = ReadingResult{Accepted: true, Seq: v.Seq, Outlier: v.Outlier, Exact: v.Exact, Warmed: v.Warmed}
+		}
+		return 0, nil
+	}
+
+	for sid := 0; sid < n; sid++ {
+		rs.byShard[sid] = rs.byShard[sid][:0]
+		rs.pos[sid] = rs.pos[sid][:0]
+	}
+	for i := range readings {
+		sh := ShardOf(readings[i].Sensor, n)
+		results[i] = ReadingResult{Shard: sh}
+		rs.byShard[sh] = append(rs.byShard[sh], readings[i])
+		rs.pos[sh] = append(rs.pos[sh], i)
 	}
 
 	// Phase 1: offer every sub-batch (non-blocking). A full mailbox
 	// rejects its whole sub-batch, keeping per-shard order intact for
 	// the client's retry.
-	reqs := make([]shardReq, n)
-	accepted := make([]bool, n)
 	rejected := 0
-	for sid, batch := range byShard {
+	for sid := 0; sid < n; sid++ {
+		batch := rs.byShard[sid]
 		if len(batch) == 0 {
+			rs.accepted[sid] = false
 			continue
 		}
-		req := shardReq{op: opIngest, batch: batch, reply: make(chan shardResp, 1)}
+		rs.verdicts[sid] = growVerdicts(rs.verdicts[sid], len(batch))
+		req := shardReq{op: opIngest, batch: batch, verdicts: rs.verdicts[sid], reply: rs.replies[sid]}
+		rs.reqs[sid] = req
 		if s.shards[sid].offer(req) {
-			reqs[sid] = req
-			accepted[sid] = true
+			rs.accepted[sid] = true
 		} else {
+			rs.accepted[sid] = false
 			s.shards[sid].rejected.Add(uint64(len(batch)))
 			rejected += len(batch)
 		}
@@ -287,16 +379,17 @@ func (s *Server) Ingest(readings []Reading) ([]ReadingResult, int, error) {
 
 	// Phase 2: collect replies of accepted sub-batches and scatter the
 	// verdicts back into request order.
-	for sid := range byShard {
-		if !accepted[sid] {
+	for sid := 0; sid < n; sid++ {
+		if !rs.accepted[sid] {
 			continue
 		}
-		resp, err := s.shards[sid].await(reqs[sid])
+		resp, err := s.shards[sid].await(rs.reqs[sid])
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
-		for k, v := range resp.verdicts {
-			i := posByShard[sid][k]
+		for k := range resp.verdicts {
+			v := &resp.verdicts[k]
+			i := rs.pos[sid][k]
 			results[i].Accepted = true
 			results[i].Seq = v.Seq
 			results[i].Outlier = v.Outlier
@@ -304,7 +397,7 @@ func (s *Server) Ingest(readings []Reading) ([]ReadingResult, int, error) {
 			results[i].Warmed = v.Warmed
 		}
 	}
-	return results, rejected, nil
+	return rejected, nil
 }
 
 // QueryOutlier answers a read-only outlier check for a sensor's value.
@@ -312,7 +405,7 @@ func (s *Server) QueryOutlier(sensor string, value []float64) (QueryResponse, er
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return QueryResponse{}, errors.New("serve: server closed")
+		return QueryResponse{}, errServerClosed
 	}
 	sid := ShardOf(sensor, len(s.shards))
 	resp, err := s.shards[sid].call(shardReq{op: opQuery, pt: value})
@@ -328,7 +421,7 @@ func (s *Server) QueryProb(sensor string, value []float64, radius float64) (Prob
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return ProbResponse{}, errors.New("serve: server closed")
+		return ProbResponse{}, errServerClosed
 	}
 	sid := ShardOf(sensor, len(s.shards))
 	resp, err := s.shards[sid].call(shardReq{op: opProb, pt: value, radius: radius})
@@ -343,16 +436,17 @@ func (s *Server) Stats() (StatsResponse, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return StatsResponse{}, errors.New("serve: server closed")
+		return StatsResponse{}, errServerClosed
 	}
 	out := StatsResponse{
-		Shards:   len(s.shards),
-		Detector: s.cfg.Pipeline.Kind,
-		Seed:     s.cfg.Pipeline.Seed,
-		Core:     s.cfg.Pipeline.Core,
-		Distance: s.cfg.Pipeline.Distance,
-		MDEF:     s.cfg.Pipeline.MDEF,
-		PerShard: make([]ShardStats, len(s.shards)),
+		Shards:          len(s.shards),
+		Detector:        s.cfg.Pipeline.Kind,
+		Seed:            s.cfg.Pipeline.Seed,
+		Core:            s.cfg.Pipeline.Core,
+		Distance:        s.cfg.Pipeline.Distance,
+		MDEF:            s.cfg.Pipeline.MDEF,
+		PerShard:        make([]ShardStats, len(s.shards)),
+		WireFingerprint: s.wireFP,
 	}
 	for i, sh := range s.shards {
 		resp, err := sh.call(shardReq{op: opStats})

@@ -134,11 +134,11 @@ func TestHTTPAPI(t *testing.T) {
 		t.Fatalf("query shard %d, want %d", qr.Shard, ShardOf("a", 2))
 	}
 	for _, bad := range []string{
-		"/query/outlier?v=0.1,0.5",          // missing sensor
-		"/query/outlier?sensor=a",           // missing v
-		"/query/outlier?sensor=a&v=0.1",     // wrong dim
-		"/query/outlier?sensor=a&v=x,y",     // unparsable
-		"/query/prob?sensor=a&v=0.1,0.5",    // missing r
+		"/query/outlier?v=0.1,0.5",           // missing sensor
+		"/query/outlier?sensor=a",            // missing v
+		"/query/outlier?sensor=a&v=0.1",      // wrong dim
+		"/query/outlier?sensor=a&v=x,y",      // unparsable
+		"/query/prob?sensor=a&v=0.1,0.5",     // missing r
 		"/query/prob?sensor=a&v=0.1,0.5&r=0", // non-positive r
 	} {
 		if resp, _ := getBody(t, ts.URL+bad); resp.StatusCode != http.StatusBadRequest {
@@ -219,8 +219,8 @@ func TestBackpressureFullReject(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := newShard(0, pl, cfg.QueueDepth)
-	s := &Server{cfg: cfg, shards: []*shard{sh}}
+	sh := newShard(0, pl, cfg.QueueDepth, nil)
+	s := &Server{cfg: cfg, shards: []*shard{sh}, hub: newSubHub()}
 	// Occupy the mailbox's only slot so admission control must reject.
 	sh.reqs <- shardReq{op: opStats, reply: make(chan shardResp, 1)}
 
@@ -272,9 +272,9 @@ func TestBackpressurePartialReject(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		shards[i] = newShard(i, pl, cfg.QueueDepth)
+		shards[i] = newShard(i, pl, cfg.QueueDepth, nil)
 	}
-	s := &Server{cfg: cfg, shards: shards}
+	s := &Server{cfg: cfg, shards: shards, hub: newSubHub()}
 
 	// Find sensor names for each shard.
 	bySensor := map[int]string{}

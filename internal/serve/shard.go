@@ -27,14 +27,17 @@ const (
 )
 
 // shardReq is one mailbox envelope. Ingest envelopes carry a sub-batch
-// already filtered to this shard; the reply channel is buffered so the
+// already filtered to this shard plus a caller-owned verdict buffer
+// (len == len(batch)) the shard fills in place — the pooled ingest path
+// allocates nothing per envelope. The reply channel is buffered so the
 // shard goroutine never blocks on a departed caller.
 type shardReq struct {
-	op     opKind
-	batch  []Reading
-	pt     []float64
-	radius float64
-	reply  chan shardResp
+	op       opKind
+	batch    []Reading
+	verdicts []Verdict
+	pt       []float64
+	radius   float64
+	reply    chan shardResp
 }
 
 type shardResp struct {
@@ -53,6 +56,7 @@ type shardResp struct {
 type shard struct {
 	id   int
 	pl   *Pipeline
+	hub  *subHub // verdict fan-out; publish is a single atomic load when idle
 	reqs chan shardReq
 	quit chan struct{} // Abort: stop without draining
 	done chan struct{}
@@ -61,13 +65,21 @@ type shard struct {
 	outliers atomic.Uint64
 	rejected atomic.Uint64 // incremented by the admission layer
 
-	lat *quantile.GK
+	// lat samples one in latSample service times (clock reads and sketch
+	// inserts off the other readings' hot path); the /stats percentiles
+	// are over this sample.
+	lat     *quantile.GK
+	latTick uint64
 }
 
-func newShard(id int, pl *Pipeline, queueDepth int) *shard {
+// latSample is the service-time sampling stride (power of two).
+const latSample = 8
+
+func newShard(id int, pl *Pipeline, queueDepth int, hub *subHub) *shard {
 	return &shard{
 		id:   id,
 		pl:   pl,
+		hub:  hub,
 		reqs: make(chan shardReq, queueDepth),
 		quit: make(chan struct{}),
 		done: make(chan struct{}),
@@ -96,14 +108,34 @@ func (sh *shard) run() {
 func (sh *shard) handle(req shardReq) {
 	switch req.op {
 	case opIngest:
-		verdicts := make([]Verdict, len(req.batch))
+		verdicts := req.verdicts
+		if verdicts == nil {
+			verdicts = make([]Verdict, len(req.batch))
+		}
 		for i := range req.batch {
-			t0 := time.Now()
+			timed := sh.latTick&(latSample-1) == 0
+			sh.latTick++
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
 			v := sh.pl.Ingest(req.batch[i].Value)
-			sh.lat.Insert(float64(time.Since(t0)) / float64(time.Microsecond))
+			if timed {
+				sh.lat.Insert(float64(time.Since(t0)) / float64(time.Microsecond))
+			}
 			verdicts[i] = v
 			if v.Outlier {
 				sh.outliers.Add(1)
+			}
+			if sh.hub != nil {
+				sh.hub.publish(subEvent{
+					Sensor:  req.batch[i].Sensor,
+					Shard:   sh.id,
+					Seq:     v.Seq,
+					Outlier: v.Outlier,
+					Exact:   v.Exact,
+					Warmed:  v.Warmed,
+				})
 			}
 		}
 		sh.ingested.Add(uint64(len(req.batch)))

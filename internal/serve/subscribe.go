@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Streaming outlier subscriptions. Polling /query/outlier is the wrong
+// service model for fleets of dashboards — the push model of in-network
+// detection (Branch et al.) inverted to datacenter scale: a subscriber
+// opens GET /subscribe and the server pushes every matching verdict the
+// moment its shard emits it.
+//
+// The fan-out discipline protects the ingest hot path absolutely: each
+// subscriber owns a bounded ring; a shard publishing a verdict takes the
+// subscriber's mutex (uncontended except against the subscriber's own
+// drain), stores into the ring, and moves on. A slow subscriber loses
+// the oldest events — counted and reported as a gap record on its own
+// stream — and can never backpressure a shard goroutine.
+
+// subEvent is one pushed verdict.
+type subEvent struct {
+	Sensor  string
+	Shard   int
+	Seq     uint64
+	Outlier bool
+	Exact   bool
+	Warmed  bool
+}
+
+// subscriber is one /subscribe connection's state: a fixed-capacity ring
+// written by shard goroutines and drained by the connection handler.
+type subscriber struct {
+	hub *subHub
+
+	// Immutable filters, set at registration.
+	sensors     map[string]struct{} // nil = every sensor
+	outlierOnly bool
+
+	notify chan struct{} // capacity 1: coalesced wake-up
+
+	mu      sync.Mutex
+	ring    []subEvent
+	start   int
+	n       int
+	dropped uint64 // drops since the last drain, reported as a gap record
+}
+
+// offer publishes one event into the ring, dropping the oldest event if
+// the subscriber is behind. Never blocks, never allocates.
+func (sub *subscriber) offer(ev subEvent) {
+	if sub.sensors != nil {
+		if _, ok := sub.sensors[ev.Sensor]; !ok {
+			return
+		}
+	}
+	if sub.outlierOnly && !ev.Outlier {
+		return
+	}
+	sub.mu.Lock()
+	if sub.n == len(sub.ring) {
+		sub.start++
+		if sub.start == len(sub.ring) {
+			sub.start = 0
+		}
+		sub.n--
+		sub.dropped++
+		sub.hub.dropped.Add(1)
+	}
+	i := sub.start + sub.n
+	if i >= len(sub.ring) {
+		i -= len(sub.ring)
+	}
+	sub.ring[i] = ev
+	sub.n++
+	sub.mu.Unlock()
+	select {
+	case sub.notify <- struct{}{}:
+	default:
+	}
+}
+
+// drain moves all buffered events into dst and resets the gap counter,
+// returning how many events were dropped before the first one in dst.
+func (sub *subscriber) drain(dst []subEvent) ([]subEvent, uint64) {
+	sub.mu.Lock()
+	for k := 0; k < sub.n; k++ {
+		i := sub.start + k
+		if i >= len(sub.ring) {
+			i -= len(sub.ring)
+		}
+		dst = append(dst, sub.ring[i])
+	}
+	sub.start, sub.n = 0, 0
+	d := sub.dropped
+	sub.dropped = 0
+	sub.mu.Unlock()
+	return dst, d
+}
+
+// subHub fans shard verdicts out to the registered subscribers.
+type subHub struct {
+	mu   sync.RWMutex
+	subs map[*subscriber]struct{}
+
+	active  atomic.Int64  // len(subs), read lock-free on the publish path
+	dropped atomic.Uint64 // total ring drops across all subscribers
+
+	done      chan struct{} // closed on server shutdown; ends every stream
+	closeOnce sync.Once
+}
+
+func newSubHub() *subHub {
+	return &subHub{subs: make(map[*subscriber]struct{}), done: make(chan struct{})}
+}
+
+// publish fans one verdict out. With no subscribers this is a single
+// atomic load — the shard hot path stays zero-cost and zero-alloc.
+func (h *subHub) publish(ev subEvent) {
+	if h.active.Load() == 0 {
+		return
+	}
+	h.mu.RLock()
+	for sub := range h.subs {
+		sub.offer(ev)
+	}
+	h.mu.RUnlock()
+}
+
+func (h *subHub) add(sub *subscriber) {
+	h.mu.Lock()
+	h.subs[sub] = struct{}{}
+	h.active.Store(int64(len(h.subs)))
+	h.mu.Unlock()
+}
+
+func (h *subHub) remove(sub *subscriber) {
+	h.mu.Lock()
+	delete(h.subs, sub)
+	h.active.Store(int64(len(h.subs)))
+	h.mu.Unlock()
+}
+
+// shutdown ends every stream; subscribers drain what their rings still
+// hold and then their handlers return.
+func (h *subHub) shutdown() {
+	h.closeOnce.Do(func() { close(h.done) })
+}
+
+func (h *subHub) subscribers() int { return int(h.active.Load()) }
+
+// handleSubscribe serves GET /subscribe?sensors=a,b&only=outlier&format=sse|binary:
+// a long-lived stream of verdict events for the selected sensors
+// (default: all sensors, all verdicts), as SSE (default) or ODWS binary
+// frames. Slow consumers get drop-oldest semantics with an explicit gap
+// record; disconnect or server shutdown ends the stream cleanly.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	q := r.URL.Query()
+
+	only := q.Get("only")
+	if only != "" && only != "outlier" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("only must be empty or %q", "outlier"))
+		return
+	}
+	format := q.Get("format")
+	switch format {
+	case "", "sse", "binary":
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("format must be sse or binary"))
+		return
+	}
+	var sensors map[string]struct{}
+	if raw := q.Get("sensors"); raw != "" {
+		sensors = make(map[string]struct{})
+		for _, name := range strings.Split(raw, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("empty sensor id in sensors list"))
+				return
+			}
+			sensors[name] = struct{}{}
+		}
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by connection"))
+		return
+	}
+
+	sub := &subscriber{
+		hub:         s.hub,
+		sensors:     sensors,
+		outlierOnly: only == "outlier",
+		notify:      make(chan struct{}, 1),
+		ring:        make([]subEvent, s.cfg.SubscribeBuffer),
+	}
+	// Registration excludes shutdown (s.mu), so a stream can never attach
+	// to a hub whose done channel it missed.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		writeErr(w, http.StatusServiceUnavailable, errServerClosed)
+		return
+	}
+	s.hub.add(sub)
+	s.mu.RUnlock()
+	defer s.hub.remove(sub)
+
+	binaryStream := format == "binary"
+	if binaryStream {
+		w.Header().Set("Content-Type", ContentTypeStream)
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	}
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	var out []byte
+	if binaryStream {
+		out = appendStreamHeader(out)
+		if _, err := w.Write(out); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+
+	var events []subEvent
+	ctx := r.Context()
+	flush := func() bool {
+		var gap uint64
+		events, gap = sub.drain(events[:0])
+		if gap == 0 && len(events) == 0 {
+			return true
+		}
+		out = out[:0]
+		if gap > 0 {
+			// Dropped events are older than everything in the ring, so
+			// the gap record precedes the drained events.
+			if binaryStream {
+				out = appendGapFrame(out, gap)
+			} else {
+				out = fmt.Appendf(out, "event: gap\ndata: {\"dropped\":%d}\n\n", gap)
+			}
+		}
+		for _, ev := range events {
+			if binaryStream {
+				out = appendVerdictFrame(out, ev)
+			} else {
+				out = fmt.Appendf(out,
+					"event: verdict\ndata: {\"sensor\":%q,\"shard\":%d,\"seq\":%d,\"outlier\":%t,\"exact\":%t,\"warmed\":%t}\n\n",
+					ev.Sensor, ev.Shard, ev.Seq, ev.Outlier, ev.Exact, ev.Warmed)
+			}
+		}
+		if _, err := w.Write(out); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.hub.done:
+			flush() // deliver what the ring still holds, then end the stream
+			return
+		case <-sub.notify:
+			if !flush() {
+				return
+			}
+		}
+	}
+}

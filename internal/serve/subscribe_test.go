@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSubscriberRingDropOldest pins the fan-out discipline at the struct
+// level: a full ring drops the oldest event, counts the drop, and the
+// next drain reports the gap before the surviving events.
+func TestSubscriberRingDropOldest(t *testing.T) {
+	hub := newSubHub()
+	sub := &subscriber{hub: hub, notify: make(chan struct{}, 1), ring: make([]subEvent, 3)}
+	for i := 1; i <= 5; i++ {
+		sub.offer(subEvent{Sensor: "a", Seq: uint64(i)})
+	}
+	events, gap := sub.drain(nil)
+	if gap != 2 {
+		t.Fatalf("gap %d, want 2", gap)
+	}
+	if len(events) != 3 || events[0].Seq != 3 || events[2].Seq != 5 {
+		t.Fatalf("drained %+v, want seqs 3..5", events)
+	}
+	if hub.dropped.Load() != 2 {
+		t.Fatalf("hub dropped %d, want 2", hub.dropped.Load())
+	}
+	// After a drain the gap counter resets.
+	sub.offer(subEvent{Sensor: "a", Seq: 6})
+	events, gap = sub.drain(events[:0])
+	if gap != 0 || len(events) != 1 || events[0].Seq != 6 {
+		t.Fatalf("post-drain state: gap=%d events=%+v", gap, events)
+	}
+}
+
+// TestSubscriberFilters pins sensor and outlier-only filtering at the
+// offer boundary — filtered events never cost ring space.
+func TestSubscriberFilters(t *testing.T) {
+	hub := newSubHub()
+	sub := &subscriber{
+		hub:         hub,
+		sensors:     map[string]struct{}{"a": {}},
+		outlierOnly: true,
+		notify:      make(chan struct{}, 1),
+		ring:        make([]subEvent, 8),
+	}
+	sub.offer(subEvent{Sensor: "b", Outlier: true}) // wrong sensor
+	sub.offer(subEvent{Sensor: "a"})                // not an outlier
+	sub.offer(subEvent{Sensor: "a", Outlier: true, Seq: 9})
+	events, gap := sub.drain(nil)
+	if gap != 0 || len(events) != 1 || events[0].Seq != 9 {
+		t.Fatalf("drained %+v gap=%d, want just seq 9", events, gap)
+	}
+}
+
+// TestHubPublishIdle pins the hot-path guarantee: publishing with no
+// subscribers is free of locks and allocations.
+func TestHubPublishIdle(t *testing.T) {
+	hub := newSubHub()
+	if avg := testing.AllocsPerRun(100, func() {
+		hub.publish(subEvent{Sensor: "a", Seq: 1})
+	}); avg != 0 {
+		t.Fatalf("idle publish allocates %v, want 0", avg)
+	}
+}
+
+type sseEvent struct {
+	kind string
+	data string
+}
+
+// readSSE reads n events from an SSE stream.
+func readSSE(t *testing.T, r *bufio.Reader, n int) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	var cur sseEvent
+	for len(out) < n {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended after %d/%d events: %v", len(out), n, err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.kind != "" {
+				out = append(out, cur)
+				cur = sseEvent{}
+			}
+		}
+	}
+	return out
+}
+
+func openStream(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("subscribe status %d: %s", resp.StatusCode, body)
+	}
+	return resp
+}
+
+// TestSubscribeSSE pins end-to-end push delivery: events arrive on an
+// open SSE stream the moment their batch is ingested, with fields
+// matching the ingest results.
+func TestSubscribeSSE(t *testing.T) {
+	srv := mustServer(t, testServerConfig(2, 1))
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := openStream(t, ts.URL+"/subscribe")
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	readings := make([]Reading, 6)
+	for i := range readings {
+		readings[i] = Reading{Sensor: fmt.Sprintf("s%d", i%3), Value: []float64{float64(i) / 10}}
+	}
+	results, rejected, err := srv.Ingest(readings)
+	if err != nil || rejected != 0 {
+		t.Fatalf("ingest: rejected=%d err=%v", rejected, err)
+	}
+
+	events := readSSE(t, bufio.NewReader(resp.Body), len(readings))
+	type key struct {
+		Sensor string `json:"sensor"`
+		Shard  int    `json:"shard"`
+		Seq    uint64 `json:"seq"`
+		Out    bool   `json:"outlier"`
+	}
+	got := map[string]bool{}
+	for _, ev := range events {
+		if ev.kind != "verdict" {
+			t.Fatalf("unexpected event %q (%s)", ev.kind, ev.data)
+		}
+		var k key
+		if err := json.Unmarshal([]byte(ev.data), &k); err != nil {
+			t.Fatalf("bad event data %q: %v", ev.data, err)
+		}
+		got[fmt.Sprintf("%s/%d/%d/%t", k.Sensor, k.Shard, k.Seq, k.Out)] = true
+	}
+	for i, r := range results {
+		want := fmt.Sprintf("%s/%d/%d/%t", readings[i].Sensor, r.Shard, r.Seq, r.Outlier)
+		if !got[want] {
+			t.Fatalf("event for reading %d (%s) not delivered; got %v", i, want, got)
+		}
+	}
+}
+
+// TestSubscribeSensorFilter pins server-side filtering: a stream opened
+// for one sensor sees that sensor's verdicts only.
+func TestSubscribeSensorFilter(t *testing.T) {
+	srv := mustServer(t, testServerConfig(1, 1))
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := openStream(t, ts.URL+"/subscribe?sensors=a")
+	defer resp.Body.Close()
+
+	if _, rejected, err := srv.Ingest([]Reading{
+		{Sensor: "b", Value: []float64{0.1}},
+		{Sensor: "a", Value: []float64{0.2}},
+		{Sensor: "c", Value: []float64{0.3}},
+		{Sensor: "a", Value: []float64{0.4}},
+	}); err != nil || rejected != 0 {
+		t.Fatalf("ingest: rejected=%d err=%v", rejected, err)
+	}
+
+	events := readSSE(t, bufio.NewReader(resp.Body), 2)
+	for _, ev := range events {
+		if !strings.Contains(ev.data, `"sensor":"a"`) {
+			t.Fatalf("filtered stream delivered %s", ev.data)
+		}
+	}
+}
+
+// TestSubscribeBinaryStream pins the ODWS framing end to end: header,
+// CRC-checked verdict frames, clean EOF on server close.
+func TestSubscribeBinaryStream(t *testing.T) {
+	srv := mustServer(t, testServerConfig(2, 1))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := openStream(t, ts.URL+"/subscribe?format=binary")
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentTypeStream {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	readings := []Reading{
+		{Sensor: "alpha", Value: []float64{0.5}},
+		{Sensor: "beta", Value: []float64{0.7}},
+	}
+	results, rejected, err := srv.Ingest(readings)
+	if err != nil || rejected != 0 {
+		t.Fatalf("ingest: rejected=%d err=%v", rejected, err)
+	}
+
+	sr := newStreamReader(resp.Body)
+	seen := map[string]subEvent{}
+	for len(seen) < len(readings) {
+		ev, _, kind, err := sr.Next()
+		if err != nil {
+			t.Fatalf("stream ended early: %v", err)
+		}
+		if kind == streamFrameVerdict {
+			seen[ev.Sensor] = ev
+		}
+	}
+	for i, r := range results {
+		ev, ok := seen[readings[i].Sensor]
+		if !ok || ev.Seq != r.Seq || ev.Shard != r.Shard || ev.Outlier != r.Outlier {
+			t.Fatalf("reading %d: stream event %+v vs result %+v", i, ev, r)
+		}
+	}
+
+	// Graceful close ends the stream with io.EOF after a final flush.
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	for {
+		if _, _, _, err := sr.Next(); err != nil {
+			if err != io.EOF {
+				t.Fatalf("stream ended with %v, want io.EOF", err)
+			}
+			break
+		}
+	}
+	if err := <-closed; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubscribeBadParams pins 4xx fail-closed on malformed subscription
+// requests.
+func TestSubscribeBadParams(t *testing.T) {
+	srv := mustServer(t, testServerConfig(1, 1))
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, q := range []string{
+		"?only=warmed",
+		"?format=msgpack",
+		"?sensors=a,,b",
+	} {
+		resp, err := http.Get(ts.URL + "/subscribe" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestSubscribeAfterClose pins that a closed server refuses new streams
+// instead of hanging them.
+func TestSubscribeAfterClose(t *testing.T) {
+	srv := mustServer(t, testServerConfig(1, 1))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	client := http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(ts.URL + "/subscribe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+}

@@ -82,6 +82,9 @@ type StatsResponse struct {
 	Distance distance.Params `json:"distance"`
 	MDEF     mdef.Params     `json:"mdef"`
 	PerShard []ShardStats    `json:"per_shard"`
+	// WireFingerprint is the u64 every ODWP frame must carry; binary
+	// clients learn it here before their first batch.
+	WireFingerprint uint64 `json:"wire_fingerprint"`
 }
 
 // PipelineConfigFor reconstructs the pipeline configuration of one shard

@@ -4,8 +4,11 @@
 # Builds oddserve + oddload, starts a sharded server with periodic
 # checkpoints, replays a bounded seeded load against it, and asserts
 #   1. every served verdict agreed bit-identically with oddload's twin
-#      (oddload exits non-zero on any disagreement), and
-#   2. the server shuts down cleanly on SIGTERM (final checkpoint, exit 0).
+#      (oddload exits non-zero on any disagreement) — first over JSON,
+#      then over the ODWP binary wire with a verified /subscribe stream
+#      attached (same seeded run, so the encodings are A/B'd),
+#   2. a plain SSE /subscribe stream delivers verdict events, and
+#   3. the server shuts down cleanly on SIGTERM (final checkpoint, exit 0).
 #
 # Usage: scripts/serve_smoke.sh [readings]   (default 20000)
 set -euo pipefail
@@ -46,11 +49,28 @@ for i in $(seq 1 50); do
 done
 curl -fsS "$ADDR/healthz" >/dev/null
 
-echo "serve-smoke: replaying $READINGS readings (verdict agreement enforced by oddload)"
+echo "serve-smoke: replaying $READINGS readings over JSON (verdict agreement enforced by oddload)"
 "$WORK/oddload" -addr "$ADDR" -n "$READINGS" -sensors 16 -batch 128 -max-retries 200
 
+echo "serve-smoke: opening an SSE /subscribe stream"
+curl -sN --max-time 60 "$ADDR/subscribe" >"$WORK/sse.out" 2>/dev/null &
+SSE_PID=$!
+sleep 0.3
+
+echo "serve-smoke: replaying $((READINGS * 2)) readings over ODWP binary with a verified /subscribe stream (catch-up skips the JSON phase)"
+"$WORK/oddload" -addr "$ADDR" -n "$((READINGS * 2))" -sensors 16 -batch 128 -max-retries 200 \
+    -wire binary -subscribe
+
+kill "$SSE_PID" 2>/dev/null || true
+wait "$SSE_PID" 2>/dev/null || true
+grep -q "event: verdict" "$WORK/sse.out" || {
+    echo "serve-smoke: SSE stream delivered no verdict events" >&2
+    head -c 512 "$WORK/sse.out" >&2 || true
+    exit 1
+}
+
 echo "serve-smoke: scraping /metrics and /stats"
-curl -fsS "$ADDR/metrics" | grep -q "odds_serve_ingested_total ${READINGS}" || {
+curl -fsS "$ADDR/metrics" | grep -q "odds_serve_ingested_total $((READINGS * 2))" || {
     echo "serve-smoke: metrics do not account for all readings" >&2
     curl -fsS "$ADDR/metrics" >&2
     exit 1
