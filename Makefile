@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-all bench-fault bench-rebuild bench-serve bench-wire serve-smoke chaos experiments quick-experiments verify-figures update-golden fmt vet clean
+.PHONY: all build test race cover bench bench-all bench-fault bench-rebuild bench-serve bench-wire serve-smoke cluster-smoke chaos cluster-chaos experiments quick-experiments verify-figures update-golden fmt vet clean
 
 # The default verify path includes vet and the race detector: the
 # parallel evaluation harness and the concurrent runtime are only correct
@@ -72,11 +72,23 @@ bench-wire:
 serve-smoke: build
 	scripts/serve_smoke.sh
 
+# End-to-end smoke of the cluster tier: router + 3 cluster nodes, a live
+# shard migration mid-stream, a hard primary kill with replica failover,
+# all under oddload's twin verdict oracle, then clean shutdown.
+cluster-smoke: build
+	scripts/cluster_smoke.sh
+
 # Full chaos property suite (30 oracle-generated fault schedules plus
 # faulted parallel-replay determinism) and the fault-schedule fuzzer.
 chaos:
 	$(GO) test -race -run 'TestChaos|TestRunParallelFaulted|TestFaultedSeedExactReplay' . ./internal/core/
 	$(GO) test -fuzz FuzzFaultSchedule -fuzztime 30s ./internal/fault/
+
+# Full cluster chaos suite (12 fault schedules: crashes, partitions,
+# lossy links, migrations mid-stream) with ddmin-shrunk reproducers on
+# failure. The -short CI lane runs the 4-schedule subset.
+cluster-chaos:
+	$(GO) test -race -run TestClusterChaos ./internal/cluster/
 
 # Full evaluation suite at near-paper scale (tens of minutes).
 experiments: build

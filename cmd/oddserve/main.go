@@ -5,6 +5,12 @@
 //
 //	oddserve -addr :8077 -shards 4 -detector distance -window 2000 \
 //	         -snapshot /tmp/odds.snap -snapshot-interval 5s
+//
+// With -cluster the process runs as one node of a multi-node cluster:
+// -shards becomes the cluster-global shard space, the node starts empty,
+// and a router (oddrouter) assigns shards through /admin/shard.
+//
+//	oddserve -addr :9101 -cluster -shards 8
 package main
 
 import (
@@ -42,6 +48,7 @@ func main() {
 		snapPath   = flag.String("snapshot", "", "snapshot file path (empty disables checkpointing)")
 		snapEvery  = flag.Duration("snapshot-interval", 5*time.Second, "periodic checkpoint interval")
 		retryAfter = flag.Duration("retry-after", 250*time.Millisecond, "backoff hint on rejected ingest")
+		cluster    = flag.Bool("cluster", false, "run as a cluster node (shards become the cluster-global space; a router assigns them)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -72,6 +79,11 @@ func main() {
 		RetryAfter:    *retryAfter,
 		SnapshotPath:  *snapPath,
 		SnapshotEvery: *snapEvery,
+		Cluster:       *cluster,
+	}
+	if *cluster && *snapPath != "" {
+		fmt.Fprintln(os.Stderr, "oddserve: -cluster is incompatible with -snapshot (cluster durability is replication + shipped snapshots)")
+		os.Exit(2)
 	}
 
 	srv, err := serve.New(cfg)

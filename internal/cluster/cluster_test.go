@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"odds/internal/core"
+	"odds/internal/distance"
+	"odds/internal/mdef"
+	"odds/internal/serve"
+)
+
+// testPipeline is the shared node configuration for cluster tests: a
+// small window so detectors warm quickly.
+func testPipeline(seed int64) serve.PipelineConfig {
+	ccfg := core.DefaultConfig(1)
+	ccfg.WindowCap = 150
+	ccfg.SampleSize = 50
+	return serve.PipelineConfig{
+		Core:     ccfg,
+		Kind:     serve.DetectDistance,
+		Distance: distance.Params{Radius: 0.05, Threshold: 3},
+		MDEF:     mdef.Params{R: 0.2, AlphaR: 0.05, KSigma: 1.5},
+		Seed:     seed,
+	}
+}
+
+// testCluster is an in-process multi-node cluster: N serve nodes behind
+// httptest servers, fronted by a router with its own HTTP listener.
+type testCluster struct {
+	t        *testing.T
+	servers  []*serve.Server
+	nodeTS   []*httptest.Server
+	router   *Router
+	routerTS *httptest.Server
+}
+
+func newTestCluster(t *testing.T, nodes, shards int, replicate bool) *testCluster {
+	t.Helper()
+	tc := &testCluster{t: t}
+	urls := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		srv, err := serve.New(serve.Config{
+			Shards:     shards,
+			Pipeline:   testPipeline(42),
+			QueueDepth: 64,
+			Cluster:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		tc.servers = append(tc.servers, srv)
+		tc.nodeTS = append(tc.nodeTS, ts)
+		urls[i] = ts.URL
+		t.Cleanup(func() { ts.Close(); _ = srv.Close() })
+	}
+	r, err := NewRouter(Options{Nodes: urls, Replicate: replicate, HealthThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.router = r
+	tc.routerTS = httptest.NewServer(r.Handler())
+	t.Cleanup(tc.routerTS.Close)
+	return tc
+}
+
+// killNode makes a node unreachable (its listener closes; in-flight and
+// future requests fail), simulating a crash.
+func (tc *testCluster) killNode(id int) {
+	tc.nodeTS[id].Close()
+}
+
+func runRoutedLoad(t *testing.T, url string, total int, subscribe bool) *serve.LoadReport {
+	t.Helper()
+	opts := serve.NewLoadOptions(url)
+	opts.Sensors = 6
+	opts.Total = total
+	opts.Batch = 48
+	opts.Seed = 99
+	opts.Encoding = "binary"
+	opts.Subscribe = subscribe
+	rep, err := serve.RunLoad(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Disagreements > 0 {
+		t.Fatalf("%d verdict disagreements; first: %s", rep.Disagreements, rep.FirstDiff)
+	}
+	if rep.StreamDisagreements > 0 {
+		t.Fatalf("%d stream disagreements; first: %s", rep.StreamDisagreements, rep.StreamFirstDiff)
+	}
+	return rep
+}
+
+// TestRouterRefusesMismatchedNodes: forming a cluster from nodes with
+// different detector configurations is refused fail-closed at bootstrap.
+func TestRouterRefusesMismatchedNodes(t *testing.T) {
+	mk := func(pcfg serve.PipelineConfig, cluster bool) (*httptest.Server, func()) {
+		srv, err := serve.New(serve.Config{Shards: 4, Pipeline: pcfg, QueueDepth: 16, Cluster: cluster})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		return ts, func() { ts.Close(); _ = srv.Close() }
+	}
+	good, cleanGood := mk(testPipeline(42), true)
+	defer cleanGood()
+	badCfg := testPipeline(42)
+	badCfg.Distance.Radius *= 2
+	bad, cleanBad := mk(badCfg, true)
+	defer cleanBad()
+
+	if _, err := NewRouter(Options{Nodes: []string{good.URL, bad.URL}}); err == nil ||
+		!strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("mismatched configs formed a cluster: %v", err)
+	}
+
+	solo, cleanSolo := mk(testPipeline(42), false)
+	defer cleanSolo()
+	if _, err := NewRouter(Options{Nodes: []string{solo.URL}}); err == nil ||
+		!strings.Contains(err.Error(), "cluster mode") {
+		t.Fatalf("non-cluster node joined a cluster: %v", err)
+	}
+}
+
+// TestRoutedLoadAgreement extends the twin-oracle verdict agreement to
+// the routed path: oddload's oracle runs unchanged against the router
+// across node and shard counts, and every served verdict must be
+// bit-identical to the in-process twin.
+func TestRoutedLoadAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("routed load oracle is slow; run without -short")
+	}
+	for _, tt := range []struct{ nodes, shards int }{
+		{1, 1}, {1, 4}, {3, 1}, {3, 4},
+	} {
+		t.Run(fmt.Sprintf("nodes=%d_shards=%d", tt.nodes, tt.shards), func(t *testing.T) {
+			tc := newTestCluster(t, tt.nodes, tt.shards, tt.nodes > 1)
+			rep := runRoutedLoad(t, tc.routerTS.URL, 2000, true)
+			if rep.Sent != 2000 {
+				t.Fatalf("sent %d readings, want 2000", rep.Sent)
+			}
+			if rep.Agreements == 0 {
+				t.Fatal("oracle compared no verdicts")
+			}
+		})
+	}
+}
+
+// TestRoutedQueryAndStats covers the proxied query path and the
+// aggregated stats/metrics surface.
+func TestRoutedQueryAndStats(t *testing.T) {
+	tc := newTestCluster(t, 3, 4, true)
+	runRoutedLoad(t, tc.routerTS.URL, 600, false)
+
+	st, err := tc.router.AggregateStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Cluster || st.Shards != 4 || len(st.PerShard) != 4 {
+		t.Fatalf("aggregate stats %+v", st)
+	}
+	var total uint64
+	for _, ss := range st.PerShard {
+		total += ss.Arrivals
+	}
+	if total != 600 {
+		t.Fatalf("cluster arrivals %d, want 600", total)
+	}
+
+	resp, err := http.Get(tc.routerTS.URL + "/query/outlier?sensor=sensor-0&v=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied query: status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(tc.routerTS.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, metric := range []string{"odds_router_map_epoch", "odds_router_forwarded_total", "odds_router_nodes_live 3"} {
+		if !strings.Contains(string(body), metric) {
+			t.Errorf("metrics missing %q:\n%s", metric, body)
+		}
+	}
+}
+
+// TestRoutedLoadAcrossMigration: migrate a shard between two load runs
+// and require the resumed run to agree bit-identically — the shipped
+// snapshot carried the exact pipeline state.
+func TestRoutedLoadAcrossMigration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("routed load oracle is slow; run without -short")
+	}
+	tc := newTestCluster(t, 3, 4, true)
+	runRoutedLoad(t, tc.routerTS.URL, 1200, false)
+
+	m := tc.router.CurrentMap()
+	shard, from := 0, m.Owner[0]
+	to := (from + 1) % 3
+	epochBefore := m.Epoch
+	resp, err := http.Post(fmt.Sprintf("%s/admin/migrate?shard=%d&to=%d", tc.routerTS.URL, shard, to), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("migrate: status %d: %s", resp.StatusCode, body)
+	}
+	m = tc.router.CurrentMap()
+	if m.Owner[shard] != to || m.Epoch <= epochBefore {
+		t.Fatalf("post-migration map: owner %d epoch %d (was node %d epoch %d)", m.Owner[shard], m.Epoch, from, epochBefore)
+	}
+
+	// The resumed run catches up from /stats and re-verifies the tail.
+	rep := runRoutedLoad(t, tc.routerTS.URL, 2400, false)
+	if rep.CaughtUp != 1200 {
+		t.Fatalf("resumed run caught up %d, want 1200 (migration lost state)", rep.CaughtUp)
+	}
+}
+
+// TestFailoverPromote: kill a primary, let the health loop declare it
+// dead and promote replicas, then require a catch-up load run to agree
+// bit-identically — deterministic replay across failover.
+func TestFailoverPromote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("routed load oracle is slow; run without -short")
+	}
+	tc := newTestCluster(t, 3, 4, true)
+	runRoutedLoad(t, tc.routerTS.URL, 1200, false)
+
+	m := tc.router.CurrentMap()
+	victim := m.Owner[0]
+	tc.killNode(victim)
+	promoted := tc.router.HealthTick() // threshold 1: one failed probe
+	if len(promoted) == 0 {
+		t.Fatal("health tick promoted nothing after killing a primary")
+	}
+	m = tc.router.CurrentMap()
+	for sh := 0; sh < m.Shards; sh++ {
+		if m.Owner[sh] == victim {
+			t.Fatalf("shard %d still owned by dead node %d", sh, victim)
+		}
+		if m.Owner[sh] < 0 {
+			t.Fatalf("shard %d unavailable after failover (no live replica)", sh)
+		}
+	}
+
+	// The promoted replicas may trail the dead primary's ACK point; the
+	// catch-up run reads their arrivals and re-sends the lost tail, and
+	// every re-served verdict must still match the twin.
+	rep := runRoutedLoad(t, tc.routerTS.URL, 2400, false)
+	if rep.Sent+rep.CaughtUp != 2400 {
+		t.Fatalf("resumed run: sent %d + caught up %d != 2400", rep.Sent, rep.CaughtUp)
+	}
+}
+
+// TestSubscribeAcrossMigration (conservation): a subscriber connected
+// through the router across a live migration sees every accepted reading
+// exactly once — events + ring-drop gaps account for everything, with no
+// duplicates and no silent loss.
+func TestSubscribeAcrossMigration(t *testing.T) {
+	tc := newTestCluster(t, 3, 4, true)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, tc.routerTS.URL+"/subscribe?format=binary", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe: status %d", resp.StatusCode)
+	}
+
+	type evKey struct {
+		shard int
+		seq   uint64
+	}
+	events := make(chan serve.Event, 4096)
+	gaps := make(chan uint64, 64)
+	go func() {
+		sr := serve.NewStreamReader(resp.Body)
+		for {
+			ev, gap, kind, err := sr.Next()
+			if err != nil {
+				close(events)
+				return
+			}
+			if kind == serve.StreamFrameGap {
+				gaps <- gap
+			} else {
+				events <- ev
+			}
+		}
+	}()
+
+	// Drive batches through the router, retrying rejections in order so
+	// the accepted (shard, seq) set is exact. Migrate a shard mid-stream.
+	sensors := 6
+	accepted := make(map[evKey]bool)
+	send := func(round int) {
+		readings := make([]serve.Reading, sensors)
+		for s := 0; s < sensors; s++ {
+			readings[s] = serve.Reading{Sensor: fmt.Sprintf("sensor-%d", s), Value: []float64{0.5}}
+		}
+		for len(readings) > 0 {
+			buf, _ := json.Marshal(serve.IngestRequest{Readings: readings})
+			resp, err := http.Post(tc.routerTS.URL+"/ingest", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out serve.IngestResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			var retry []serve.Reading
+			for i, res := range out.Results {
+				if res.Accepted {
+					accepted[evKey{res.Shard, res.Seq}] = true
+				} else {
+					retry = append(retry, readings[i])
+				}
+			}
+			readings = retry
+			if len(readings) > 0 {
+				time.Sleep(5 * time.Millisecond) // seal window or backpressure
+			}
+		}
+	}
+
+	const rounds = 120
+	for round := 0; round < rounds; round++ {
+		if round == rounds/2 {
+			m := tc.router.CurrentMap()
+			to := (m.Owner[0] + 1) % 3
+			if err := tc.router.Migrate(0, to); err != nil {
+				t.Fatalf("mid-stream migration: %v", err)
+			}
+		}
+		send(round)
+	}
+
+	// Drain: every accepted reading must arrive as an event or be covered
+	// by an explicit gap record.
+	seen := make(map[evKey]bool)
+	var dropped uint64
+	deadline := time.After(5 * time.Second)
+	for len(seen)+int(dropped) < len(accepted) {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatalf("stream closed early: %d events + %d dropped of %d accepted", len(seen), dropped, len(accepted))
+			}
+			k := evKey{ev.Shard, ev.Seq}
+			if seen[k] {
+				t.Fatalf("duplicate event for shard %d seq %d across migration", ev.Shard, ev.Seq)
+			}
+			if !accepted[k] {
+				t.Fatalf("stream delivered unsent reading: shard %d seq %d", ev.Shard, ev.Seq)
+			}
+			seen[k] = true
+		case g := <-gaps:
+			dropped += g
+		case <-deadline:
+			t.Fatalf("conservation timeout: %d events + %d dropped of %d accepted", len(seen), dropped, len(accepted))
+		}
+	}
+	if len(seen)+int(dropped) != len(accepted) {
+		t.Fatalf("conservation violated: %d events + %d dropped != %d accepted", len(seen), dropped, len(accepted))
+	}
+}

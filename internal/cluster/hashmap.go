@@ -1,0 +1,156 @@
+// Package cluster is the multi-node tier in front of odds serve nodes: a
+// router holding a versioned consistent-hash shard→node map, live shard
+// migration via shipped ODPS snapshots, and per-shard replica chains
+// with deterministic promote-on-failure.
+//
+// The cluster-global shard space is fixed at bootstrap (every node runs
+// with the same Config.Shards and derives per-shard seeds from the
+// global shard id), so a shard's pipeline is bit-identical no matter
+// which node hosts it — migration and failover are pure state transfer,
+// never a re-deal of sensors to shards.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Map is one version of the shard→node assignment. Maps are immutable
+// once published; every change (migration, failover) produces a
+// successor with a strictly larger Epoch, and nodes refuse hot-path
+// requests stamped with any other epoch — the WrongNode/map-epoch
+// protocol that keeps a stale router from applying work on the wrong
+// side of a migration commit.
+type Map struct {
+	Epoch  uint64   `json:"epoch"`
+	Shards int      `json:"shards"`
+	Nodes  []string `json:"nodes"` // node base URLs; index is the node id
+	// Owner maps global shard id → node id of its primary.
+	Owner []int `json:"owner"`
+	// Replica maps shard id → node id of its follower, or -1.
+	Replica []int `json:"replica"`
+}
+
+// vnodes is the number of ring points per node. 64 keeps the assignment
+// skew within ~2× of the mean for realistic shard counts while keeping
+// ring rebuilds trivially cheap.
+const vnodes = 64
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV-1a alone diffuses poorly in the upper bits for short, similar
+	// keys (node URLs differing in one digit cluster on the ring); a
+	// splitmix64 finalizer spreads the points uniformly.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ringPoint is one virtual node position.
+type ringPoint struct {
+	pos  uint64
+	node int
+}
+
+// buildRing places every live node (by id) on the hash ring. Positions
+// depend only on the node URL and the vnode index, so adding or removing
+// a node leaves every other node's points untouched — the minimal-
+// movement property the map tests pin.
+func buildRing(nodes []string, live func(int) bool) []ringPoint {
+	ring := make([]ringPoint, 0, len(nodes)*vnodes)
+	for id, url := range nodes {
+		if live != nil && !live(id) {
+			continue
+		}
+		for v := 0; v < vnodes; v++ {
+			ring = append(ring, ringPoint{pos: hash64(fmt.Sprintf("%s#%d", url, v)), node: id})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].pos != ring[j].pos {
+			return ring[i].pos < ring[j].pos
+		}
+		return ring[i].node < ring[j].node
+	})
+	return ring
+}
+
+// ownerOn walks the ring clockwise from the shard's hash to the first
+// point; the replica is the next point owned by a different node.
+func ownerOn(ring []ringPoint, shard int) (owner, replica int) {
+	if len(ring) == 0 {
+		return -1, -1
+	}
+	key := hash64(fmt.Sprintf("shard:%d", shard))
+	i := sort.Search(len(ring), func(k int) bool { return ring[k].pos >= key })
+	if i == len(ring) {
+		i = 0
+	}
+	owner, replica = ring[i].node, -1
+	for step := 1; step < len(ring); step++ {
+		p := ring[(i+step)%len(ring)]
+		if p.node != owner {
+			replica = p.node
+			break
+		}
+	}
+	return owner, replica
+}
+
+// BuildMap computes the epoch-1 assignment of shards onto nodes.
+func BuildMap(shards int, nodes []string) (*Map, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("cluster: shards %d must be positive", shards)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate node %q", n)
+		}
+		seen[n] = true
+	}
+	m := &Map{
+		Epoch:   1,
+		Shards:  shards,
+		Nodes:   append([]string(nil), nodes...),
+		Owner:   make([]int, shards),
+		Replica: make([]int, shards),
+	}
+	ring := buildRing(m.Nodes, nil)
+	for sh := 0; sh < shards; sh++ {
+		m.Owner[sh], m.Replica[sh] = ownerOn(ring, sh)
+	}
+	return m, nil
+}
+
+// clone deep-copies the map with the epoch advanced by one.
+func (m *Map) clone() *Map {
+	return &Map{
+		Epoch:   m.Epoch + 1,
+		Shards:  m.Shards,
+		Nodes:   append([]string(nil), m.Nodes...),
+		Owner:   append([]int(nil), m.Owner...),
+		Replica: append([]int(nil), m.Replica...),
+	}
+}
+
+// WithNodes recomputes the assignment for a changed node set (the ids of
+// surviving nodes keep their URLs), bumping the epoch. Only shards whose
+// ring owner actually changed move — the minimal-movement property.
+func (m *Map) WithNodes(nodes []string) (*Map, error) {
+	next, err := BuildMap(m.Shards, nodes)
+	if err != nil {
+		return nil, err
+	}
+	next.Epoch = m.Epoch + 1
+	return next, nil
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func nodeURLs(n int) []string {
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://node-%02d:9100", i)
+	}
+	return urls
+}
+
+// TestMapSkewBound pins the consistent-hash balance across cluster
+// sizes: with 64 vnodes per node, no node owns more than 2× its fair
+// share of 256 shards, and every node owns at least one shard.
+func TestMapSkewBound(t *testing.T) {
+	const shards = 256
+	for n := 1; n <= 16; n++ {
+		t.Run(fmt.Sprintf("nodes=%d", n), func(t *testing.T) {
+			m, err := BuildMap(shards, nodeURLs(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := make([]int, n)
+			for sh, owner := range m.Owner {
+				if owner < 0 || owner >= n {
+					t.Fatalf("shard %d assigned to invalid node %d", sh, owner)
+				}
+				counts[owner]++
+				if rep := m.Replica[sh]; n == 1 {
+					if rep != -1 {
+						t.Fatalf("shard %d has replica %d on a 1-node cluster", sh, rep)
+					}
+				} else if rep < 0 || rep >= n || rep == owner {
+					t.Fatalf("shard %d replica %d invalid (owner %d)", sh, rep, owner)
+				}
+			}
+			fair := shards / n
+			for id, c := range counts {
+				if c == 0 {
+					t.Errorf("node %d owns no shards", id)
+				}
+				if c > 2*fair {
+					t.Errorf("node %d owns %d shards, above the 2×fair bound %d", id, c, 2*fair)
+				}
+			}
+		})
+	}
+}
+
+// TestMapDeterminism: the map is a pure function of (shards, nodes), so
+// every router instance derives the identical assignment.
+func TestMapDeterminism(t *testing.T) {
+	a, err := BuildMap(64, nodeURLs(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := BuildMap(64, nodeURLs(5))
+	for sh := range a.Owner {
+		if a.Owner[sh] != b.Owner[sh] || a.Replica[sh] != b.Replica[sh] {
+			t.Fatalf("shard %d differs across identical builds: (%d,%d) vs (%d,%d)",
+				sh, a.Owner[sh], a.Replica[sh], b.Owner[sh], b.Replica[sh])
+		}
+	}
+}
+
+// TestMapMinimalMovement pins the consistent-hash contract on membership
+// change: adding a node only moves shards TO the new node; removing a
+// node only moves the shards it owned.
+func TestMapMinimalMovement(t *testing.T) {
+	const shards = 256
+	for n := 2; n <= 8; n++ {
+		t.Run(fmt.Sprintf("add-to-%d", n), func(t *testing.T) {
+			before, err := BuildMap(shards, nodeURLs(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			after, err := before.WithNodes(nodeURLs(n + 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for sh := range before.Owner {
+				if before.Owner[sh] == after.Owner[sh] {
+					continue
+				}
+				moved++
+				if after.Owner[sh] != n {
+					t.Errorf("shard %d moved %d→%d, but only the new node %d may gain shards",
+						sh, before.Owner[sh], after.Owner[sh], n)
+				}
+			}
+			if moved == 0 {
+				t.Errorf("new node %d gained no shards", n)
+			}
+			if moved > shards/(n+1)*2 {
+				t.Errorf("adding one node moved %d/%d shards, above 2×fair", moved, shards)
+			}
+		})
+		t.Run(fmt.Sprintf("remove-from-%d", n), func(t *testing.T) {
+			urls := nodeURLs(n)
+			before, err := BuildMap(shards, urls)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Drop the last node; survivors keep their URLs (and ring points).
+			after, err := before.WithNodes(urls[:n-1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for sh := range before.Owner {
+				if before.Owner[sh] != n-1 && after.Owner[sh] != before.Owner[sh] {
+					t.Errorf("shard %d moved %d→%d although its owner survived",
+						sh, before.Owner[sh], after.Owner[sh])
+				}
+			}
+		})
+	}
+}
+
+// TestMapEpochMonotonicity: every map mutation publishes a strictly
+// larger epoch — the property the WrongNode/map-epoch protocol needs.
+func TestMapEpochMonotonicity(t *testing.T) {
+	m, err := BuildMap(16, nodeURLs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 1 {
+		t.Fatalf("fresh map epoch %d, want 1", m.Epoch)
+	}
+	prev := m.Epoch
+	c := m.clone()
+	if c.Epoch != prev+1 {
+		t.Fatalf("clone epoch %d, want %d", c.Epoch, prev+1)
+	}
+	// Clones are deep: mutating the successor leaves the original intact.
+	c.Owner[0] = 99
+	if m.Owner[0] == 99 {
+		t.Fatal("clone shares Owner storage with its parent")
+	}
+	w, err := c.WithNodes(nodeURLs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Epoch != c.Epoch+1 {
+		t.Fatalf("WithNodes epoch %d, want %d", w.Epoch, c.Epoch+1)
+	}
+}
+
+// TestBuildMapValidation pins the constructor's input checks.
+func TestBuildMapValidation(t *testing.T) {
+	if _, err := BuildMap(0, nodeURLs(2)); err == nil {
+		t.Error("BuildMap accepted zero shards")
+	}
+	if _, err := BuildMap(4, nil); err == nil {
+		t.Error("BuildMap accepted an empty node list")
+	}
+	if _, err := BuildMap(4, []string{"http://a", "http://a"}); err == nil {
+		t.Error("BuildMap accepted duplicate nodes")
+	}
+}

@@ -1,0 +1,322 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"odds/internal/serve"
+)
+
+// Migration protocol (state machine; each arrow is one admin call):
+//
+//	serving ──seal+snapshot──▶ sealed ──install on target──▶ staged
+//	  staged ──re-chain replica──▶ chained ──commit epoch──▶ committed
+//	  committed ──release source──▶ done
+//
+// Failure unwinds: before commit, the source is simply unsealed and the
+// target's partial state released — no client-visible change (sealed
+// rejections were retried and will land on the unchanged owner). After
+// commit the migration is done; releasing the sealed source copy is
+// best-effort cleanup (a sealed shard only rejects, it cannot diverge).
+//
+// The seal happens inside the source shard's mailbox discipline: the
+// seal flag is set before the snapshot envelope is enqueued, so FIFO
+// order guarantees the blob contains exactly the readings that were
+// ACKed — nothing ACKed is lost, nothing unACKed is captured.
+
+// snapshotShard fetches a sealed ODSH ship frame from a node.
+func (r *Router) snapshotShard(node, shard int, seal bool) ([]byte, error) {
+	url := fmt.Sprintf("%s/admin/shard?op=snapshot&id=%d", r.opts.Nodes[node], shard)
+	if seal {
+		url += "&seal=1"
+	}
+	resp, err := r.client.Post(url, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("cluster: snapshot shard %d on node %d: status %d: %s", shard, node, resp.StatusCode, msg)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Migrate moves one shard's primary to another node, live. Clients see
+// at most a window of rejected (retried) sub-batches while the shard is
+// sealed and the epoch flips; verdict streams stay seq-contiguous
+// because the target resumes publishing exactly where the source's
+// snapshot ends.
+func (r *Router) Migrate(shard, to int) error {
+	r.mu.RLock()
+	m := r.m
+	deadTo := to < 0 || to >= len(r.dead) || r.dead[to]
+	r.mu.RUnlock()
+	if shard < 0 || shard >= m.Shards {
+		return fmt.Errorf("cluster: shard %d outside [0,%d)", shard, m.Shards)
+	}
+	if deadTo {
+		return fmt.Errorf("cluster: target node %d is not alive", to)
+	}
+	from := m.Owner[shard]
+	if from == to {
+		return nil
+	}
+
+	// Drain: seal, then snapshot through the same mailbox.
+	frame, err := r.snapshotShard(from, shard, true)
+	if err != nil {
+		// The seal may or may not have landed; best-effort unseal either way.
+		_ = r.admin(from, fmt.Sprintf("op=unseal&id=%d", shard), nil)
+		return fmt.Errorf("cluster: migrate shard %d: drain: %w", shard, err)
+	}
+
+	// Stage: install the blob on the target (fingerprint-checked,
+	// fail-closed — a mismatched target refuses before touching state).
+	// If the target is the shard's current replica, its copy — a stale
+	// prefix of the blob we just cut — is released first.
+	if m.Replica[shard] == to {
+		_ = r.admin(to, fmt.Sprintf("op=release&id=%d", shard), nil)
+	}
+	if err := r.admin(to, fmt.Sprintf("op=install&id=%d", shard), frame); err != nil {
+		_ = r.admin(from, fmt.Sprintf("op=unseal&id=%d", shard), nil)
+		return fmt.Errorf("cluster: migrate shard %d: install on node %d: %w", shard, to, err)
+	}
+
+	// Re-chain the replica before the commit, while nothing can write:
+	// install the same blob as a follower so replication is contiguous
+	// from the cut. The old replica (a stale prefix) is released.
+	newReplica := -1
+	if old := m.Replica[shard]; old >= 0 {
+		r.mu.RLock()
+		oldDead := r.dead[old]
+		r.mu.RUnlock()
+		if old != to && !oldDead {
+			_ = r.admin(old, fmt.Sprintf("op=release&id=%d", shard), nil)
+			if err := r.admin(old, fmt.Sprintf("op=install&id=%d&role=replica", shard), frame); err == nil {
+				if err := r.admin(to, fmt.Sprintf("op=follow&id=%d&target=%s", shard, m.Nodes[old]), nil); err == nil {
+					newReplica = old
+				}
+			}
+		}
+	}
+
+	// Commit: successor map, push the new epoch. From this point stale-
+	// stamped requests bounce off every node that heard the push.
+	r.mu.Lock()
+	next := r.m.clone()
+	next.Owner[shard] = to
+	next.Replica[shard] = newReplica
+	r.m = next
+	r.mu.Unlock()
+	r.pushEpoch(next)
+	r.migrations.Add(1)
+
+	// Cleanup: release the sealed source copy (best-effort; a sealed
+	// shard can only reject, so a failed release is safe to leave).
+	_ = r.admin(from, fmt.Sprintf("op=release&id=%d", shard), nil)
+	return nil
+}
+
+// HealthTick probes every node once. A live node that has missed
+// HealthThreshold consecutive probes is declared dead and its shards
+// fail over; a dead node that answers again is auto-revived (its stale
+// copies stay unrouted) and any orphaned shard (Owner == -1) it still
+// hosts as a primary is re-adopted — sound because an orphaned shard
+// rejected every write, so the returning copy is a consistent prefix of
+// the canonical stream and clients recover via the catch-up contract.
+// Promotion is deterministic: shards are scanned in id order, each
+// promoted to its map replica — which holds a bit-exact prefix of the
+// dead primary. Returns the shards whose primary changed this tick
+// (promotions and re-adoptions); clients must resync their cursors.
+func (r *Router) HealthTick() []int {
+	r.mu.RLock()
+	m := r.m
+	nNodes := len(m.Nodes)
+	r.mu.RUnlock()
+
+	alive := make([]bool, nNodes)
+	for id := 0; id < nNodes; id++ {
+		alive[id] = r.probe(m.Nodes[id])
+	}
+
+	r.mu.Lock()
+	newlyDead := false
+	var revived []int
+	for id := 0; id < nNodes; id++ {
+		if r.dead[id] {
+			if alive[id] {
+				r.dead[id] = false
+				r.down[id] = 0
+				revived = append(revived, id)
+			}
+			continue
+		}
+		if alive[id] {
+			r.down[id] = 0
+			continue
+		}
+		r.down[id]++
+		if r.down[id] >= r.opts.HealthThreshold {
+			r.dead[id] = true
+			newlyDead = true
+		}
+	}
+	if !newlyDead && len(revived) == 0 {
+		r.mu.Unlock()
+		return nil
+	}
+	next := r.m.clone()
+	var toPromote []int
+	for sh := 0; sh < next.Shards; sh++ {
+		owner, rep := next.Owner[sh], next.Replica[sh]
+		repLive := rep >= 0 && !r.dead[rep]
+		switch {
+		case owner >= 0 && r.dead[owner] && repLive:
+			next.Owner[sh] = rep
+			next.Replica[sh] = -1
+			toPromote = append(toPromote, sh)
+		case owner >= 0 && r.dead[owner]:
+			// No live replica: the shard is unavailable until an
+			// operator re-creates it (ingest for it rejects).
+			next.Owner[sh] = -1
+			next.Replica[sh] = -1
+		case rep >= 0 && !repLive:
+			// The follower died while the primary survived: drop it from
+			// the map so RepairReplica can rebuild the chain — leaving a
+			// dead replica in place would doom the next owner failure.
+			next.Replica[sh] = -1
+		}
+	}
+	r.m = next
+	r.mu.Unlock()
+
+	for _, sh := range toPromote {
+		_ = r.admin(next.Owner[sh], fmt.Sprintf("op=promote&id=%d", sh), nil)
+		r.promotions.Add(1)
+	}
+
+	// Re-adopt orphaned shards still hosted by revived nodes.
+	changed := toPromote
+	for _, id := range revived {
+		infos, err := r.hostedShards(id)
+		if err != nil {
+			continue // next tick retries; the node stays revived
+		}
+		var adopt []int
+		for _, info := range infos {
+			if info.Role == "primary" && next.Owner[info.Shard] < 0 {
+				adopt = append(adopt, info.Shard)
+				if info.Sealed {
+					_ = r.admin(id, fmt.Sprintf("op=unseal&id=%d", info.Shard), nil)
+				}
+			}
+		}
+		if len(adopt) == 0 {
+			continue
+		}
+		r.mu.Lock()
+		next = r.m.clone()
+		for _, sh := range adopt {
+			next.Owner[sh] = id
+		}
+		r.m = next
+		r.mu.Unlock()
+		changed = append(changed, adopt...)
+	}
+	r.pushEpoch(next)
+	return changed
+}
+
+// hostedShards lists the shards a node currently hosts.
+func (r *Router) hostedShards(node int) ([]serve.AdminShardInfo, error) {
+	resp, err := r.client.Get(r.opts.Nodes[node] + "/admin/shards")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("cluster: node %d /admin/shards: status %d: %s", node, resp.StatusCode, msg)
+	}
+	var infos []serve.AdminShardInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Revive marks a node live again (it must already be serving — e.g. a
+// restarted empty process) so it can host future shards and replicas.
+func (r *Router) Revive(node int) error {
+	if node < 0 || node >= len(r.opts.Nodes) {
+		return fmt.Errorf("cluster: node %d unknown", node)
+	}
+	if !r.probe(r.opts.Nodes[node]) {
+		return fmt.Errorf("cluster: node %d did not answer a health probe", node)
+	}
+	r.mu.Lock()
+	r.dead[node] = false
+	r.down[node] = 0
+	m := r.m
+	r.mu.Unlock()
+	// The revived node restarts at epoch 0; bring it up to date.
+	r.pushEpoch(m)
+	return nil
+}
+
+// RepairReplica rebuilds a missing replica chain for one shard on the
+// given node: seal → snapshot → install replica → follow → unseal. The
+// seal window means a few rejected (retried) sub-batches, the same cost
+// as a migration drain.
+func (r *Router) RepairReplica(shard, node int) error {
+	r.mu.RLock()
+	m := r.m
+	deadNode := node < 0 || node >= len(r.dead) || r.dead[node]
+	r.mu.RUnlock()
+	if shard < 0 || shard >= m.Shards {
+		return fmt.Errorf("cluster: shard %d outside [0,%d)", shard, m.Shards)
+	}
+	owner := m.Owner[shard]
+	if owner < 0 {
+		return fmt.Errorf("%w: shard %d", errNoOwner, shard)
+	}
+	if deadNode || node == owner {
+		return fmt.Errorf("cluster: node %d cannot host shard %d's replica", node, shard)
+	}
+	frame, err := r.snapshotShard(owner, shard, true)
+	if err != nil {
+		_ = r.admin(owner, fmt.Sprintf("op=unseal&id=%d", shard), nil)
+		return err
+	}
+	if err := r.admin(node, fmt.Sprintf("op=install&id=%d&role=replica", shard), frame); err != nil {
+		_ = r.admin(owner, fmt.Sprintf("op=unseal&id=%d", shard), nil)
+		return err
+	}
+	if err := r.admin(owner, fmt.Sprintf("op=follow&id=%d&target=%s", shard, m.Nodes[node]), nil); err != nil {
+		_ = r.admin(owner, fmt.Sprintf("op=unseal&id=%d", shard), nil)
+		return err
+	}
+	if err := r.admin(owner, fmt.Sprintf("op=unseal&id=%d", shard), nil); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	next := r.m.clone()
+	next.Replica[shard] = node
+	r.m = next
+	r.mu.Unlock()
+	r.pushEpoch(next)
+	return nil
+}
+
+func (r *Router) probe(nodeURL string) bool {
+	resp, err := r.client.Get(nodeURL + "/healthz")
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

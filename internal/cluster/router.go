@@ -1,0 +1,413 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odds/internal/serve"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Nodes are the member serve-node base URLs; their index is the node
+	// id for the life of the cluster.
+	Nodes []string
+	// Shards is the cluster-global shard space; every node must be
+	// running with the same value.
+	Shards int
+	// Replicate establishes a replica chain per shard at bootstrap
+	// (requires ≥ 2 nodes for any shard to actually get one).
+	Replicate bool
+	// Client is the HTTP client for node traffic (fault-injecting tests
+	// substitute a partition-aware transport). Defaults to a client with
+	// a 5s timeout.
+	Client *http.Client
+	// HealthThreshold is the number of consecutive failed health probes
+	// before a node is declared dead and its shards fail over. Default 2.
+	HealthThreshold int
+}
+
+// Router fronts a set of serve nodes with a versioned shard→node map.
+// It speaks the ODWP binary wire to nodes on the hot path and exposes
+// the same HTTP surface as a single node (so oddload and its twin
+// oracle run unchanged against a cluster).
+type Router struct {
+	opts   Options
+	client *http.Client
+
+	// Node configuration template, verified identical (by wire
+	// fingerprint) across every member at bootstrap.
+	template serve.StatsResponse
+	fp       uint64
+	dim      int
+
+	mu   sync.RWMutex
+	m    *Map
+	down []int  // consecutive failed health probes per node
+	dead []bool // declared-dead nodes (shards failed over)
+
+	// names interns sensor ids on the binary ingest decode path.
+	names serve.Interner
+
+	// Hot-path counters for /metrics.
+	forwarded      atomic.Uint64 // readings forwarded to nodes
+	rejections     atomic.Uint64 // readings rejected (any cause)
+	epochConflicts atomic.Uint64 // node sub-batches refused 409
+	nodeErrors     atomic.Uint64 // node sub-batches lost to transport errors
+	migrations     atomic.Uint64
+	promotions     atomic.Uint64
+}
+
+var errNoOwner = errors.New("cluster: shard has no live owner")
+
+// NewRouter verifies the member nodes agree on configuration
+// (fail-closed on any wire-fingerprint mismatch), computes the epoch-1
+// map, creates every shard on its owner (plus replica chains when
+// configured), and pushes the epoch to all nodes.
+func NewRouter(opts Options) (*Router, error) {
+	if len(opts.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if opts.HealthThreshold <= 0 {
+		opts.HealthThreshold = 2
+	}
+	r := &Router{
+		opts:   opts,
+		client: opts.Client,
+		down:   make([]int, len(opts.Nodes)),
+		dead:   make([]bool, len(opts.Nodes)),
+	}
+
+	// Membership handshake: every node must be a cluster node with the
+	// same global shard space and the same configuration fingerprint.
+	for id, url := range opts.Nodes {
+		st, err := fetchNodeStats(r.client, url)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d (%s): %w", id, url, err)
+		}
+		if !st.Cluster {
+			return nil, fmt.Errorf("cluster: node %d (%s) is not running in cluster mode", id, url)
+		}
+		if opts.Shards == 0 {
+			opts.Shards = st.Shards
+		}
+		if st.Shards != opts.Shards {
+			return nil, fmt.Errorf("cluster: node %d has %d shards, cluster has %d", id, st.Shards, opts.Shards)
+		}
+		if id == 0 {
+			r.template = *st
+			r.fp = st.WireFingerprint
+			r.dim = st.Core.Dim
+		} else if st.WireFingerprint != r.fp {
+			return nil, fmt.Errorf("cluster: node %d (%s) configuration fingerprint %x does not match node 0's %x; refusing to form cluster",
+				id, url, st.WireFingerprint, r.fp)
+		}
+	}
+	r.opts.Shards = opts.Shards
+
+	m, err := BuildMap(opts.Shards, opts.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	r.m = m
+
+	// Place every shard: primary on its owner, follower chain when
+	// replication is on.
+	for sh := 0; sh < m.Shards; sh++ {
+		owner := m.Owner[sh]
+		if err := r.admin(owner, fmt.Sprintf("op=create&id=%d", sh), nil); err != nil {
+			return nil, fmt.Errorf("cluster: create shard %d on node %d: %w", sh, owner, err)
+		}
+		if !opts.Replicate || m.Replica[sh] < 0 {
+			m.Replica[sh] = -1
+			continue
+		}
+		rep := m.Replica[sh]
+		if err := r.admin(rep, fmt.Sprintf("op=create&id=%d&role=replica", sh), nil); err != nil {
+			return nil, fmt.Errorf("cluster: create replica %d on node %d: %w", sh, rep, err)
+		}
+		if err := r.admin(owner, fmt.Sprintf("op=follow&id=%d&target=%s", sh, m.Nodes[rep]), nil); err != nil {
+			return nil, fmt.Errorf("cluster: follow shard %d: %w", sh, err)
+		}
+	}
+	r.pushEpoch(m)
+	return r, nil
+}
+
+// CurrentMap returns the live map (treat as immutable).
+func (r *Router) CurrentMap() *Map {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m
+}
+
+// admin POSTs one /admin/shard op to a node.
+func (r *Router) admin(node int, query string, body []byte) error {
+	url := r.opts.Nodes[node] + "/admin/shard?" + query
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	resp, err := r.client.Post(url, "application/octet-stream", rd)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: node %d %s: status %d: %s", node, query, resp.StatusCode, msg)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// pushEpoch tells every live node the map version now in force. Nodes
+// that miss the push (dead, partitioned) keep refusing stamped requests
+// with 409 until they hear it — fail closed, never wrong-sided.
+func (r *Router) pushEpoch(m *Map) {
+	for id, url := range m.Nodes {
+		r.mu.RLock()
+		isDead := r.dead[id]
+		r.mu.RUnlock()
+		if isDead {
+			continue
+		}
+		resp, err := r.client.Post(fmt.Sprintf("%s/admin/epoch?epoch=%d", url, m.Epoch), "", nil)
+		if err != nil {
+			continue
+		}
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+	}
+}
+
+func fetchNodeStats(c *http.Client, baseURL string) (*serve.StatsResponse, error) {
+	resp, err := c.Get(baseURL + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("cluster: /stats returned %d: %s", resp.StatusCode, msg)
+	}
+	var st serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Ingest routes a batch across nodes: group readings by map owner,
+// forward each node's sub-batch as one ODWB frame stamped with the map
+// epoch, and scatter per-reading results back into request order. Any
+// node failure — transport error, 409 epoch conflict, node-side
+// rejection — surfaces as Accepted=false for that sub-batch, which the
+// existing client retry machinery re-sends in order.
+func (r *Router) Ingest(readings []serve.Reading, results []serve.ReadingResult) (rejected int, retryMS int64, err error) {
+	r.mu.RLock()
+	m := r.m
+	dead := append([]bool(nil), r.dead...)
+	r.mu.RUnlock()
+
+	for i := range readings {
+		if len(readings[i].Value) != r.dim {
+			return 0, 0, fmt.Errorf("cluster: reading %d: dim %d, want %d", i, len(readings[i].Value), r.dim)
+		}
+	}
+
+	nNodes := len(m.Nodes)
+	byNode := make([][]serve.Reading, nNodes)
+	pos := make([][]int, nNodes)
+	for i := range readings {
+		sh := serve.ShardOf(readings[i].Sensor, m.Shards)
+		node := m.Owner[sh]
+		results[i] = serve.ReadingResult{Shard: sh}
+		if node < 0 || dead[node] {
+			rejected++
+			continue
+		}
+		byNode[node] = append(byNode[node], readings[i])
+		pos[node] = append(pos[node], i)
+	}
+
+	type nodeOut struct {
+		resp    serve.IngestResponse
+		status  int
+		err     error
+		retryMS int64
+	}
+	outs := make([]nodeOut, nNodes)
+	conflicted := false
+	var wg sync.WaitGroup
+	for node := 0; node < nNodes; node++ {
+		if len(byNode[node]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			o := &outs[node]
+			frame := serve.AppendBatch(nil, byNode[node], r.dim, r.fp)
+			o.resp, o.status, o.retryMS, o.err = r.postBatch(m.Nodes[node], m.Epoch, frame)
+		}(node)
+	}
+	wg.Wait()
+
+	for node := 0; node < nNodes; node++ {
+		batch := byNode[node]
+		if len(batch) == 0 {
+			continue
+		}
+		o := &outs[node]
+		switch {
+		case o.err != nil:
+			// Crashed or partitioned node: the whole sub-batch is
+			// rejected; the health loop will fail its shards over.
+			r.nodeErrors.Add(1)
+			rejected += len(batch)
+		case o.status == http.StatusConflict:
+			// Map-epoch disagreement (a migration commit in flight, or a
+			// node that missed a push while partitioned).
+			r.epochConflicts.Add(1)
+			conflicted = true
+			rejected += len(batch)
+		case o.status != http.StatusOK && o.status != http.StatusTooManyRequests:
+			r.nodeErrors.Add(1)
+			rejected += len(batch)
+		case len(o.resp.Results) != len(batch):
+			r.nodeErrors.Add(1)
+			rejected += len(batch)
+		default:
+			if o.retryMS > retryMS {
+				retryMS = o.retryMS
+			}
+			for k, res := range o.resp.Results {
+				if !res.Accepted {
+					rejected++
+					continue
+				}
+				r.forwarded.Add(1)
+				results[pos[node][k]] = res
+			}
+		}
+	}
+	if conflicted {
+		// Re-push so a node that missed the commit (briefly partitioned,
+		// never declared dead) converges instead of refusing forever; the
+		// client's retry then lands.
+		r.pushEpoch(r.CurrentMap())
+	}
+	r.rejections.Add(uint64(rejected))
+	if rejected > 0 && retryMS == 0 {
+		retryMS = 50
+	}
+	return rejected, retryMS, nil
+}
+
+// postBatch ships one ODWB frame to a node with the epoch handshake.
+func (r *Router) postBatch(nodeURL string, epoch uint64, frame []byte) (serve.IngestResponse, int, int64, error) {
+	req, err := http.NewRequest(http.MethodPost, nodeURL+"/ingest", bytes.NewReader(frame))
+	if err != nil {
+		return serve.IngestResponse{}, 0, 0, err
+	}
+	req.Header.Set("Content-Type", serve.ContentTypeBinary)
+	req.Header.Set(serve.EpochHeader, strconv.FormatUint(epoch, 10))
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return serve.IngestResponse{}, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		return serve.IngestResponse{}, resp.StatusCode, 0, nil
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return serve.IngestResponse{}, resp.StatusCode, 0, err
+	}
+	var out serve.IngestResponse
+	results, rejectedN, retryMS, err := serve.DecodeResultsInto(body, nil)
+	if err != nil {
+		return serve.IngestResponse{}, resp.StatusCode, 0, err
+	}
+	out.Results = results
+	out.Rejected = rejectedN
+	return out, resp.StatusCode, retryMS, nil
+}
+
+// proxyGet relays a read-only endpoint (queries) to the shard owner.
+func (r *Router) ownerURL(sensor string) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	sh := serve.ShardOf(sensor, r.m.Shards)
+	node := r.m.Owner[sh]
+	if node < 0 || r.dead[node] {
+		return "", fmt.Errorf("%w: shard %d", errNoOwner, sh)
+	}
+	return r.m.Nodes[node], nil
+}
+
+// AggregateStats builds the cluster-wide /stats reply: the shared
+// configuration template plus, for every shard, the counters from its
+// current primary — which is exactly what a load client needs to build
+// its twin and resume a seeded stream after failover.
+func (r *Router) AggregateStats() (*serve.StatsResponse, error) {
+	r.mu.RLock()
+	m := r.m
+	dead := append([]bool(nil), r.dead...)
+	r.mu.RUnlock()
+
+	perNode := make([]*serve.StatsResponse, len(m.Nodes))
+	for id, url := range m.Nodes {
+		if dead[id] {
+			continue
+		}
+		st, err := fetchNodeStats(r.client, url)
+		if err != nil {
+			// Tolerate unreachable non-owners; owners are checked below.
+			continue
+		}
+		perNode[id] = st
+	}
+
+	out := r.template
+	out.Shards = m.Shards
+	out.WireFingerprint = r.fp
+	out.Cluster = true
+	out.Epoch = m.Epoch
+	out.PerShard = make([]serve.ShardStats, 0, m.Shards)
+	for sh := 0; sh < m.Shards; sh++ {
+		node := m.Owner[sh]
+		if node < 0 {
+			return nil, fmt.Errorf("%w: shard %d", errNoOwner, sh)
+		}
+		st := perNode[node]
+		if st == nil {
+			return nil, fmt.Errorf("cluster: shard %d owner node %d unreachable", sh, node)
+		}
+		found := false
+		for _, ss := range st.PerShard {
+			if ss.Shard == sh {
+				out.PerShard = append(out.PerShard, ss)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("cluster: node %d does not host shard %d (map epoch %d)", node, sh, m.Epoch)
+		}
+	}
+	return &out, nil
+}

@@ -121,16 +121,44 @@ func (l Link) validate() error {
 	return l.Burst.validate()
 }
 
-// Schedule is the declarative fault specification: a seed plus crash
-// and link-fault events. The zero Schedule is empty (fault-free).
+// Partition cuts one directional process link for an epoch interval —
+// the process/link analogue of Crash the cluster chaos suite schedules
+// against router↔node links. While cut, every request over the link
+// fails at the sender; unlike Link faults nothing is probabilistic, so
+// a partition window is exactly reproducible from the schedule alone.
+// Endpoints follow the engine the plan is installed on (the cluster
+// suite numbers its N serve nodes 0..N-1 and the router N); Any matches
+// every endpoint.
+type Partition struct {
+	From, To int
+	At       int // first cut epoch (inclusive)
+	For      int // epochs the cut lasts; <= 0 means it never heals
+}
+
+func (pt Partition) validate() error {
+	if pt.From < Any || pt.To < Any {
+		return fmt.Errorf("fault: partition endpoint (%d,%d) below Any", pt.From, pt.To)
+	}
+	if pt.At < 0 {
+		return fmt.Errorf("fault: partition at negative epoch %d", pt.At)
+	}
+	return nil
+}
+
+// Schedule is the declarative fault specification: a seed plus crash,
+// link-fault, and partition events. The zero Schedule is empty
+// (fault-free).
 type Schedule struct {
-	Seed    int64
-	Crashes []Crash
-	Links   []Link
+	Seed       int64
+	Crashes    []Crash
+	Links      []Link
+	Partitions []Partition
 }
 
 // Empty reports whether the schedule injects nothing.
-func (s Schedule) Empty() bool { return len(s.Crashes) == 0 && len(s.Links) == 0 }
+func (s Schedule) Empty() bool {
+	return len(s.Crashes) == 0 && len(s.Links) == 0 && len(s.Partitions) == 0
+}
 
 // UniformLoss is the schedule equivalent of the legacy SetLoss fault:
 // every transmission on every link is destroyed independently with
@@ -161,6 +189,16 @@ func (s Schedule) GoString() string {
 			}
 			out += fmt.Sprintf("{From: %d, To: %d, Loss: %v, Burst: fault.GilbertElliott{PGoodBad: %v, PBadGood: %v, LossGood: %v, LossBad: %v}, DelayProb: %v, DelayMax: %d, DupProb: %v}",
 				l.From, l.To, l.Loss, l.Burst.PGoodBad, l.Burst.PBadGood, l.Burst.LossGood, l.Burst.LossBad, l.DelayProb, l.DelayMax, l.DupProb)
+		}
+		out += "}"
+	}
+	if len(s.Partitions) > 0 {
+		out += ", Partitions: []fault.Partition{"
+		for i, pt := range s.Partitions {
+			if i > 0 {
+				out += ", "
+			}
+			out += fmt.Sprintf("{From: %d, To: %d, At: %d, For: %d}", pt.From, pt.To, pt.At, pt.For)
 		}
 		out += "}"
 	}
@@ -202,6 +240,7 @@ type linkState struct {
 type Plan struct {
 	seed  int64
 	rules []Link
+	parts []Partition // validated, in schedule order
 
 	outages map[int][]interval // per node, sorted, disjoint
 	edges   map[int]bool       // epochs where some outage begins or ends
@@ -231,6 +270,12 @@ func Compile(s Schedule) (*Plan, error) {
 		}
 		if l.DelayMax > p.maxD {
 			p.maxD = l.DelayMax
+		}
+	}
+	p.parts = append(p.parts, s.Partitions...)
+	for i, pt := range p.parts {
+		if err := pt.validate(); err != nil {
+			return nil, fmt.Errorf("fault: partition %d: %w", i, err)
 		}
 	}
 	perNode := make(map[int][]interval)
@@ -288,7 +333,42 @@ func MustCompile(s Schedule) *Plan {
 
 // Empty reports whether the plan injects nothing at all.
 func (p *Plan) Empty() bool {
-	return p == nil || (len(p.rules) == 0 && len(p.outages) == 0)
+	return p == nil || (len(p.rules) == 0 && len(p.outages) == 0 && len(p.parts) == 0)
+}
+
+// Cut reports whether the directed link from→to is partitioned at
+// epoch: a request over it fails at the sender. Unlike Transmit this is
+// a pure predicate — partitions carry no randomness, so callers (the
+// cluster router's transport in the chaos suite) can consult it any
+// number of times without perturbing replay.
+func (p *Plan) Cut(from, to, epoch int) bool {
+	if p == nil {
+		return false
+	}
+	for i := range p.parts {
+		pt := &p.parts[i]
+		if pt.From != Any && pt.From != from {
+			continue
+		}
+		if pt.To != Any && pt.To != to {
+			continue
+		}
+		if epoch < pt.At {
+			continue
+		}
+		if pt.For <= 0 || epoch < pt.At+pt.For {
+			return true
+		}
+	}
+	return false
+}
+
+// Partitions returns the number of partition windows in the plan.
+func (p *Plan) Partitions() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.parts)
 }
 
 // Down reports whether node is crashed at epoch.

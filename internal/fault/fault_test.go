@@ -239,3 +239,66 @@ func contains(s, sub string) bool {
 	}
 	return false
 }
+
+func TestPartitionCut(t *testing.T) {
+	p := MustCompile(Schedule{Partitions: []Partition{
+		{From: 3, To: 1, At: 5, For: 4},    // [5,9)
+		{From: Any, To: 2, At: 20, For: 0}, // permanent, any sender
+	}})
+	if p.Partitions() != 2 {
+		t.Fatalf("Partitions() = %d, want 2", p.Partitions())
+	}
+	cases := []struct {
+		from, to, epoch int
+		want            bool
+	}{
+		{3, 1, 4, false}, // before the window
+		{3, 1, 5, true},  // first cut epoch
+		{3, 1, 8, true},  // last cut epoch
+		{3, 1, 9, false}, // healed
+		{1, 3, 6, false}, // partitions are directional
+		{3, 0, 6, false}, // other link untouched
+		{3, 2, 19, false},
+		{3, 2, 20, true}, // permanent: never heals
+		{0, 2, 1 << 30, true},
+		{2, 0, 1 << 30, false},
+	}
+	for _, c := range cases {
+		if got := p.Cut(c.from, c.to, c.epoch); got != c.want {
+			t.Errorf("Cut(%d,%d,%d) = %v, want %v", c.from, c.to, c.epoch, got, c.want)
+		}
+	}
+	// Cut is a pure predicate: asking repeatedly must not perturb state.
+	for i := 0; i < 100; i++ {
+		if !p.Cut(3, 1, 6) {
+			t.Fatal("Cut flapped on repeated queries")
+		}
+	}
+	var nilPlan *Plan
+	if nilPlan.Cut(0, 1, 0) || nilPlan.Partitions() != 0 {
+		t.Fatal("nil plan must be fault-free")
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	if _, err := Compile(Schedule{Partitions: []Partition{{From: -2, To: 0, At: 0}}}); err == nil {
+		t.Error("endpoint below Any accepted")
+	}
+	if _, err := Compile(Schedule{Partitions: []Partition{{From: 0, To: 1, At: -1}}}); err == nil {
+		t.Error("negative epoch accepted")
+	}
+}
+
+func TestPartitionGoString(t *testing.T) {
+	s := Schedule{Seed: 7, Partitions: []Partition{{From: 3, To: 1, At: 5, For: 4}}}
+	want := "fault.Schedule{Seed: 7, Partitions: []fault.Partition{{From: 3, To: 1, At: 5, For: 4}}}"
+	if got := s.GoString(); got != want {
+		t.Fatalf("GoString = %q, want %q", got, want)
+	}
+	if s.Empty() {
+		t.Fatal("schedule with partitions reported Empty")
+	}
+	if !(Schedule{Seed: 9}).Empty() {
+		t.Fatal("empty schedule not Empty")
+	}
+}

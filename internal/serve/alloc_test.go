@@ -100,9 +100,9 @@ func TestWireIngestZeroAlloc(t *testing.T) {
 			readings[i].Value[0] = cycle[pos%len(cycle)]
 			pos++
 		}
-		frame = appendBatch(frame[:0], readings, 1, srv.wireFP)
+		frame = AppendBatch(frame[:0], readings, 1, srv.wireFP)
 		var err error
-		sc.readings, err = decodeBatchInto(frame, sc.readings, 1, srv.cfg.MaxBatch, srv.wireFP, &srv.names)
+		sc.readings, err = DecodeBatchInto(frame, sc.readings, 1, srv.cfg.MaxBatch, srv.wireFP, &srv.names)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +114,7 @@ func TestWireIngestZeroAlloc(t *testing.T) {
 		if rejected != 0 {
 			t.Fatalf("rejected %d readings with an idle queue", rejected)
 		}
-		sc.out = appendResults(sc.out[:0], sc.results, rejected, 0)
+		sc.out = AppendResults(sc.out[:0], sc.results, rejected, 0)
 	}
 
 	// Warm with live randomness (fill the window, build models, seed the

@@ -29,21 +29,21 @@ func BenchmarkCodecRoundTrip(b *testing.B) {
 	}
 
 	b.Run("binary", func(b *testing.B) {
-		var names interner
+		var names Interner
 		var frame, out []byte
 		var rs []Reading
 		var rr []ReadingResult
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			frame = appendBatch(frame[:0], readings, 1, fp)
+			frame = AppendBatch(frame[:0], readings, 1, fp)
 			var err error
-			rs, err = decodeBatchInto(frame, rs, 1, 8192, fp, &names)
+			rs, err = DecodeBatchInto(frame, rs, 1, 8192, fp, &names)
 			if err != nil {
 				b.Fatal(err)
 			}
-			out = appendResults(out[:0], results, 0, 0)
-			rr, _, _, err = decodeResultsInto(out, rr[:0])
+			out = AppendResults(out[:0], results, 0, 0)
+			rr, _, _, err = DecodeResultsInto(out, rr[:0])
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -132,7 +132,7 @@ func BenchmarkWireHTTP(b *testing.B) {
 						batch := pool[k%len(pool)]
 						k++
 						if enc == "binary" {
-							frame = appendBatch(frame[:0], batch, 1, srv.wireFP)
+							frame = AppendBatch(frame[:0], batch, 1, srv.wireFP)
 							resp, status, err := postIngestBinary(client, ts.URL, frame, &binResp)
 							if err != nil || status != http.StatusOK {
 								b.Fatalf("status %d err %v", status, err)

@@ -99,11 +99,11 @@ func wireFingerprint(shards int, cfg PipelineConfig) uint64 {
 	return h.Sum64()
 }
 
-// appendBatch encodes readings as an ODWB frame appended to dst (the
+// AppendBatch encodes readings as an ODWB frame appended to dst (the
 // frame starts at len(dst); the CRC covers only the appended bytes).
 // This is the client half: oddload and the benchmarks reuse dst across
 // batches so steady-state encoding allocates nothing.
-func appendBatch(dst []byte, readings []Reading, dim int, fp uint64) []byte {
+func AppendBatch(dst []byte, readings []Reading, dim int, fp uint64) []byte {
 	start := len(dst)
 	dst = binary.LittleEndian.AppendUint32(dst, wireBatchMagic)
 	dst = append(dst, wireVersion, 0)
@@ -121,11 +121,11 @@ func appendBatch(dst []byte, readings []Reading, dim int, fp uint64) []byte {
 	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
 }
 
-// decodeBatchInto decodes an ODWB frame into dst, reusing dst's backing
+// DecodeBatchInto decodes an ODWB frame into dst, reusing dst's backing
 // array and each element's Value capacity, and interning sensor ids so
 // the steady-state decode of a known sensor set performs zero
 // allocations. It fails closed on any framing violation.
-func decodeBatchInto(data []byte, dst []Reading, dim, maxBatch int, fp uint64, names *interner) ([]Reading, error) {
+func DecodeBatchInto(data []byte, dst []Reading, dim, maxBatch int, fp uint64, names *Interner) ([]Reading, error) {
 	if len(data) < wireBatchHeaderLen+4 {
 		return nil, errFrameTruncated
 	}
@@ -207,8 +207,8 @@ const (
 	wireFlagWarmed
 )
 
-// appendResults encodes an ingest reply as an ODWR frame appended to dst.
-func appendResults(dst []byte, results []ReadingResult, rejected int, retryMS int64) []byte {
+// AppendResults encodes an ingest reply as an ODWR frame appended to dst.
+func AppendResults(dst []byte, results []ReadingResult, rejected int, retryMS int64) []byte {
 	start := len(dst)
 	dst = binary.LittleEndian.AppendUint32(dst, wireRespMagic)
 	var flags byte
@@ -248,9 +248,9 @@ func appendResults(dst []byte, results []ReadingResult, rejected int, retryMS in
 	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
 }
 
-// decodeResultsInto decodes an ODWR frame into dst (reusing its backing
+// DecodeResultsInto decodes an ODWR frame into dst (reusing its backing
 // array), returning the results, the rejected count, and the retry hint.
-func decodeResultsInto(data []byte, dst []ReadingResult) ([]ReadingResult, int, int64, error) {
+func DecodeResultsInto(data []byte, dst []ReadingResult) ([]ReadingResult, int, int64, error) {
 	fail := func(err error) ([]ReadingResult, int, int64, error) { return nil, 0, 0, err }
 	if len(data) < wireRespHeaderLen+4 {
 		return fail(errFrameTruncated)
@@ -312,11 +312,11 @@ func decodeResultsInto(data []byte, dst []ReadingResult) ([]ReadingResult, int, 
 // sensor bytes) and gap (u64 dropped — the number of verdicts the
 // subscriber's ring dropped oldest-first while the client lagged).
 const (
-	streamFrameVerdict = byte(1)
-	streamFrameGap     = byte(2)
+	StreamFrameVerdict = byte(1)
+	StreamFrameGap     = byte(2)
 )
 
-func appendStreamHeader(dst []byte) []byte {
+func AppendStreamHeader(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, wireStreamMagic)
 	dst = append(dst, wireVersion, 0)
 	return binary.LittleEndian.AppendUint16(dst, 0)
@@ -335,7 +335,7 @@ func appendFrame(dst []byte, fill func([]byte) []byte) []byte {
 	return dst
 }
 
-func appendVerdictFrame(dst []byte, ev subEvent) []byte {
+func AppendVerdictFrame(dst []byte, ev Event) []byte {
 	return appendFrame(dst, func(b []byte) []byte {
 		var f byte = wireFlagAccepted
 		if ev.Outlier {
@@ -347,7 +347,7 @@ func appendVerdictFrame(dst []byte, ev subEvent) []byte {
 		if ev.Warmed {
 			f |= wireFlagWarmed
 		}
-		b = append(b, streamFrameVerdict, f)
+		b = append(b, StreamFrameVerdict, f)
 		b = binary.LittleEndian.AppendUint16(b, uint16(ev.Shard))
 		b = binary.LittleEndian.AppendUint64(b, ev.Seq)
 		b = binary.LittleEndian.AppendUint16(b, uint16(len(ev.Sensor)))
@@ -355,9 +355,9 @@ func appendVerdictFrame(dst []byte, ev subEvent) []byte {
 	})
 }
 
-func appendGapFrame(dst []byte, dropped uint64) []byte {
+func AppendGapFrame(dst []byte, dropped uint64) []byte {
 	return appendFrame(dst, func(b []byte) []byte {
-		b = append(b, streamFrameGap)
+		b = append(b, StreamFrameGap)
 		return binary.LittleEndian.AppendUint64(b, dropped)
 	})
 }
@@ -366,23 +366,23 @@ func appendGapFrame(dst []byte, dropped uint64) []byte {
 // frames are tiny, so anything larger is a corrupt length prefix.
 const maxStreamFrame = 4096
 
-// streamReader is the client half of a binary subscription stream
+// StreamReader is the client half of a binary subscription stream
 // (oddload and the tests). Next blocks until a frame arrives, the stream
 // ends (io.EOF), or framing is violated.
-type streamReader struct {
+type StreamReader struct {
 	r         io.Reader
 	buf       []byte
 	gotHeader bool
 }
 
-func newStreamReader(r io.Reader) *streamReader {
-	return &streamReader{r: r}
+func NewStreamReader(r io.Reader) *StreamReader {
+	return &StreamReader{r: r}
 }
 
 // Next returns the next frame: a verdict event, or a gap count when
-// kind == streamFrameGap.
-func (sr *streamReader) Next() (ev subEvent, gap uint64, kind byte, err error) {
-	fail := func(err error) (subEvent, uint64, byte, error) { return subEvent{}, 0, 0, err }
+// kind == StreamFrameGap.
+func (sr *StreamReader) Next() (ev Event, gap uint64, kind byte, err error) {
+	fail := func(err error) (Event, uint64, byte, error) { return Event{}, 0, 0, err }
 	if !sr.gotHeader {
 		var hdr [wireStreamHeaderLen]byte
 		if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
@@ -419,7 +419,7 @@ func (sr *streamReader) Next() (ev subEvent, gap uint64, kind byte, err error) {
 		return fail(errFrameCRC)
 	}
 	switch payload[0] {
-	case streamFrameVerdict:
+	case StreamFrameVerdict:
 		if len(payload) < 14 {
 			return fail(errFrameTruncated)
 		}
@@ -428,7 +428,7 @@ func (sr *streamReader) Next() (ev subEvent, gap uint64, kind byte, err error) {
 		if len(payload) != 14+sl {
 			return fail(errFrameTruncated)
 		}
-		ev = subEvent{
+		ev = Event{
 			Sensor:  string(payload[14:]),
 			Shard:   int(binary.LittleEndian.Uint16(payload[2:])),
 			Seq:     binary.LittleEndian.Uint64(payload[4:]),
@@ -436,31 +436,31 @@ func (sr *streamReader) Next() (ev subEvent, gap uint64, kind byte, err error) {
 			Exact:   f&wireFlagExact != 0,
 			Warmed:  f&wireFlagWarmed != 0,
 		}
-		return ev, 0, streamFrameVerdict, nil
-	case streamFrameGap:
+		return ev, 0, StreamFrameVerdict, nil
+	case StreamFrameGap:
 		if len(payload) != 9 {
 			return fail(errFrameTruncated)
 		}
-		return subEvent{}, binary.LittleEndian.Uint64(payload[1:]), streamFrameGap, nil
+		return Event{}, binary.LittleEndian.Uint64(payload[1:]), StreamFrameGap, nil
 	default:
 		return fail(fmt.Errorf("serve: wire: unknown stream frame type %d", payload[0]))
 	}
 }
 
-// interner deduplicates sensor-id strings so the binary decode path does
+// Interner deduplicates sensor-id strings so the binary decode path does
 // not allocate a fresh string per reading. Sensor fleets are finite; the
 // map is bounded, and an overflowing fleet degrades to plain allocation
 // rather than unbounded memory growth.
-type interner struct {
+type Interner struct {
 	mu sync.RWMutex
 	m  map[string]string
 }
 
-// maxInterned bounds the interner; beyond it, new names are allocated
+// maxInterned bounds the Interner; beyond it, new names are allocated
 // per frame (correct, just slower) instead of being remembered.
 const maxInterned = 1 << 16
 
-func (in *interner) intern(b []byte) string {
+func (in *Interner) intern(b []byte) string {
 	in.mu.RLock()
 	s, ok := in.m[string(b)] // compiler elides the []byte→string copy on lookup
 	in.mu.RUnlock()

@@ -27,10 +27,10 @@ func TestBatchRoundTrip(t *testing.T) {
 	const dim = 3
 	const fp = uint64(0xdeadbeefcafe)
 	readings := testBatch(dim)
-	frame := appendBatch(nil, readings, dim, fp)
+	frame := AppendBatch(nil, readings, dim, fp)
 
-	var names interner
-	got, err := decodeBatchInto(frame, nil, dim, 100, fp, &names)
+	var names Interner
+	got, err := DecodeBatchInto(frame, nil, dim, 100, fp, &names)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestBatchRoundTrip(t *testing.T) {
 	}
 
 	// Canonical encoding: a decoded frame re-encodes bit-identical.
-	re := appendBatch(nil, got, dim, fp)
+	re := AppendBatch(nil, got, dim, fp)
 	if !bytes.Equal(re, frame) {
 		t.Fatal("re-encoded frame differs from original")
 	}
@@ -57,7 +57,7 @@ func TestBatchRoundTrip(t *testing.T) {
 	// Buffer reuse: a second decode into the same dst must not allocate
 	// fresh Value arrays.
 	v0 := &got[0].Value[0]
-	got2, err := decodeBatchInto(frame, got, dim, 100, fp, &names)
+	got2, err := DecodeBatchInto(frame, got, dim, 100, fp, &names)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,8 +72,8 @@ func TestResultsRoundTrip(t *testing.T) {
 		{Shard: 3, Accepted: false},
 		{Shard: 1, Accepted: true, Seq: 7, Warmed: true},
 	}
-	frame := appendResults(nil, results, 1, 250)
-	got, rejected, retryMS, err := decodeResultsInto(frame, nil)
+	frame := AppendResults(nil, results, 1, 250)
+	got, rejected, retryMS, err := DecodeResultsInto(frame, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestResultsRoundTrip(t *testing.T) {
 			t.Fatalf("result %d = %+v, want %+v", i, got[i], results[i])
 		}
 	}
-	re := appendResults(nil, got, rejected, retryMS)
+	re := AppendResults(nil, got, rejected, retryMS)
 	if !bytes.Equal(re, frame) {
 		t.Fatal("re-encoded response differs from original")
 	}
@@ -110,7 +110,7 @@ func corrupt(frame []byte, mutate func([]byte), fixCRC bool) []byte {
 func TestDecodeBatchMalformed(t *testing.T) {
 	const dim = 2
 	const fp = uint64(0x1234)
-	frame := appendBatch(nil, testBatch(dim), dim, fp)
+	frame := AppendBatch(nil, testBatch(dim), dim, fp)
 
 	cases := []struct {
 		name string
@@ -148,10 +148,10 @@ func TestDecodeBatchMalformed(t *testing.T) {
 		{"trailing bytes", corrupt(append(frame[:len(frame)-4], 0, 0, 0, 0, 0, 0, 0, 0),
 			func([]byte) {}, true), errFrameTrailing},
 	}
-	var names interner
+	var names Interner
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := decodeBatchInto(tc.data, nil, dim, 100, fp, &names)
+			_, err := DecodeBatchInto(tc.data, nil, dim, 100, fp, &names)
 			if !errors.Is(err, tc.want) {
 				t.Fatalf("err = %v, want %v", err, tc.want)
 			}
@@ -160,7 +160,7 @@ func TestDecodeBatchMalformed(t *testing.T) {
 }
 
 func TestDecodeResultsMalformed(t *testing.T) {
-	frame := appendResults(nil, []ReadingResult{{Accepted: true, Seq: 1}}, 0, 0)
+	frame := AppendResults(nil, []ReadingResult{{Accepted: true, Seq: 1}}, 0, 0)
 	cases := []struct {
 		name string
 		data []byte
@@ -183,7 +183,7 @@ func TestDecodeResultsMalformed(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, _, _, err := decodeResultsInto(tc.data, nil)
+			_, _, _, err := DecodeResultsInto(tc.data, nil)
 			if !errors.Is(err, tc.want) {
 				t.Fatalf("err = %v, want %v", err, tc.want)
 			}
@@ -193,26 +193,26 @@ func TestDecodeResultsMalformed(t *testing.T) {
 
 func TestStreamFraming(t *testing.T) {
 	var buf []byte
-	buf = appendStreamHeader(buf)
-	ev := subEvent{Sensor: "s-42", Shard: 3, Seq: 99, Outlier: true, Warmed: true}
-	buf = appendVerdictFrame(buf, ev)
-	buf = appendGapFrame(buf, 17)
-	buf = appendVerdictFrame(buf, subEvent{Sensor: "t", Shard: 0, Seq: 1})
+	buf = AppendStreamHeader(buf)
+	ev := Event{Sensor: "s-42", Shard: 3, Seq: 99, Outlier: true, Warmed: true}
+	buf = AppendVerdictFrame(buf, ev)
+	buf = AppendGapFrame(buf, 17)
+	buf = AppendVerdictFrame(buf, Event{Sensor: "t", Shard: 0, Seq: 1})
 
-	sr := newStreamReader(bytes.NewReader(buf))
+	sr := NewStreamReader(bytes.NewReader(buf))
 	got, _, kind, err := sr.Next()
-	if err != nil || kind != streamFrameVerdict {
+	if err != nil || kind != StreamFrameVerdict {
 		t.Fatalf("frame 1: kind=%d err=%v", kind, err)
 	}
 	if got != ev {
 		t.Fatalf("frame 1 = %+v, want %+v", got, ev)
 	}
 	_, gap, kind, err := sr.Next()
-	if err != nil || kind != streamFrameGap || gap != 17 {
+	if err != nil || kind != StreamFrameGap || gap != 17 {
 		t.Fatalf("frame 2: kind=%d gap=%d err=%v", kind, gap, err)
 	}
 	got, _, kind, err = sr.Next()
-	if err != nil || kind != streamFrameVerdict || got.Sensor != "t" || got.Seq != 1 {
+	if err != nil || kind != StreamFrameVerdict || got.Sensor != "t" || got.Seq != 1 {
 		t.Fatalf("frame 3: %+v kind=%d err=%v", got, kind, err)
 	}
 	if _, _, _, err = sr.Next(); err != io.EOF {
@@ -221,19 +221,19 @@ func TestStreamFraming(t *testing.T) {
 }
 
 func TestStreamFramingCorrupt(t *testing.T) {
-	header := appendStreamHeader(nil)
+	header := AppendStreamHeader(nil)
 
 	t.Run("bad header magic", func(t *testing.T) {
 		bad := append([]byte(nil), header...)
 		bad[0] ^= 0xff
-		if _, _, _, err := newStreamReader(bytes.NewReader(bad)).Next(); !errors.Is(err, errFrameMagic) {
+		if _, _, _, err := NewStreamReader(bytes.NewReader(bad)).Next(); !errors.Is(err, errFrameMagic) {
 			t.Fatalf("err = %v, want %v", err, errFrameMagic)
 		}
 	})
 	t.Run("bad frame crc", func(t *testing.T) {
-		buf := appendVerdictFrame(append([]byte(nil), header...), subEvent{Sensor: "x", Seq: 2})
+		buf := AppendVerdictFrame(append([]byte(nil), header...), Event{Sensor: "x", Seq: 2})
 		buf[len(buf)-1] ^= 0xff
-		sr := newStreamReader(bytes.NewReader(buf))
+		sr := NewStreamReader(bytes.NewReader(buf))
 		if _, _, _, err := sr.Next(); !errors.Is(err, errFrameCRC) {
 			t.Fatalf("err = %v, want %v", err, errFrameCRC)
 		}
@@ -241,7 +241,7 @@ func TestStreamFramingCorrupt(t *testing.T) {
 	t.Run("absurd length prefix", func(t *testing.T) {
 		buf := append([]byte(nil), header...)
 		buf = binary.LittleEndian.AppendUint32(buf, 1<<30)
-		sr := newStreamReader(bytes.NewReader(buf))
+		sr := NewStreamReader(bytes.NewReader(buf))
 		if _, _, _, err := sr.Next(); !errors.Is(err, errFrameTruncated) {
 			t.Fatalf("err = %v, want %v", err, errFrameTruncated)
 		}
@@ -249,7 +249,7 @@ func TestStreamFramingCorrupt(t *testing.T) {
 }
 
 func TestInternerBoundedAndStable(t *testing.T) {
-	var in interner
+	var in Interner
 	a := in.intern([]byte("sensor-1"))
 	b := in.intern([]byte("sensor-1"))
 	if a != "sensor-1" || b != "sensor-1" {
@@ -267,18 +267,18 @@ func TestInternerBoundedAndStable(t *testing.T) {
 func FuzzDecodeBatch(f *testing.F) {
 	const dim = 2
 	const fp = uint64(0x0dd5)
-	f.Add(appendBatch(nil, testBatch(dim), dim, fp))
-	f.Add(appendBatch(nil, nil, dim, fp))
-	f.Add(appendBatch(nil, []Reading{{Sensor: "x", Value: []float64{1, -2}}}, dim, fp))
+	f.Add(AppendBatch(nil, testBatch(dim), dim, fp))
+	f.Add(AppendBatch(nil, nil, dim, fp))
+	f.Add(AppendBatch(nil, []Reading{{Sensor: "x", Value: []float64{1, -2}}}, dim, fp))
 	f.Add([]byte{})
 	f.Add([]byte("ODWB garbage"))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		var names interner
-		readings, err := decodeBatchInto(data, nil, dim, 1024, fp, &names)
+		var names Interner
+		readings, err := DecodeBatchInto(data, nil, dim, 1024, fp, &names)
 		if err != nil {
 			return
 		}
-		re := appendBatch(nil, readings, dim, fp)
+		re := AppendBatch(nil, readings, dim, fp)
 		if !bytes.Equal(re, data) {
 			t.Fatalf("non-canonical frame: decode succeeded but re-encode differs\n in: %x\nout: %x", data, re)
 		}

@@ -23,6 +23,14 @@ import (
 //	GET  /stats         config + per-shard counters (JSON)
 //	GET  /healthz       liveness
 //	GET  /metrics       expvar-style per-shard counters (text)
+//
+// Cluster-node endpoints (see admin.go and replicate.go):
+//
+//	POST /admin/shard   shard lifecycle: create/install/snapshot/seal/
+//	                    unseal/release/promote/follow
+//	GET  /admin/shards  hosted shards with roles
+//	GET/POST /admin/epoch  map-epoch read/advance
+//	POST /replicate     follower side of a replica chain (ODRP frames)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", s.handleIngest)
@@ -32,6 +40,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/admin/shard", s.handleAdminShard)
+	mux.HandleFunc("/admin/shards", s.handleAdminShards)
+	mux.HandleFunc("/admin/epoch", s.handleAdminEpoch)
+	mux.HandleFunc("/replicate", s.handleReplicate)
 	return mux
 }
 
@@ -80,6 +92,15 @@ func ingestErrStatus(err error) int {
 	return http.StatusServiceUnavailable
 }
 
+// queryErrStatus maps query failures: a shard this node does not host is
+// 404 (a router retries the map owner), everything else is 503.
+func queryErrStatus(err error) int {
+	if errors.Is(err, errWrongNode) {
+		return http.StatusNotFound
+	}
+	return http.StatusServiceUnavailable
+}
+
 // wireErrStatus maps a binary decode failure to its HTTP status. Every
 // frame defect is a 4xx — a malformed frame can never reach a shard.
 func wireErrStatus(err error) int {
@@ -91,6 +112,9 @@ func wireErrStatus(err error) int {
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if !s.checkEpoch(w, r) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -183,7 +207,7 @@ func (s *Server) handleIngestBinary(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	readings, err := decodeBatchInto(body, sc.readings, s.cfg.Pipeline.Core.Dim, s.cfg.MaxBatch, s.wireFP, &s.names)
+	readings, err := DecodeBatchInto(body, sc.readings, s.cfg.Pipeline.Core.Dim, s.cfg.MaxBatch, s.wireFP, &s.names)
 	if err != nil {
 		s.scratch.Put(sc)
 		writeErr(w, wireErrStatus(err), err)
@@ -206,7 +230,7 @@ func (s *Server) handleIngestBinary(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusTooManyRequests
 		}
 	}
-	sc.out = appendResults(sc.out[:0], sc.results, rejected, retryMS)
+	sc.out = AppendResults(sc.out[:0], sc.results, rejected, retryMS)
 	w.Header().Set("Content-Type", ContentTypeBinary)
 	w.Header().Set("Content-Length", strconv.Itoa(len(sc.out)))
 	w.WriteHeader(status)
@@ -270,7 +294,7 @@ func (s *Server) handleQueryOutlier(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.QueryOutlier(sensor, v)
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
+		writeErr(w, queryErrStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -297,7 +321,7 @@ func (s *Server) handleQueryProb(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.QueryProb(sensor, v, radius)
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
+		writeErr(w, queryErrStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -343,6 +367,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "odds_serve_shards %d\n", len(s.shards))
 	var ingested, rejected, outliers uint64
 	for _, sh := range s.shards {
+		if sh == nil {
+			continue
+		}
 		in, rej, out := sh.ingested.Load(), sh.rejected.Load(), sh.outliers.Load()
 		ingested, rejected, outliers = ingested+in, rejected+rej, outliers+out
 		fmt.Fprintf(w, "odds_serve_shard_ingested{shard=\"%d\"} %d\n", sh.id, in)

@@ -40,12 +40,12 @@ func TestIngestErrorPaths(t *testing.T) {
 	defer ts.Close()
 
 	goodReadings := []Reading{{Sensor: "a", Value: []float64{0.5}}}
-	goodFrame := appendBatch(nil, goodReadings, 1, srv.wireFP)
+	goodFrame := AppendBatch(nil, goodReadings, 1, srv.wireFP)
 	bigBatch := make([]Reading, 9) // MaxBatch+1
 	for i := range bigBatch {
 		bigBatch[i] = Reading{Sensor: "s", Value: []float64{0.1}}
 	}
-	bigFrame := appendBatch(nil, bigBatch, 1, srv.wireFP)
+	bigFrame := AppendBatch(nil, bigBatch, 1, srv.wireFP)
 
 	jsonBody := func(v any) []byte {
 		b, err := json.Marshal(v)
@@ -107,14 +107,14 @@ func TestIngestErrorPaths(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("post-abuse JSON ingest: status %d: %s", resp.StatusCode, body)
 	}
-	resp, body = postRaw(t, ts.URL+"/ingest", ContentTypeBinary, appendBatch(nil, goodReadings, 1, srv.wireFP))
+	resp, body = postRaw(t, ts.URL+"/ingest", ContentTypeBinary, AppendBatch(nil, goodReadings, 1, srv.wireFP))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("post-abuse binary ingest: status %d: %s", resp.StatusCode, body)
 	}
 	if got := resp.Header.Get("Content-Type"); got != ContentTypeBinary {
 		t.Fatalf("binary reply Content-Type %q", got)
 	}
-	if _, _, _, err := decodeResultsInto(body, nil); err != nil {
+	if _, _, _, err := DecodeResultsInto(body, nil); err != nil {
 		t.Fatalf("binary reply does not decode: %v", err)
 	}
 }
@@ -186,14 +186,14 @@ func TestBinaryBackpressureFullReject(t *testing.T) {
 		{Sensor: "a", Value: []float64{0.1}},
 		{Sensor: "b", Value: []float64{0.2}},
 	}
-	resp, body := postRaw(t, ts.URL+"/ingest", ContentTypeBinary, appendBatch(nil, readings, 1, s.wireFP))
+	resp, body := postRaw(t, ts.URL+"/ingest", ContentTypeBinary, AppendBatch(nil, readings, 1, s.wireFP))
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After header")
 	}
-	results, rejected, retryMS, err := decodeResultsInto(body, nil)
+	results, rejected, retryMS, err := DecodeResultsInto(body, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -187,14 +187,14 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	// batch so every verdict the run produces is expected on it.
 	var (
 		ls     *loadStream
-		expect map[evKey]subEvent
+		expect map[evKey]Event
 	)
 	if opts.Subscribe {
 		if ls, err = openLoadStream(opts.Client, opts.BaseURL); err != nil {
 			return nil, err
 		}
 		defer ls.cancel()
-		expect = make(map[evKey]subEvent, len(pending))
+		expect = make(map[evKey]Event, len(pending))
 	}
 
 	// Reused binary-client buffers: at steady state the encode→POST→decode
@@ -223,7 +223,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 			status int
 		)
 		if binaryEnc {
-			encBuf = appendBatch(encBuf[:0], batchReadings, dim, st.WireFingerprint)
+			encBuf = AppendBatch(encBuf[:0], batchReadings, dim, st.WireFingerprint)
 			resp, status, err = postIngestBinary(opts.Client, opts.BaseURL, encBuf, &binResp)
 		} else {
 			resp, status, err = postIngest(opts.Client, opts.BaseURL, IngestRequest{Readings: batchReadings})
@@ -259,7 +259,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 				rep.Outliers++
 			}
 			if expect != nil {
-				expect[evKey{rd.shard, tv.Seq}] = subEvent{
+				expect[evKey{rd.shard, tv.Seq}] = Event{
 					Sensor: rd.Sensor, Shard: rd.shard, Seq: tv.Seq,
 					Outlier: tv.Outlier, Exact: tv.Exact, Warmed: tv.Warmed,
 				}
@@ -352,7 +352,7 @@ type loadStream struct {
 	done   chan struct{}
 
 	mu      sync.Mutex
-	events  []subEvent
+	events  []Event
 	dropped uint64
 	err     error
 }
@@ -379,7 +379,7 @@ func openLoadStream(c *http.Client, baseURL string) (*loadStream, error) {
 	go func() {
 		defer close(ls.done)
 		defer resp.Body.Close()
-		sr := newStreamReader(resp.Body)
+		sr := NewStreamReader(resp.Body)
 		for {
 			ev, gap, kind, err := sr.Next()
 			if err != nil {
@@ -393,7 +393,7 @@ func openLoadStream(c *http.Client, baseURL string) (*loadStream, error) {
 				return
 			}
 			ls.mu.Lock()
-			if kind == streamFrameGap {
+			if kind == StreamFrameGap {
 				ls.dropped += gap
 			} else {
 				ls.events = append(ls.events, ev)
@@ -411,7 +411,7 @@ func (ls *loadStream) counts() (int, uint64) {
 }
 
 // stop ends the stream and returns everything it delivered.
-func (ls *loadStream) stop() ([]subEvent, uint64, error) {
+func (ls *loadStream) stop() ([]Event, uint64, error) {
 	ls.cancel()
 	<-ls.done
 	ls.mu.Lock()
@@ -479,7 +479,7 @@ func postIngestBinary(c *http.Client, baseURL string, frame []byte, scratch *Ing
 	if err != nil {
 		return nil, resp.StatusCode, err
 	}
-	results, rejected, retryMS, err := decodeResultsInto(body, scratch.Results[:0])
+	results, rejected, retryMS, err := DecodeResultsInto(body, scratch.Results[:0])
 	if err != nil {
 		return nil, resp.StatusCode, fmt.Errorf("serve: bad ingest reply: %w", err)
 	}

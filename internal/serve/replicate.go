@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Replication — the primary → follower half of a cluster shard's replica
+// chain. After a primary shard applies an ingest sub-batch, it forwards a
+// copy to its follower node as an ODRP frame; the follower applies it
+// through the same single-writer mailbox, enforcing sequence contiguity
+// so the replica is always a bit-exact prefix of the primary.
+//
+// The chain fails closed: any shipping error, full forward queue, or
+// contiguity violation marks the link broken and stops forwarding. A
+// broken follower is frozen at a consistent prefix — promoting it is
+// sound because clients re-send the un-replicated tail on catch-up
+// (exactly the crash/restore contract oddload already verifies).
+//
+// ODRP frame ("ODRP"):
+//
+//	u32  magic 0x4f445250
+//	u8   version (1)
+//	u8   reserved (0)
+//	u16  reserved (0)
+//	u32  shard        — global shard id
+//	u64  fromSeq      — pipeline seq of the first reading in the batch
+//	ODWB batch frame  — the readings, carrying the config fingerprint
+//	u32  crc32-IEEE over all preceding bytes
+const (
+	replMagic     = uint32(0x4f445250) // "ODRP"
+	replHeaderLen = 20
+)
+
+var (
+	errReplFrame = errors.New("serve: replicate: bad frame")
+)
+
+// appendReplFrame encodes a replication frame appended to dst.
+func appendReplFrame(dst []byte, shard int, fromSeq uint64, readings []Reading, dim int, fp uint64) []byte {
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, replMagic)
+	dst = append(dst, wireVersion, 0)
+	dst = binary.LittleEndian.AppendUint16(dst, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(shard))
+	dst = binary.LittleEndian.AppendUint64(dst, fromSeq)
+	dst = AppendBatch(dst, readings, dim, fp)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// decodeReplFrame splits a replication frame into (shard, fromSeq, inner
+// ODWB frame). The inner frame still needs DecodeBatchInto, which is
+// where the config fingerprint is enforced.
+func decodeReplFrame(data []byte) (shard int, fromSeq uint64, inner []byte, err error) {
+	if len(data) < replHeaderLen+4 {
+		return 0, 0, nil, fmt.Errorf("%w: truncated", errReplFrame)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return 0, 0, nil, fmt.Errorf("%w: checksum mismatch", errReplFrame)
+	}
+	if binary.LittleEndian.Uint32(body) != replMagic {
+		return 0, 0, nil, fmt.Errorf("%w: bad magic", errReplFrame)
+	}
+	if body[4] != wireVersion {
+		return 0, 0, nil, fmt.Errorf("%w: unsupported version %d", errReplFrame, body[4])
+	}
+	if body[5] != 0 || binary.LittleEndian.Uint16(body[6:]) != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: nonzero reserved field", errReplFrame)
+	}
+	shard = int(binary.LittleEndian.Uint32(body[8:]))
+	fromSeq = binary.LittleEndian.Uint64(body[12:])
+	return shard, fromSeq, body[replHeaderLen:], nil
+}
+
+// replBatch is one forwarded sub-batch (readings are replicator-owned
+// copies — the primary's pooled buffers are recycled after its reply).
+type replBatch struct {
+	from     uint64
+	readings []Reading
+}
+
+// replicator ships one primary shard's applied batches to a follower
+// node. forward is called from the shard goroutine; shipping happens on
+// the replicator's own goroutine so a slow follower never blocks the
+// primary — a backed-up queue breaks the link instead (fail closed).
+type replicator struct {
+	shard  int
+	target string // follower node base URL
+	dim    int
+	fp     uint64
+	client *http.Client
+
+	ch       chan replBatch
+	stopc    chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	broken  atomic.Bool
+	shipped atomic.Uint64 // batches acknowledged by the follower
+}
+
+func newReplicator(shard int, target string, dim int, fp uint64, client *http.Client) *replicator {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	r := &replicator{
+		shard:  shard,
+		target: target,
+		dim:    dim,
+		fp:     fp,
+		client: client,
+		ch:     make(chan replBatch, 64),
+		stopc:  make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go r.run()
+	return r
+}
+
+// forward copies the batch and queues it for shipping. Called from the
+// shard goroutine after the batch has been applied locally.
+func (r *replicator) forward(fromSeq uint64, batch []Reading) {
+	if r.broken.Load() {
+		return
+	}
+	cp := make([]Reading, len(batch))
+	for i := range batch {
+		cp[i] = Reading{
+			Sensor: batch[i].Sensor,
+			Value:  append([]float64(nil), batch[i].Value...),
+		}
+	}
+	select {
+	case r.ch <- replBatch{from: fromSeq, readings: cp}:
+	default:
+		// Dropping a batch would break contiguity anyway; break the link
+		// now so the follower stays frozen at a consistent prefix.
+		r.broken.Store(true)
+	}
+}
+
+func (r *replicator) run() {
+	defer close(r.done)
+	var buf []byte
+	for {
+		select {
+		case <-r.stopc:
+			return
+		case b := <-r.ch:
+			if r.broken.Load() {
+				continue
+			}
+			buf = appendReplFrame(buf[:0], r.shard, b.from, b.readings, r.dim, r.fp)
+			if err := r.ship(buf); err != nil {
+				r.broken.Store(true)
+				continue
+			}
+			r.shipped.Add(1)
+		}
+	}
+}
+
+func (r *replicator) ship(frame []byte) error {
+	resp, err := r.client.Post(r.target+"/replicate", "application/x-odds-repl", bytes.NewReader(frame))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: replicate: follower answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Broken reports whether the link has failed closed.
+func (r *replicator) Broken() bool { return r.broken.Load() }
+
+func (r *replicator) stop() {
+	r.stopOnce.Do(func() { close(r.stopc) })
+	<-r.done
+}
+
+// handleReplicate is the follower side: decode the frame, enforce the
+// config fingerprint (fail closed, same check as snapshot restore), and
+// apply through the shard mailbox where role and contiguity are checked.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	shard, fromSeq, inner, err := decodeReplFrame(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	readings, err := DecodeBatchInto(inner, nil, s.cfg.Pipeline.Core.Dim, s.cfg.MaxBatch, s.wireFP, &s.names)
+	if err != nil {
+		writeErr(w, wireErrStatus(err), err)
+		return
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		writeErr(w, http.StatusServiceUnavailable, errServerClosed)
+		return
+	}
+	if shard < 0 || shard >= len(s.shards) || s.shards[shard] == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: shard %d", errWrongNode, shard))
+		return
+	}
+	resp, err := s.shards[shard].call(shardReq{op: opReplicate, batch: readings, fromSeq: fromSeq})
+	switch {
+	case errors.Is(err, errNotReplica), errors.Is(err, errReplGap):
+		writeErr(w, http.StatusConflict, err)
+	case err != nil:
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]uint64{"seq": resp.seq})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -40,6 +41,22 @@ type Config struct {
 	// lagging further than this loses the oldest verdicts (counted and
 	// reported as a gap record on its stream). Default 256.
 	SubscribeBuffer int
+	// Cluster runs the server as one node of a multi-node cluster:
+	// Shards is the cluster-global shard space, and the node hosts only
+	// the shards listed in Owned (as primaries) and Replicas (as
+	// followers) — usually none at start; a router assigns shards at
+	// runtime through the /admin/shard endpoint. Per-shard seeds are
+	// derived from the global shard id, so a shard's pipeline is
+	// bit-identical no matter which node hosts it. Incompatible with
+	// SnapshotPath: cluster durability is replica chains plus
+	// snapshot-shipped migration, not local checkpoint files.
+	Cluster bool
+	// Owned lists global shard ids hosted as primaries at start
+	// (cluster mode only).
+	Owned []int
+	// Replicas lists global shard ids hosted as follower replicas at
+	// start (cluster mode only; disjoint from Owned).
+	Replicas []int
 }
 
 func (c *Config) fill() error {
@@ -76,6 +93,33 @@ func (c *Config) fill() error {
 	if c.SubscribeBuffer < 0 {
 		return fmt.Errorf("serve: subscribe buffer %d must be positive", c.SubscribeBuffer)
 	}
+	if !c.Cluster && (len(c.Owned) > 0 || len(c.Replicas) > 0) {
+		return fmt.Errorf("serve: Owned/Replicas require Cluster mode")
+	}
+	if c.Cluster {
+		if c.SnapshotPath != "" {
+			return fmt.Errorf("serve: cluster mode is incompatible with SnapshotPath (durability is replication + shipped snapshots)")
+		}
+		seen := make(map[int]string, len(c.Owned)+len(c.Replicas))
+		check := func(ids []int, role string) error {
+			for _, id := range ids {
+				if id < 0 || id >= c.Shards {
+					return fmt.Errorf("serve: %s shard %d outside global space [0,%d)", role, id, c.Shards)
+				}
+				if prev, ok := seen[id]; ok {
+					return fmt.Errorf("serve: shard %d listed as both %s and %s", id, prev, role)
+				}
+				seen[id] = role
+			}
+			return nil
+		}
+		if err := check(c.Owned, "owned"); err != nil {
+			return err
+		}
+		if err := check(c.Replicas, "replica"); err != nil {
+			return err
+		}
+	}
 	return c.Pipeline.Validate()
 }
 
@@ -85,12 +129,20 @@ func (c *Config) fill() error {
 // mid-queue and no checkpoint is written — restart recovery then relies
 // on the last periodic snapshot).
 type Server struct {
-	cfg    Config
+	cfg Config
+	// shards is indexed by global shard id; in cluster mode entries are
+	// nil for shards this node does not host (mutated only under mu by
+	// the /admin/shard install/release ops).
 	shards []*shard
 	hub    *subHub // /subscribe fan-out
 
+	// epoch is the cluster map version this node believes; requests
+	// carrying an X-Odds-Epoch header that disagrees are refused (409)
+	// so a router with a stale or newer map never applies work here.
+	epoch atomic.Uint64
+
 	wireFP  uint64    // config fingerprint carried by every binary frame
-	names   interner  // sensor-id intern table for zero-alloc binary decode
+	names   Interner  // sensor-id intern table for zero-alloc binary decode
 	scratch sync.Pool // *ingestScratch
 
 	// mu excludes request handling (read side) from shutdown (write
@@ -105,6 +157,10 @@ type Server struct {
 }
 
 var errServerClosed = errors.New("serve: server closed")
+
+// errWrongNode marks work addressed to a shard this node does not host;
+// the HTTP layer answers 404 and a router retries against the map owner.
+var errWrongNode = errors.New("serve: shard not hosted on this node")
 
 // errBadBatch marks client-side batch defects (wrong dimensionality);
 // the HTTP layer answers them 400, never 5xx.
@@ -135,15 +191,38 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 
+	// roleAt maps shard id → starting role; standalone servers host every
+	// shard as primary, cluster nodes host only their assigned subset.
+	roleAt := func(i int) (shardRole, bool) {
+		if !cfg.Cluster {
+			return rolePrimary, true
+		}
+		for _, id := range cfg.Owned {
+			if id == i {
+				return rolePrimary, true
+			}
+		}
+		for _, id := range cfg.Replicas {
+			if id == i {
+				return roleReplica, true
+			}
+		}
+		return rolePrimary, false
+	}
+
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
+		role, hosted := roleAt(i)
+		if !hosted {
+			continue
+		}
 		pcfg := cfg.Pipeline
 		pcfg.Seed = shardSeed(cfg.Pipeline.Seed, i)
 		var (
 			pl  *Pipeline
 			err error
 		)
-		if blobs != nil {
+		if blobs != nil && len(blobs[i]) > 0 {
 			pl, err = RestorePipeline(pcfg, blobs[i])
 		} else {
 			pl, err = NewPipeline(pcfg)
@@ -152,9 +231,12 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.shards[i] = newShard(i, pl, cfg.QueueDepth, s.hub)
+		s.shards[i].role.Store(int32(role))
 	}
 	for _, sh := range s.shards {
-		go sh.run()
+		if sh != nil {
+			go sh.run()
+		}
 	}
 
 	if cfg.SnapshotPath != "" && cfg.SnapshotEvery > 0 {
@@ -194,6 +276,9 @@ func (s *Server) Checkpoint() error {
 	blobs := make([][]byte, len(s.shards))
 	var err error
 	for i, sh := range s.shards {
+		if sh == nil {
+			continue
+		}
 		var resp shardResp
 		resp, err = sh.call(shardReq{op: opSnapshot})
 		if err != nil {
@@ -236,11 +321,16 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	for _, sh := range s.shards {
-		close(sh.reqs)
+		if sh != nil {
+			close(sh.reqs)
+		}
 	}
 	s.mu.Unlock()
 	for _, sh := range s.shards {
-		<-sh.done
+		if sh != nil {
+			<-sh.done
+			sh.stopReplicator()
+		}
 	}
 	// Shards have drained, so every verdict has been published; let the
 	// subscription streams flush their rings and end.
@@ -251,6 +341,9 @@ func (s *Server) Close() error {
 	// Goroutines have exited; pipelines are safe to touch directly.
 	blobs := make([][]byte, len(s.shards))
 	for i, sh := range s.shards {
+		if sh == nil {
+			continue
+		}
 		b, err := sh.pl.Snapshot()
 		if err != nil {
 			return err
@@ -275,11 +368,16 @@ func (s *Server) Abort() {
 	}
 	s.closed = true
 	for _, sh := range s.shards {
-		close(sh.quit)
+		if sh != nil {
+			close(sh.quit)
+		}
 	}
 	s.mu.Unlock()
 	for _, sh := range s.shards {
-		<-sh.done
+		if sh != nil {
+			<-sh.done
+			sh.stopReplicator()
+		}
 	}
 	s.hub.shutdown()
 }
@@ -324,6 +422,14 @@ func (s *Server) ingestInto(readings []Reading, results []ReadingResult, rs *rou
 		// Single-shard fast path: the batch is already the sub-batch and
 		// the scatter is the identity.
 		sh := s.shards[0]
+		if sh == nil || !sh.servable() {
+			// Not hosted here / sealed / replica: an advisory wrong-node
+			// rejection the client retries against the current owner.
+			for i := range results {
+				results[i] = ReadingResult{}
+			}
+			return len(readings), nil
+		}
 		rs.verdicts[0] = growVerdicts(rs.verdicts[0], len(readings))
 		req := shardReq{op: opIngest, batch: readings, verdicts: rs.verdicts[0], reply: rs.replies[0]}
 		if !sh.offer(req) {
@@ -336,6 +442,15 @@ func (s *Server) ingestInto(readings []Reading, results []ReadingResult, rs *rou
 		resp, err := sh.await(req)
 		if err != nil {
 			return 0, err
+		}
+		if resp.refused {
+			// Sealed between the advisory check and envelope processing:
+			// nothing was applied.
+			sh.rejected.Add(uint64(len(readings)))
+			for i := range results {
+				results[i] = ReadingResult{}
+			}
+			return len(readings), nil
 		}
 		for k := range resp.verdicts {
 			v := &resp.verdicts[k]
@@ -365,14 +480,25 @@ func (s *Server) ingestInto(readings []Reading, results []ReadingResult, rs *rou
 			rs.accepted[sid] = false
 			continue
 		}
+		sh := s.shards[sid]
+		if sh == nil || !sh.servable() {
+			// Wrong node (or mid-migration seal): reject the sub-batch so
+			// the client retries it, in order, against the map owner.
+			rs.accepted[sid] = false
+			if sh != nil {
+				sh.rejected.Add(uint64(len(batch)))
+			}
+			rejected += len(batch)
+			continue
+		}
 		rs.verdicts[sid] = growVerdicts(rs.verdicts[sid], len(batch))
 		req := shardReq{op: opIngest, batch: batch, verdicts: rs.verdicts[sid], reply: rs.replies[sid]}
 		rs.reqs[sid] = req
-		if s.shards[sid].offer(req) {
+		if sh.offer(req) {
 			rs.accepted[sid] = true
 		} else {
 			rs.accepted[sid] = false
-			s.shards[sid].rejected.Add(uint64(len(batch)))
+			sh.rejected.Add(uint64(len(batch)))
 			rejected += len(batch)
 		}
 	}
@@ -386,6 +512,11 @@ func (s *Server) ingestInto(readings []Reading, results []ReadingResult, rs *rou
 		resp, err := s.shards[sid].await(rs.reqs[sid])
 		if err != nil {
 			return 0, err
+		}
+		if resp.refused {
+			s.shards[sid].rejected.Add(uint64(len(rs.byShard[sid])))
+			rejected += len(rs.byShard[sid])
+			continue
 		}
 		for k := range resp.verdicts {
 			v := &resp.verdicts[k]
@@ -408,7 +539,11 @@ func (s *Server) QueryOutlier(sensor string, value []float64) (QueryResponse, er
 		return QueryResponse{}, errServerClosed
 	}
 	sid := ShardOf(sensor, len(s.shards))
-	resp, err := s.shards[sid].call(shardReq{op: opQuery, pt: value})
+	sh := s.shards[sid]
+	if sh == nil {
+		return QueryResponse{}, fmt.Errorf("%w: shard %d", errWrongNode, sid)
+	}
+	resp, err := sh.call(shardReq{op: opQuery, pt: value})
 	if err != nil {
 		return QueryResponse{}, err
 	}
@@ -424,7 +559,11 @@ func (s *Server) QueryProb(sensor string, value []float64, radius float64) (Prob
 		return ProbResponse{}, errServerClosed
 	}
 	sid := ShardOf(sensor, len(s.shards))
-	resp, err := s.shards[sid].call(shardReq{op: opProb, pt: value, radius: radius})
+	sh := s.shards[sid]
+	if sh == nil {
+		return ProbResponse{}, fmt.Errorf("%w: shard %d", errWrongNode, sid)
+	}
+	resp, err := sh.call(shardReq{op: opProb, pt: value, radius: radius})
 	if err != nil {
 		return ProbResponse{}, err
 	}
@@ -445,15 +584,20 @@ func (s *Server) Stats() (StatsResponse, error) {
 		Core:            s.cfg.Pipeline.Core,
 		Distance:        s.cfg.Pipeline.Distance,
 		MDEF:            s.cfg.Pipeline.MDEF,
-		PerShard:        make([]ShardStats, len(s.shards)),
+		PerShard:        make([]ShardStats, 0, len(s.shards)),
 		WireFingerprint: s.wireFP,
+		Cluster:         s.cfg.Cluster,
+		Epoch:           s.epoch.Load(),
 	}
-	for i, sh := range s.shards {
+	for _, sh := range s.shards {
+		if sh == nil {
+			continue
+		}
 		resp, err := sh.call(shardReq{op: opStats})
 		if err != nil {
 			return StatsResponse{}, err
 		}
-		out.PerShard[i] = resp.stats
+		out.PerShard = append(out.PerShard, resp.stats)
 	}
 	return out, nil
 }

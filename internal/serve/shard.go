@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -24,6 +25,18 @@ const (
 	opProb
 	opStats
 	opSnapshot
+	opReplicate // apply a replicated batch (follower side, contiguity-checked)
+	opFollow    // install/replace this primary's replicator
+)
+
+// shardRole is a shard's cluster role. Primaries serve ingest and publish
+// verdicts; replicas only accept contiguity-checked replication batches
+// until promoted. Standalone (non-cluster) shards are always primaries.
+type shardRole = int32
+
+const (
+	rolePrimary shardRole = iota
+	roleReplica
 )
 
 // shardReq is one mailbox envelope. Ingest envelopes carry a sub-batch
@@ -37,6 +50,8 @@ type shardReq struct {
 	verdicts []Verdict
 	pt       []float64
 	radius   float64
+	fromSeq  uint64      // opReplicate: seq of the first reading in batch
+	repl     *replicator // opFollow: new replicator (nil detaches)
 	reply    chan shardResp
 }
 
@@ -46,6 +61,8 @@ type shardResp struct {
 	prob     float64
 	stats    ShardStats
 	snap     []byte
+	seq      uint64 // opReplicate: pipeline seq after applying
+	refused  bool   // opIngest: shard sealed or not primary; nothing applied
 	err      error
 }
 
@@ -64,6 +81,20 @@ type shard struct {
 	ingested atomic.Uint64
 	outliers atomic.Uint64
 	rejected atomic.Uint64 // incremented by the admission layer
+
+	// role and sealed gate ingest. The admission layer reads them as an
+	// advisory fast path; the authoritative check happens inside
+	// handle(opIngest) at envelope-processing time, so a seal followed by
+	// an enqueued snapshot envelope captures exactly the readings that
+	// were ACKed (mailbox FIFO: applied ⇒ before the seal ⇒ in the
+	// snapshot; refused ⇒ retried by the client against the new owner).
+	role   atomic.Int32
+	sealed atomic.Bool
+
+	// repl streams applied batches to a follower node. Owned by the shard
+	// goroutine (installed via opFollow); read by stopReplicator only
+	// after the goroutine has exited (<-done).
+	repl *replicator
 
 	// lat samples one in latSample service times (clock reads and sketch
 	// inserts off the other readings' hot path); the /stats percentiles
@@ -105,13 +136,37 @@ func (sh *shard) run() {
 	}
 }
 
+// servable reports whether this shard currently accepts ingest: hosted
+// as primary and not sealed for migration. Advisory — handle(opIngest)
+// rechecks at envelope time.
+func (sh *shard) servable() bool {
+	return shardRole(sh.role.Load()) == rolePrimary && !sh.sealed.Load()
+}
+
+// stopReplicator tears down the follower stream; callers must first
+// observe <-sh.done so the shard goroutine no longer touches sh.repl.
+func (sh *shard) stopReplicator() {
+	if sh.repl != nil {
+		sh.repl.stop()
+		sh.repl = nil
+	}
+}
+
 func (sh *shard) handle(req shardReq) {
 	switch req.op {
 	case opIngest:
+		if !sh.servable() {
+			// Sealed for migration, or a replica reached through a stale
+			// map: refuse the whole sub-batch so nothing is applied and
+			// the client retries against the current owner.
+			req.reply <- shardResp{verdicts: req.verdicts, refused: true}
+			return
+		}
 		verdicts := req.verdicts
 		if verdicts == nil {
 			verdicts = make([]Verdict, len(req.batch))
 		}
+		fromSeq := sh.pl.Seq() + 1
 		for i := range req.batch {
 			timed := sh.latTick&(latSample-1) == 0
 			sh.latTick++
@@ -128,7 +183,7 @@ func (sh *shard) handle(req shardReq) {
 				sh.outliers.Add(1)
 			}
 			if sh.hub != nil {
-				sh.hub.publish(subEvent{
+				sh.hub.publish(Event{
 					Sensor:  req.batch[i].Sensor,
 					Shard:   sh.id,
 					Seq:     v.Seq,
@@ -139,7 +194,40 @@ func (sh *shard) handle(req shardReq) {
 			}
 		}
 		sh.ingested.Add(uint64(len(req.batch)))
+		if sh.repl != nil {
+			// Copies the batch before the reply releases the caller's
+			// pooled buffers; only cluster primaries with a follower pay
+			// this.
+			sh.repl.forward(fromSeq, req.batch)
+		}
 		req.reply <- shardResp{verdicts: verdicts}
+	case opReplicate:
+		resp := shardResp{seq: sh.pl.Seq()}
+		switch {
+		case shardRole(sh.role.Load()) != roleReplica:
+			resp.err = errNotReplica
+		case req.fromSeq != sh.pl.Seq()+1:
+			// A gap means the replication link lost a batch; fail closed so
+			// the follower stays frozen at a consistent prefix (promotion
+			// from a prefix is sound — clients re-send the tail on
+			// catch-up).
+			resp.err = fmt.Errorf("%w: follower at seq %d, batch starts at %d", errReplGap, sh.pl.Seq(), req.fromSeq)
+		default:
+			for i := range req.batch {
+				if sh.pl.Ingest(req.batch[i].Value).Outlier {
+					sh.outliers.Add(1)
+				}
+			}
+			sh.ingested.Add(uint64(len(req.batch)))
+			resp.seq = sh.pl.Seq()
+		}
+		req.reply <- resp
+	case opFollow:
+		if sh.repl != nil {
+			sh.repl.stop()
+		}
+		sh.repl = req.repl
+		req.reply <- shardResp{}
 	case opQuery:
 		req.reply <- shardResp{verdict: sh.pl.QueryOutlier(req.pt)}
 	case opProb:
@@ -162,6 +250,12 @@ func (sh *shard) statsLocked() ShardStats {
 		Rejected:   sh.rejected.Load(),
 		Outliers:   sh.outliers.Load(),
 		QueueDepth: len(sh.reqs),
+		Sealed:     sh.sealed.Load(),
+	}
+	if shardRole(sh.role.Load()) == roleReplica {
+		st.Role = "replica"
+	} else {
+		st.Role = "primary"
 	}
 	if sh.lat.N() > 0 {
 		st.P50Micros = sh.lat.Query(0.5)
@@ -170,7 +264,11 @@ func (sh *shard) statsLocked() ShardStats {
 	return st
 }
 
-var errShardDown = errors.New("serve: shard stopped")
+var (
+	errShardDown  = errors.New("serve: shard stopped")
+	errNotReplica = errors.New("serve: shard is not a replica")
+	errReplGap    = errors.New("serve: replication gap")
+)
 
 // call sends a blocking envelope (queries, stats, snapshots — never
 // rejected by admission control) and awaits the reply, failing cleanly if

@@ -21,8 +21,8 @@ import (
 // the oldest events — counted and reported as a gap record on its own
 // stream — and can never backpressure a shard goroutine.
 
-// subEvent is one pushed verdict.
-type subEvent struct {
+// Event is one pushed verdict.
+type Event struct {
 	Sensor  string
 	Shard   int
 	Seq     uint64
@@ -43,7 +43,7 @@ type subscriber struct {
 	notify chan struct{} // capacity 1: coalesced wake-up
 
 	mu      sync.Mutex
-	ring    []subEvent
+	ring    []Event
 	start   int
 	n       int
 	dropped uint64 // drops since the last drain, reported as a gap record
@@ -51,7 +51,7 @@ type subscriber struct {
 
 // offer publishes one event into the ring, dropping the oldest event if
 // the subscriber is behind. Never blocks, never allocates.
-func (sub *subscriber) offer(ev subEvent) {
+func (sub *subscriber) offer(ev Event) {
 	if sub.sensors != nil {
 		if _, ok := sub.sensors[ev.Sensor]; !ok {
 			return
@@ -85,7 +85,7 @@ func (sub *subscriber) offer(ev subEvent) {
 
 // drain moves all buffered events into dst and resets the gap counter,
 // returning how many events were dropped before the first one in dst.
-func (sub *subscriber) drain(dst []subEvent) ([]subEvent, uint64) {
+func (sub *subscriber) drain(dst []Event) ([]Event, uint64) {
 	sub.mu.Lock()
 	for k := 0; k < sub.n; k++ {
 		i := sub.start + k
@@ -119,7 +119,7 @@ func newSubHub() *subHub {
 
 // publish fans one verdict out. With no subscribers this is a single
 // atomic load — the shard hot path stays zero-cost and zero-alloc.
-func (h *subHub) publish(ev subEvent) {
+func (h *subHub) publish(ev Event) {
 	if h.active.Load() == 0 {
 		return
 	}
@@ -198,7 +198,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		sensors:     sensors,
 		outlierOnly: only == "outlier",
 		notify:      make(chan struct{}, 1),
-		ring:        make([]subEvent, s.cfg.SubscribeBuffer),
+		ring:        make([]Event, s.cfg.SubscribeBuffer),
 	}
 	// Registration excludes shutdown (s.mu), so a stream can never attach
 	// to a hub whose done channel it missed.
@@ -224,14 +224,14 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 
 	var out []byte
 	if binaryStream {
-		out = appendStreamHeader(out)
+		out = AppendStreamHeader(out)
 		if _, err := w.Write(out); err != nil {
 			return
 		}
 	}
 	flusher.Flush()
 
-	var events []subEvent
+	var events []Event
 	ctx := r.Context()
 	flush := func() bool {
 		var gap uint64
@@ -244,14 +244,14 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			// Dropped events are older than everything in the ring, so
 			// the gap record precedes the drained events.
 			if binaryStream {
-				out = appendGapFrame(out, gap)
+				out = AppendGapFrame(out, gap)
 			} else {
 				out = fmt.Appendf(out, "event: gap\ndata: {\"dropped\":%d}\n\n", gap)
 			}
 		}
 		for _, ev := range events {
 			if binaryStream {
-				out = appendVerdictFrame(out, ev)
+				out = AppendVerdictFrame(out, ev)
 			} else {
 				out = fmt.Appendf(out,
 					"event: verdict\ndata: {\"sensor\":%q,\"shard\":%d,\"seq\":%d,\"outlier\":%t,\"exact\":%t,\"warmed\":%t}\n\n",

@@ -17,9 +17,9 @@ import (
 // next drain reports the gap before the surviving events.
 func TestSubscriberRingDropOldest(t *testing.T) {
 	hub := newSubHub()
-	sub := &subscriber{hub: hub, notify: make(chan struct{}, 1), ring: make([]subEvent, 3)}
+	sub := &subscriber{hub: hub, notify: make(chan struct{}, 1), ring: make([]Event, 3)}
 	for i := 1; i <= 5; i++ {
-		sub.offer(subEvent{Sensor: "a", Seq: uint64(i)})
+		sub.offer(Event{Sensor: "a", Seq: uint64(i)})
 	}
 	events, gap := sub.drain(nil)
 	if gap != 2 {
@@ -32,7 +32,7 @@ func TestSubscriberRingDropOldest(t *testing.T) {
 		t.Fatalf("hub dropped %d, want 2", hub.dropped.Load())
 	}
 	// After a drain the gap counter resets.
-	sub.offer(subEvent{Sensor: "a", Seq: 6})
+	sub.offer(Event{Sensor: "a", Seq: 6})
 	events, gap = sub.drain(events[:0])
 	if gap != 0 || len(events) != 1 || events[0].Seq != 6 {
 		t.Fatalf("post-drain state: gap=%d events=%+v", gap, events)
@@ -48,11 +48,11 @@ func TestSubscriberFilters(t *testing.T) {
 		sensors:     map[string]struct{}{"a": {}},
 		outlierOnly: true,
 		notify:      make(chan struct{}, 1),
-		ring:        make([]subEvent, 8),
+		ring:        make([]Event, 8),
 	}
-	sub.offer(subEvent{Sensor: "b", Outlier: true}) // wrong sensor
-	sub.offer(subEvent{Sensor: "a"})                // not an outlier
-	sub.offer(subEvent{Sensor: "a", Outlier: true, Seq: 9})
+	sub.offer(Event{Sensor: "b", Outlier: true}) // wrong sensor
+	sub.offer(Event{Sensor: "a"})                // not an outlier
+	sub.offer(Event{Sensor: "a", Outlier: true, Seq: 9})
 	events, gap := sub.drain(nil)
 	if gap != 0 || len(events) != 1 || events[0].Seq != 9 {
 		t.Fatalf("drained %+v gap=%d, want just seq 9", events, gap)
@@ -64,7 +64,7 @@ func TestSubscriberFilters(t *testing.T) {
 func TestHubPublishIdle(t *testing.T) {
 	hub := newSubHub()
 	if avg := testing.AllocsPerRun(100, func() {
-		hub.publish(subEvent{Sensor: "a", Seq: 1})
+		hub.publish(Event{Sensor: "a", Seq: 1})
 	}); avg != 0 {
 		t.Fatalf("idle publish allocates %v, want 0", avg)
 	}
@@ -215,14 +215,14 @@ func TestSubscribeBinaryStream(t *testing.T) {
 		t.Fatalf("ingest: rejected=%d err=%v", rejected, err)
 	}
 
-	sr := newStreamReader(resp.Body)
-	seen := map[string]subEvent{}
+	sr := NewStreamReader(resp.Body)
+	seen := map[string]Event{}
 	for len(seen) < len(readings) {
 		ev, _, kind, err := sr.Next()
 		if err != nil {
 			t.Fatalf("stream ended early: %v", err)
 		}
-		if kind == streamFrameVerdict {
+		if kind == StreamFrameVerdict {
 			seen[ev.Sensor] = ev
 		}
 	}

@@ -68,6 +68,10 @@ type ShardStats struct {
 	QueueDepth int     `json:"queue_depth"`
 	P50Micros  float64 `json:"p50_us"`
 	P99Micros  float64 `json:"p99_us"`
+	// Role ("primary" or "replica") and Sealed describe the shard's
+	// cluster state; standalone servers always report unsealed primaries.
+	Role   string `json:"role,omitempty"`
+	Sealed bool   `json:"sealed,omitempty"`
 }
 
 // StatsResponse answers GET /stats. It carries the full detection
@@ -85,6 +89,11 @@ type StatsResponse struct {
 	// WireFingerprint is the u64 every ODWP frame must carry; binary
 	// clients learn it here before their first batch.
 	WireFingerprint uint64 `json:"wire_fingerprint"`
+	// Cluster and Epoch describe cluster membership: Shards stays the
+	// cluster-global shard space, PerShard lists only hosted shards, and
+	// Epoch is the map version this node last acknowledged.
+	Cluster bool   `json:"cluster,omitempty"`
+	Epoch   uint64 `json:"epoch,omitempty"`
 }
 
 // PipelineConfigFor reconstructs the pipeline configuration of one shard
