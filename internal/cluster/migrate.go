@@ -50,6 +50,9 @@ func (r *Router) snapshotShard(node, shard int, seal bool) ([]byte, error) {
 // because the target resumes publishing exactly where the source's
 // snapshot ends.
 func (r *Router) Migrate(shard, to int) error {
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+
 	r.mu.RLock()
 	m := r.m
 	deadTo := to < 0 || to >= len(r.dead) || r.dead[to]
@@ -61,6 +64,9 @@ func (r *Router) Migrate(shard, to int) error {
 		return fmt.Errorf("cluster: target node %d is not alive", to)
 	}
 	from := m.Owner[shard]
+	if from < 0 {
+		return fmt.Errorf("%w: shard %d", errNoOwner, shard)
+	}
 	if from == to {
 		return nil
 	}
@@ -132,6 +138,9 @@ func (r *Router) Migrate(shard, to int) error {
 // dead primary. Returns the shards whose primary changed this tick
 // (promotions and re-adoptions); clients must resync their cursors.
 func (r *Router) HealthTick() []int {
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+
 	r.mu.RLock()
 	m := r.m
 	nNodes := len(m.Nodes)
@@ -166,6 +175,7 @@ func (r *Router) HealthTick() []int {
 	}
 	if !newlyDead && len(revived) == 0 {
 		r.mu.Unlock()
+		r.retryPromotions()
 		return nil
 	}
 	next := r.m.clone()
@@ -194,7 +204,14 @@ func (r *Router) HealthTick() []int {
 	r.mu.Unlock()
 
 	for _, sh := range toPromote {
-		_ = r.admin(next.Owner[sh], fmt.Sprintf("op=promote&id=%d", sh), nil)
+		// The map already routes the shard to the replica; until the node
+		// hears op=promote it still refuses ingest as role=replica, so a
+		// failed call must be retried, not dropped — otherwise a transient
+		// router→replica partition leaves the shard unavailable forever.
+		if err := r.admin(next.Owner[sh], fmt.Sprintf("op=promote&id=%d", sh), nil); err != nil {
+			r.pendingPromote[sh] = next.Owner[sh]
+			continue
+		}
 		r.promotions.Add(1)
 	}
 
@@ -227,7 +244,36 @@ func (r *Router) HealthTick() []int {
 		changed = append(changed, adopt...)
 	}
 	r.pushEpoch(next)
+	r.retryPromotions()
 	return changed
+}
+
+// retryPromotions re-issues op=promote calls that failed after their
+// failover commit. Called with opMu held (every HealthTick return path).
+// An entry is dropped once the node accepts, or once the map no longer
+// routes the shard to that node (a later migration or failover
+// superseded the failover, making the promote moot).
+func (r *Router) retryPromotions() {
+	if len(r.pendingPromote) == 0 {
+		return
+	}
+	r.mu.RLock()
+	m := r.m
+	dead := append([]bool(nil), r.dead...)
+	r.mu.RUnlock()
+	for sh, node := range r.pendingPromote {
+		if sh >= m.Shards || m.Owner[sh] != node {
+			delete(r.pendingPromote, sh)
+			continue
+		}
+		if dead[node] {
+			continue // unreachable right now; keep for a later tick
+		}
+		if err := r.admin(node, fmt.Sprintf("op=promote&id=%d", sh), nil); err == nil {
+			r.promotions.Add(1)
+			delete(r.pendingPromote, sh)
+		}
+	}
 }
 
 // hostedShards lists the shards a node currently hosts.
@@ -251,6 +297,8 @@ func (r *Router) hostedShards(node int) ([]serve.AdminShardInfo, error) {
 // Revive marks a node live again (it must already be serving — e.g. a
 // restarted empty process) so it can host future shards and replicas.
 func (r *Router) Revive(node int) error {
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
 	if node < 0 || node >= len(r.opts.Nodes) {
 		return fmt.Errorf("cluster: node %d unknown", node)
 	}
@@ -272,6 +320,9 @@ func (r *Router) Revive(node int) error {
 // seal window means a few rejected (retried) sub-batches, the same cost
 // as a migration drain.
 func (r *Router) RepairReplica(shard, node int) error {
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+
 	r.mu.RLock()
 	m := r.m
 	deadNode := node < 0 || node >= len(r.dead) || r.dead[node]

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"odds/internal/serve"
+)
+
+// Regression tests for review findings: orphaned-shard migration must
+// fail cleanly, failed promotes must be retried, and subscription
+// upstreams must not run through the deadline-bounded admin client.
+
+// TestMigrateOrphanedShardRefused: migrating a shard whose owner died
+// with no live replica (Owner == -1) is refused with errNoOwner instead
+// of panicking on a negative node index.
+func TestMigrateOrphanedShardRefused(t *testing.T) {
+	tc := newTestCluster(t, 2, 4, false) // no replicas: failover orphans
+	owner := tc.router.CurrentMap().Owner[0]
+	tc.killNode(owner)
+	tc.router.HealthTick() // threshold 1: shard 0 is now orphaned
+	if got := tc.router.CurrentMap().Owner[0]; got != -1 {
+		t.Fatalf("shard 0 owner after failover = %d, want -1 (orphaned)", got)
+	}
+	err := tc.router.Migrate(0, 1-owner)
+	if !errors.Is(err, errNoOwner) {
+		t.Fatalf("Migrate of orphaned shard: err = %v, want errNoOwner", err)
+	}
+}
+
+// promoteGate fails op=promote admin calls while blocked, simulating a
+// transient router→replica partition during a failover.
+type promoteGate struct {
+	base  http.RoundTripper
+	block atomic.Bool
+}
+
+func (g *promoteGate) RoundTrip(req *http.Request) (*http.Response, error) {
+	if g.block.Load() && req.URL.Path == "/admin/shard" && req.URL.Query().Get("op") == "promote" {
+		return nil, fmt.Errorf("promoteGate: promote call blocked")
+	}
+	return g.base.RoundTrip(req)
+}
+
+// TestHealthTickRetriesFailedPromote: when the promote call fails after
+// a failover commit, the map keeps routing to the replica; a later
+// HealthTick must re-issue the promote so the shard becomes writable
+// again once the partition heals.
+func TestHealthTickRetriesFailedPromote(t *testing.T) {
+	const shards = 4
+	gate := &promoteGate{base: http.DefaultTransport}
+	var servers []*serve.Server
+	var nodeTS []*httptest.Server
+	urls := make([]string, 2)
+	for i := range urls {
+		srv, err := serve.New(serve.Config{
+			Shards:     shards,
+			Pipeline:   testPipeline(42),
+			QueueDepth: 64,
+			Cluster:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		servers = append(servers, srv)
+		nodeTS = append(nodeTS, ts)
+		urls[i] = ts.URL
+		t.Cleanup(func() { ts.Close(); _ = srv.Close() })
+	}
+	r, err := NewRouter(Options{
+		Nodes:           urls,
+		Replicate:       true,
+		Client:          &http.Client{Timeout: 5 * time.Second, Transport: gate},
+		HealthThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The streaming client must share the fault-injecting transport but
+	// carry no overall deadline (a deadline would sever subscriptions).
+	if r.streamClient.Transport != gate {
+		t.Fatal("streamClient does not share the configured transport")
+	}
+	if r.streamClient.Timeout != 0 {
+		t.Fatalf("streamClient.Timeout = %v, want 0", r.streamClient.Timeout)
+	}
+
+	m := r.CurrentMap()
+	sh := 0
+	dead, rep := m.Owner[sh], m.Replica[sh]
+	if rep < 0 {
+		t.Fatalf("shard %d has no replica in a 2-node replicated cluster", sh)
+	}
+
+	gate.block.Store(true)
+	nodeTS[dead].Close()
+	r.HealthTick()
+	if got := r.CurrentMap().Owner[sh]; got != rep {
+		t.Fatalf("shard %d owner after failover = %d, want replica %d", sh, got, rep)
+	}
+	role := func() string {
+		infos, err := servers[rep].HostedShards()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, info := range infos {
+			if info.Shard == sh {
+				return info.Role
+			}
+		}
+		t.Fatalf("node %d does not host shard %d", rep, sh)
+		return ""
+	}
+	if got := role(); got != "replica" {
+		t.Fatalf("role after blocked promote = %q, want replica (promote must have failed)", got)
+	}
+
+	// Partition heals: the next tick (no membership change — the early
+	// return path) must retry the pending promote.
+	gate.block.Store(false)
+	r.HealthTick()
+	if got := role(); got != "primary" {
+		t.Fatalf("role after retry tick = %q, want primary", got)
+	}
+	if n := r.promotions.Load(); n == 0 {
+		t.Fatal("promotions counter not incremented by retried promote")
+	}
+}
+
+// TestStreamClientDefaultHasNoTimeout: with no custom client, the
+// request/response client keeps its 5s deadline while the subscription
+// client gets a transport-bounded one with no overall timeout.
+func TestStreamClientDefaultHasNoTimeout(t *testing.T) {
+	tc := newTestCluster(t, 1, 2, false)
+	if tc.router.client.Timeout == 0 {
+		t.Fatal("request/response client lost its overall timeout")
+	}
+	if tc.router.streamClient.Timeout != 0 {
+		t.Fatalf("streamClient.Timeout = %v, want 0", tc.router.streamClient.Timeout)
+	}
+	if tr, ok := tc.router.streamClient.Transport.(*http.Transport); !ok {
+		t.Fatalf("default streamClient transport is %T, want *http.Transport", tc.router.streamClient.Transport)
+	} else if tr.ResponseHeaderTimeout == 0 {
+		t.Fatal("default streamClient transport has no response-header timeout")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"sync"
@@ -42,12 +43,30 @@ type Options struct {
 type Router struct {
 	opts   Options
 	client *http.Client
+	// streamClient carries long-lived /subscribe upstreams. It shares
+	// the request/response client's transport (so fault-injecting tests
+	// partition both alike) but has no overall Timeout — http.Client's
+	// Timeout covers body reads, which would sever every subscription
+	// mid-stream.
+	streamClient *http.Client
 
 	// Node configuration template, verified identical (by wire
 	// fingerprint) across every member at bootstrap.
 	template serve.StatsResponse
 	fp       uint64
 	dim      int
+
+	// opMu serializes the map-mutating control operations (Migrate,
+	// HealthTick, RepairReplica, Revive). Each reads the map, performs
+	// multi-step network work, then commits a successor map; interleaving
+	// two of them could commit a map describing state no node holds.
+	// Lock order: opMu before mu, never the reverse.
+	opMu sync.Mutex
+	// pendingPromote records failovers whose op=promote call failed after
+	// the map commit (shard → new owner). HealthTick retries them until
+	// the node accepts or the map routes the shard elsewhere. Guarded by
+	// opMu.
+	pendingPromote map[int]int
 
 	mu   sync.RWMutex
 	m    *Map
@@ -82,11 +101,22 @@ func NewRouter(opts Options) (*Router, error) {
 	if opts.HealthThreshold <= 0 {
 		opts.HealthThreshold = 2
 	}
+	streamTransport := opts.Client.Transport
+	if streamTransport == nil {
+		streamTransport = &http.Transport{
+			Proxy:                 http.ProxyFromEnvironment,
+			DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+			TLSHandshakeTimeout:   5 * time.Second,
+			ResponseHeaderTimeout: 5 * time.Second,
+		}
+	}
 	r := &Router{
-		opts:   opts,
-		client: opts.Client,
-		down:   make([]int, len(opts.Nodes)),
-		dead:   make([]bool, len(opts.Nodes)),
+		opts:           opts,
+		client:         opts.Client,
+		streamClient:   &http.Client{Transport: streamTransport},
+		pendingPromote: make(map[int]int),
+		down:           make([]int, len(opts.Nodes)),
+		dead:           make([]bool, len(opts.Nodes)),
 	}
 
 	// Membership handshake: every node must be a cluster node with the

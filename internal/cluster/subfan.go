@@ -128,7 +128,7 @@ func (r *Router) handleSubscribe(w http.ResponseWriter, req *http.Request) {
 		if dead[id] {
 			continue
 		}
-		if err := openUpstream(ctx, r.client, nodeURL, up.Encode(), ch); err != nil {
+		if err := openUpstream(ctx, r.streamClient, nodeURL, up.Encode(), ch); err != nil {
 			http.Error(w, fmt.Sprintf("node %d: %v", id, err), http.StatusServiceUnavailable)
 			return
 		}

@@ -174,21 +174,24 @@ func (s *Server) ReleaseShard(id int) error {
 	return nil
 }
 
-// hostedShard resolves a live shard or fails with errWrongNode.
-func (s *Server) hostedShard(id int) (*shard, error) {
+// withShard runs fn on a live shard while holding the read lock, the
+// same invariant the query/ingest paths rely on: ReleaseShard closes the
+// shard's mailbox only under the write lock, so a mailbox send inside fn
+// can never race the close.
+func (s *Server) withShard(id int, fn func(*shard) error) error {
 	if id < 0 || id >= len(s.shards) {
-		return nil, fmt.Errorf("serve: shard %d outside global space [0,%d)", id, len(s.shards))
+		return fmt.Errorf("serve: shard %d outside global space [0,%d)", id, len(s.shards))
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return nil, errServerClosed
+		return errServerClosed
 	}
 	sh := s.shards[id]
 	if sh == nil {
-		return nil, fmt.Errorf("%w: shard %d", errWrongNode, id)
+		return fmt.Errorf("%w: shard %d", errWrongNode, id)
 	}
-	return sh, nil
+	return fn(sh)
 }
 
 // SealShard stops a primary from accepting new ingest (migration step 1).
@@ -196,74 +199,69 @@ func (s *Server) hostedShard(id int) (*shard, error) {
 // processing, so a snapshot taken after the seal captures exactly the
 // ACKed readings.
 func (s *Server) SealShard(id int) error {
-	sh, err := s.hostedShard(id)
-	if err != nil {
-		return err
-	}
-	sh.sealed.Store(true)
-	return nil
+	return s.withShard(id, func(sh *shard) error {
+		sh.sealed.Store(true)
+		return nil
+	})
 }
 
 // UnsealShard re-opens a sealed shard (migration abort/unwind).
 func (s *Server) UnsealShard(id int) error {
-	sh, err := s.hostedShard(id)
-	if err != nil {
-		return err
-	}
-	sh.sealed.Store(false)
-	return nil
+	return s.withShard(id, func(sh *shard) error {
+		sh.sealed.Store(false)
+		return nil
+	})
 }
 
 // SnapshotShard captures one shard's ODPS blob through its mailbox,
 // optionally sealing it first (the migration drain: seal, then snapshot —
 // mailbox FIFO guarantees every ACKed reading is in the blob).
 func (s *Server) SnapshotShard(id int, seal bool) ([]byte, error) {
-	sh, err := s.hostedShard(id)
+	var blob []byte
+	err := s.withShard(id, func(sh *shard) error {
+		if seal {
+			sh.sealed.Store(true)
+		}
+		resp, err := sh.call(shardReq{op: opSnapshot})
+		if err != nil {
+			return err
+		}
+		blob = resp.snap
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if seal {
-		sh.sealed.Store(true)
-	}
-	resp, err := sh.call(shardReq{op: opSnapshot})
-	if err != nil {
-		return nil, err
-	}
-	return resp.snap, nil
+	return blob, nil
 }
 
 // PromoteShard flips a replica to primary (failover). Promotion is
 // deterministic: the replica is a bit-exact prefix of the failed
 // primary, and clients re-send the un-replicated tail on catch-up.
 func (s *Server) PromoteShard(id int) error {
-	sh, err := s.hostedShard(id)
-	if err != nil {
-		return err
-	}
-	sh.role.Store(rolePrimary)
-	sh.sealed.Store(false)
-	return nil
+	return s.withShard(id, func(sh *shard) error {
+		sh.role.Store(rolePrimary)
+		sh.sealed.Store(false)
+		return nil
+	})
 }
 
 // SetFollower points a primary's replication stream at a follower node
 // (empty target detaches). Ownership of the replicator passes to the
 // shard goroutine via the mailbox, so forwarding is race-free.
 func (s *Server) SetFollower(id int, target string) error {
-	sh, err := s.hostedShard(id)
-	if err != nil {
-		return err
-	}
 	var repl *replicator
 	if target != "" {
 		repl = newReplicator(id, target, s.cfg.Pipeline.Core.Dim, s.wireFP, nil)
 	}
-	if _, err := sh.call(shardReq{op: opFollow, repl: repl}); err != nil {
-		if repl != nil {
-			repl.stop()
-		}
+	err := s.withShard(id, func(sh *shard) error {
+		_, err := sh.call(shardReq{op: opFollow, repl: repl})
 		return err
+	})
+	if err != nil && repl != nil {
+		repl.stop()
 	}
-	return nil
+	return err
 }
 
 // AdminShardInfo is one hosted shard's state in GET /admin/shards.

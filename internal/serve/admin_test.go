@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -383,5 +384,29 @@ func TestClusterConfigValidation(t *testing.T) {
 	infos, err := srv.HostedShards()
 	if err != nil || len(infos) != 3 {
 		t.Fatalf("hosted %v err %v, want shards 0,1,3", infos, err)
+	}
+}
+
+// TestAdminOpsRaceRelease: admin ops that send on a shard's mailbox must
+// hold the read lock across the send, so a concurrent release (which
+// closes the mailbox under the write lock) can never trigger a
+// send-on-closed-channel panic. Run with -race.
+func TestAdminOpsRaceRelease(t *testing.T) {
+	srv, err := New(clusterConfig(nil, nil, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 200; i++ {
+		if err := srv.InstallShard(0, false, nil); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() { defer wg.Done(); _, _ = srv.SnapshotShard(0, false) }()
+		go func() { defer wg.Done(); _ = srv.SetFollower(0, "") }()
+		go func() { defer wg.Done(); _ = srv.ReleaseShard(0) }()
+		wg.Wait()
+		_ = srv.ReleaseShard(0) // no-op if the racing release won
 	}
 }
