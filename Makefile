@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-all bench-fault bench-rebuild bench-serve bench-wire serve-smoke cluster-smoke chaos cluster-chaos experiments quick-experiments verify-figures update-golden fmt vet clean
+.PHONY: all build test race cover bench bench-all bench-fault bench-rebuild bench-serve bench-wire bench-drift serve-smoke cluster-smoke chaos cluster-chaos experiments quick-experiments verify-figures update-golden fmt vet clean
 
 # The default verify path includes vet and the race detector: the
 # parallel evaluation harness and the concurrent runtime are only correct
@@ -65,6 +65,16 @@ bench-serve:
 # fan-out overhead at 0/1/4 live streams.
 bench-wire:
 	$(GO) test -run=NONE -bench='BenchmarkWireHTTP|BenchmarkCodecRoundTrip|BenchmarkSubscribeFanout' -benchmem -benchtime 3s ./internal/serve/
+
+# Drift-overhead suite whose numbers land in BENCH_DRIFT.json (update
+# the file from this output when the drift monitor or the ingest hot
+# path changes): the per-observation detector bank microbenchmarks and
+# the drift-armed vs drift-free serving hot loop. Acceptance: the
+# drift-armed ns/op stays within 2% of the baseline at the default
+# sampling stride (both rows must report 0 allocs/op).
+bench-drift:
+	$(GO) test -run=NONE -bench=BenchmarkDriftObserve -benchmem -benchtime 200000x ./internal/drift/
+	$(GO) test -run=NONE -bench='BenchmarkPipelineIngest$$|BenchmarkPipelineIngestDrift' -benchmem -benchtime 1s ./internal/serve/
 
 # End-to-end smoke of the serving subsystem: build oddserve + oddload,
 # replay a seeded load over HTTP with verdict agreement enforced against

@@ -224,6 +224,17 @@ func (e *Estimator) refreshMaintained(wc float64) bool {
 	return true
 }
 
+// ForceRefresh schedules an immediate model refresh: the next Model call
+// rebuilds (or patches) regardless of the rebuild cadence, re-deriving
+// the bandwidths from the variance sketch's *current* sigmas. This is
+// the drift monitor's bandwidth re-estimation action — after a variance
+// shift the cached model may be up to RebuildEvery arrivals stale, and
+// under drift those arrivals are exactly the ones that matter.
+func (e *Estimator) ForceRefresh() {
+	e.dirty = true
+	e.sinceBuild = e.cfg.RebuildEvery
+}
+
 // Querier returns an allocation-free query handle bound to the current
 // model, rebinding the cached handle whenever Model rebuilds or rescales.
 // Like the Estimator itself the handle is single-goroutine-owned; it

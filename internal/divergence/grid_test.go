@@ -1,0 +1,68 @@
+package divergence_test
+
+import (
+	"testing"
+
+	"odds/internal/divergence"
+)
+
+// TestGridEvalMatchesJS pins the reusable evaluator to the allocating
+// reference bit-for-bit across dimensions, grid sizes, and model pairs.
+func TestGridEvalMatchesJS(t *testing.T) {
+	pairs := []struct {
+		name string
+		p, q divergence.Model
+	}{
+		{"identical", divergence.Gaussian1D(0.4, 0.05), divergence.Gaussian1D(0.4, 0.05)},
+		{"shifted", divergence.Gaussian1D(0.3, 0.05), divergence.Gaussian1D(0.6, 0.05)},
+		{"widened", divergence.Gaussian1D(0.5, 0.03), divergence.Gaussian1D(0.5, 0.12)},
+		{"mixture", divergence.Mixture1D(
+			[]float64{0.3, 0.45}, []float64{0.03, 0.03}, []float64{0.6, 0.4}, 0.5, 1, 0.01),
+			divergence.Gaussian1D(0.35, 0.06)},
+	}
+	for _, grid := range []int{4, 16, 64} {
+		for _, pr := range pairs {
+			ev := divergence.NewGridEval(1, grid)
+			want := divergence.JS(pr.p, pr.q, grid)
+			got := ev.JS(pr.p, pr.q)
+			if got != want {
+				t.Fatalf("%s grid=%d: GridEval.JS %v != JS %v", pr.name, grid, got, want)
+			}
+			// Re-use must not carry state between evaluations.
+			if again := ev.JS(pr.p, pr.q); again != want {
+				t.Fatalf("%s grid=%d: second evaluation %v != %v", pr.name, grid, again, want)
+			}
+		}
+	}
+	// Multi-dimensional: product Gaussians via FuncModel.
+	g2p := divergence.FuncModel{Dims: 2, Fn: func(lo, hi []float64) float64 {
+		a := divergence.Gaussian1D(0.3, 0.07)
+		b := divergence.Gaussian1D(0.5, 0.05)
+		return a.Fn(lo[:1], hi[:1]) * b.Fn(lo[1:], hi[1:])
+	}}
+	g2q := divergence.FuncModel{Dims: 2, Fn: func(lo, hi []float64) float64 {
+		a := divergence.Gaussian1D(0.55, 0.07)
+		b := divergence.Gaussian1D(0.5, 0.05)
+		return a.Fn(lo[:1], hi[:1]) * b.Fn(lo[1:], hi[1:])
+	}}
+	for _, grid := range []int{4, 12} {
+		ev := divergence.NewGridEval(2, grid)
+		want := divergence.JS(g2p, g2q, grid)
+		if got := ev.JS(g2p, g2q); got != want {
+			t.Fatalf("2d grid=%d: GridEval.JS %v != JS %v", grid, got, want)
+		}
+	}
+}
+
+// TestGridEvalZeroAlloc: steady-state evaluations allocate nothing.
+func TestGridEvalZeroAlloc(t *testing.T) {
+	// Hoist the Model interface conversions: boxing a FuncModel value at
+	// the call site would be charged to the closure, not the evaluator.
+	var p divergence.Model = divergence.Gaussian1D(0.3, 0.05)
+	var q divergence.Model = divergence.Gaussian1D(0.5, 0.05)
+	ev := divergence.NewGridEval(1, 32)
+	ev.JS(p, q) // warm up
+	if allocs := testing.AllocsPerRun(50, func() { ev.JS(p, q) }); allocs != 0 {
+		t.Fatalf("GridEval.JS allocates %v/run, want 0", allocs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"odds/internal/driftexp"
 	"odds/internal/experiments"
 	"odds/internal/faultexp"
 )
@@ -23,7 +24,7 @@ type Config struct {
 
 // AllFigures lists every collectable figure in canonical order.
 func AllFigures() []string {
-	return []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "mem", "ablation", "figfault"}
+	return []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "mem", "ablation", "figfault", "figdrift"}
 }
 
 // ShortFigures is the cheap subset exercised by `go test -short` and the
@@ -209,6 +210,25 @@ func Collect(c Config) (Metrics, error) {
 				if !math.IsNaN(r.MeanTTR) {
 					m.Set(p+".mean_ttr", r.MeanTTR)
 				}
+			}
+		case "figdrift":
+			cfg := driftexp.Default()
+			cfg.Seed = c.seed()
+			rows, err := driftexp.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("golden: figdrift: %w", err)
+			}
+			for _, r := range rows {
+				p := "figdrift." + r.Kind
+				m.Set(p+".detections", float64(r.Detections))
+				m.Set(p+".false_alarms", float64(r.FalseAlarms))
+				m.Set(p+".delay", float64(r.Delay))
+				m.Set(p+".refreshes", float64(r.Refreshes))
+				m.Set(p+".shrinks", float64(r.Shrinks))
+				m.Set(p+".adapt_precision", r.AdaptPrecision)
+				m.Set(p+".frozen_precision", r.FrozenPrecision)
+				m.Set(p+".adapt_recall", r.AdaptRecall)
+				m.Set(p+".frozen_recall", r.FrozenRecall)
 			}
 		default:
 			return nil, fmt.Errorf("golden: unknown figure %q", fig)

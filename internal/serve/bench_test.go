@@ -20,6 +20,21 @@ func BenchmarkPipelineIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineIngestDrift is the drift-overhead twin of
+// BenchmarkPipelineIngest: the same steady-state harness with the
+// default drift arm (full bank at the default sampling stride plus the
+// JS model signal; thresholds parked — see benchDriftArm). The ns/op
+// delta against the baseline is the drift tax, asserted < 2% by
+// `make bench-drift`.
+func BenchmarkPipelineIngestDrift(b *testing.B) {
+	_, step := hotPipelineDrift(b, 200, benchDriftArm())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
 // BenchmarkServerIngest measures end-to-end batched ingest through the
 // admission layer and shard mailboxes (no HTTP), with concurrent
 // closed-loop submitters. One op is a 64-reading batch; readings/s is

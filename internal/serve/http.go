@@ -365,7 +365,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.RUnlock()
 	w.Header().Set("Content-Type", "text/plain")
 	fmt.Fprintf(w, "odds_serve_shards %d\n", len(s.shards))
-	var ingested, rejected, outliers uint64
+	driftOn := s.cfg.Pipeline.Drift.Enabled
+	var ingested, rejected, outliers, driftDet, driftAct uint64
 	for _, sh := range s.shards {
 		if sh == nil {
 			continue
@@ -376,10 +377,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "odds_serve_shard_rejected{shard=\"%d\"} %d\n", sh.id, rej)
 		fmt.Fprintf(w, "odds_serve_shard_outliers{shard=\"%d\"} %d\n", sh.id, out)
 		fmt.Fprintf(w, "odds_serve_shard_queue_depth{shard=\"%d\"} %d\n", sh.id, len(sh.reqs))
+		if driftOn {
+			det, act := sh.driftDetections.Load(), sh.driftActions.Load()
+			driftDet, driftAct = driftDet+det, driftAct+act
+			fmt.Fprintf(w, "odds_serve_shard_drift_detections{shard=\"%d\"} %d\n", sh.id, det)
+			fmt.Fprintf(w, "odds_serve_shard_drift_actions{shard=\"%d\"} %d\n", sh.id, act)
+		}
 	}
 	fmt.Fprintf(w, "odds_serve_ingested_total %d\n", ingested)
 	fmt.Fprintf(w, "odds_serve_rejected_total %d\n", rejected)
 	fmt.Fprintf(w, "odds_serve_outliers_total %d\n", outliers)
+	if driftOn {
+		fmt.Fprintf(w, "odds_serve_drift_detections_total %d\n", driftDet)
+		fmt.Fprintf(w, "odds_serve_drift_actions_total %d\n", driftAct)
+	}
 	fmt.Fprintf(w, "odds_serve_subscribers %d\n", s.hub.subscribers())
 	fmt.Fprintf(w, "odds_serve_subscriber_dropped_total %d\n", s.hub.dropped.Load())
 	fmt.Fprintf(w, "odds_serve_json_encode_failures_total %d\n", jsonEncodeFailures.Load())

@@ -41,11 +41,17 @@ type PipelineConfig struct {
 	Distance distance.Params
 	MDEF     mdef.Params
 	Seed     int64
+	// Drift optionally arms the concept-drift monitor (see DriftConfig);
+	// the zero value leaves the pipeline drift-free.
+	Drift DriftConfig
 }
 
 // Validate reports unusable configurations.
 func (c PipelineConfig) Validate() error {
 	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	if err := c.Drift.validate(c.Core.Dim); err != nil {
 		return err
 	}
 	switch c.Kind {
@@ -122,6 +128,9 @@ type Pipeline struct {
 	dyn   *distance.DynIndex // exact truth, distance kind
 	truth *mdef.DynTruth     // exact truth, mdef kind
 
+	// drift is the armed concept-drift monitor, nil when disabled.
+	drift *driftState
+
 	seq uint64
 }
 
@@ -138,6 +147,13 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	est.EnableSampleRecycling()
 	est.EnableIncrementalModel()
 	p := &Pipeline{cfg: cfg, cs: cs, est: est}
+	if cfg.Drift.Enabled {
+		d, err := newDriftState(cfg.Drift, cfg.Core.Dim)
+		if err != nil {
+			return nil, err
+		}
+		p.drift = d
+	}
 	p.initWindow()
 	return p, nil
 }
@@ -200,6 +216,9 @@ func (p *Pipeline) Ingest(v []float64) Verdict {
 	ver.Exact = p.exactOutlier(slot)
 	if ver.Warmed {
 		ver.Outlier = p.estimateOutlier(slot)
+	}
+	if p.drift != nil {
+		p.driftStep(slot)
 	}
 	return ver
 }

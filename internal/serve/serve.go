@@ -584,6 +584,7 @@ func (s *Server) Stats() (StatsResponse, error) {
 		Core:            s.cfg.Pipeline.Core,
 		Distance:        s.cfg.Pipeline.Distance,
 		MDEF:            s.cfg.Pipeline.MDEF,
+		Drift:           s.cfg.Pipeline.Drift,
 		PerShard:        make([]ShardStats, 0, len(s.shards)),
 		WireFingerprint: s.wireFP,
 		Cluster:         s.cfg.Cluster,

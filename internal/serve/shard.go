@@ -82,6 +82,12 @@ type shard struct {
 	outliers atomic.Uint64
 	rejected atomic.Uint64 // incremented by the admission layer
 
+	// Drift counters mirrored from the goroutine-owned pipeline after
+	// each applied batch, so /metrics can scrape them lock-free without
+	// a mailbox round trip.
+	driftDetections atomic.Uint64
+	driftActions    atomic.Uint64
+
 	// role and sealed gate ingest. The admission layer reads them as an
 	// advisory fast path; the authoritative check happens inside
 	// handle(opIngest) at envelope-processing time, so a seal followed by
@@ -194,6 +200,7 @@ func (sh *shard) handle(req shardReq) {
 			}
 		}
 		sh.ingested.Add(uint64(len(req.batch)))
+		sh.syncDrift()
 		if sh.repl != nil {
 			// Copies the batch before the reply releases the caller's
 			// pooled buffers; only cluster primaries with a follower pay
@@ -219,6 +226,7 @@ func (sh *shard) handle(req shardReq) {
 				}
 			}
 			sh.ingested.Add(uint64(len(req.batch)))
+			sh.syncDrift()
 			resp.seq = sh.pl.Seq()
 		}
 		req.reply <- resp
@@ -238,6 +246,18 @@ func (sh *shard) handle(req shardReq) {
 		snap, err := sh.pl.Snapshot()
 		req.reply <- shardResp{snap: snap, err: err}
 	}
+}
+
+// syncDrift mirrors the pipeline's drift counters into the shard's
+// lock-free atomics; called from the shard goroutine after each applied
+// batch (per batch, not per reading, so the hot path pays nothing).
+func (sh *shard) syncDrift() {
+	if !sh.pl.DriftEnabled() {
+		return
+	}
+	st := sh.pl.DriftStats()
+	sh.driftDetections.Store(st.Detector.Detections + st.JSTrips)
+	sh.driftActions.Store(st.Refreshes + st.Shrinks)
 }
 
 // statsLocked reads counters plus the goroutine-owned latency sketch;
@@ -260,6 +280,10 @@ func (sh *shard) statsLocked() ShardStats {
 	if sh.lat.N() > 0 {
 		st.P50Micros = sh.lat.Query(0.5)
 		st.P99Micros = sh.lat.Query(0.99)
+	}
+	if sh.pl.DriftEnabled() {
+		ds := sh.pl.DriftStats()
+		st.Drift = &ds
 	}
 	return st
 }

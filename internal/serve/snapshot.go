@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 
 	"odds/internal/core"
+	"odds/internal/drift"
 	"odds/internal/kernel"
 	"odds/internal/window"
 )
@@ -69,6 +70,34 @@ func (p *Pipeline) Snapshot() ([]byte, error) {
 		for _, x := range pt {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
 		}
+	}
+	if p.drift != nil {
+		// Drift section, present iff the config arms the monitor (the
+		// fingerprint covers the config, so presence always agrees): the
+		// detector-bank state, the frozen JS reference model, and the
+		// action counters — everything the adaptive path needs to resume
+		// firing at the same sequence numbers.
+		d := p.drift
+		mon, err := d.mon.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(mon)))
+		buf = append(buf, mon...)
+		var ref []byte
+		if d.ref != nil {
+			if ref, err = d.ref.MarshalBinary(); err != nil {
+				return nil, err
+			}
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ref)))
+		buf = append(buf, ref...)
+		buf = binary.LittleEndian.AppendUint64(buf, d.jsChecks)
+		buf = binary.LittleEndian.AppendUint64(buf, d.jsTrips)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.lastJS))
+		buf = binary.LittleEndian.AppendUint64(buf, d.refresh)
+		buf = binary.LittleEndian.AppendUint64(buf, d.shrinks)
+		buf = binary.LittleEndian.AppendUint64(buf, d.lastSeq)
 	}
 	return buf, nil
 }
@@ -143,6 +172,37 @@ func RestorePipeline(cfg PipelineConfig, data []byte) (*Pipeline, error) {
 		}
 	}
 	p.count = count
+	if cfg.Drift.Enabled {
+		d, err := newDriftState(cfg.Drift, dim)
+		if err != nil {
+			return nil, err
+		}
+		monBlob, ok1 := r.bytes()
+		refBlob, ok2 := r.bytes()
+		if !(ok1 && ok2) {
+			return fail("truncated drift section")
+		}
+		if d.mon, err = drift.UnmarshalMonitor(monBlob); err != nil {
+			return nil, err
+		}
+		if len(refBlob) > 0 {
+			if d.ref, err = kernel.UnmarshalEstimator(refBlob); err != nil {
+				return nil, err
+			}
+		}
+		jsChecks, ok1 := r.u64()
+		jsTrips, ok2 := r.u64()
+		lastJSBits, ok3 := r.u64()
+		refresh, ok4 := r.u64()
+		shrinks, ok5 := r.u64()
+		lastSeq, ok6 := r.u64()
+		if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6) {
+			return fail("truncated drift counters")
+		}
+		d.jsChecks, d.jsTrips, d.lastJS = jsChecks, jsTrips, math.Float64frombits(lastJSBits)
+		d.refresh, d.shrinks, d.lastSeq = refresh, shrinks, lastSeq
+		p.drift = d
+	}
 	return p, nil
 }
 
@@ -209,6 +269,28 @@ func fingerprint(shards int, cfg PipelineConfig) []byte {
 	appF(cfg.MDEF.R)
 	appF(cfg.MDEF.AlphaR)
 	appF(cfg.MDEF.KSigma)
+	// Drift configuration (filled form, so a defaulted and an explicit
+	// spelling of the same monitor fingerprint identically). A disabled
+	// config appends a lone zero, keeping the armed/unarmed encodings
+	// disjoint.
+	d := cfg.Drift.withDefaults()
+	if !d.Enabled {
+		app64(0)
+		return buf
+	}
+	app64(1)
+	app64(uint64(d.SampleEvery))
+	app64(uint64(d.Detector.Window))
+	app64(uint64(d.Detector.CheckEvery))
+	app64(uint64(d.Detector.Cooldown))
+	appF(d.Detector.KSD)
+	appF(d.Detector.PHDelta)
+	appF(d.Detector.PHLambda)
+	appF(d.Detector.MKZ)
+	app64(uint64(d.JSEvery))
+	appF(d.JSThreshold)
+	app64(uint64(d.JSGridPoints))
+	appF(d.ShrinkFrac)
 	return buf
 }
 

@@ -72,6 +72,9 @@ type ShardStats struct {
 	// cluster state; standalone servers always report unsealed primaries.
 	Role   string `json:"role,omitempty"`
 	Sealed bool   `json:"sealed,omitempty"`
+	// Drift is the shard's concept-drift counter block, present only
+	// when the pipeline runs an armed monitor.
+	Drift *DriftStats `json:"drift,omitempty"`
 }
 
 // StatsResponse answers GET /stats. It carries the full detection
@@ -85,7 +88,11 @@ type StatsResponse struct {
 	Core     core.Config     `json:"core"`
 	Distance distance.Params `json:"distance"`
 	MDEF     mdef.Params     `json:"mdef"`
-	PerShard []ShardStats    `json:"per_shard"`
+	// Drift is the drift-monitor arm of the pipeline configuration; the
+	// twin must replicate it to fire and adapt at the same sequence
+	// numbers as the server.
+	Drift    DriftConfig  `json:"drift"`
+	PerShard []ShardStats `json:"per_shard"`
 	// WireFingerprint is the u64 every ODWP frame must carry; binary
 	// clients learn it here before their first batch.
 	WireFingerprint uint64 `json:"wire_fingerprint"`
@@ -106,6 +113,7 @@ func (s *StatsResponse) PipelineConfigFor(shard int) PipelineConfig {
 		Distance: s.Distance,
 		MDEF:     s.MDEF,
 		Seed:     shardSeed(s.Seed, shard),
+		Drift:    s.Drift,
 	}
 }
 

@@ -1,0 +1,147 @@
+package stream_test
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"odds/internal/stream"
+	"odds/internal/window"
+)
+
+func driftKinds() []stream.DriftKind {
+	return []stream.DriftKind{
+		stream.DriftNone, stream.DriftAbrupt, stream.DriftRamp,
+		stream.DriftVariance, stream.DriftSeasonal,
+	}
+}
+
+// TestDriftingSeedExactReplay mirrors TestFaultedSeedExactReplay for the
+// drifting-workload generator: the stream is a pure function of
+// (seed, index), so generating it with 1, 4, or NumCPU workers — each
+// seeking to its own contiguous range — and across a mid-stream
+// checkpoint/resume must reproduce the serial stream bit-for-bit,
+// labels included.
+func TestDriftingSeedExactReplay(t *testing.T) {
+	const n = 3000
+	for _, kind := range driftKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := stream.DefaultDrifting(kind, n/2)
+			serial := stream.NewDrifting(cfg, 2, 77)
+			wantPts := make([]window.Point, n)
+			wantLab := make([]bool, n)
+			for i := 0; i < n; i++ {
+				wantPts[i], wantLab[i] = serial.NextLabeled()
+			}
+
+			for _, workers := range []int{1, 4, runtime.NumCPU()} {
+				gotPts := make([]window.Point, n)
+				gotLab := make([]bool, n)
+				var wg sync.WaitGroup
+				chunk := (n + workers - 1) / workers
+				for w := 0; w < workers; w++ {
+					lo := w * chunk
+					hi := lo + chunk
+					if hi > n {
+						hi = n
+					}
+					if lo >= hi {
+						continue
+					}
+					wg.Add(1)
+					go func(lo, hi int) {
+						defer wg.Done()
+						src := stream.NewDrifting(cfg, 2, 77)
+						src.SeekTo(lo)
+						for i := lo; i < hi; i++ {
+							gotPts[i], gotLab[i] = src.NextLabeled()
+						}
+					}(lo, hi)
+				}
+				wg.Wait()
+				for i := 0; i < n; i++ {
+					if !gotPts[i].Equal(wantPts[i]) || gotLab[i] != wantLab[i] {
+						t.Fatalf("workers=%d: reading %d diverged: %v/%v vs %v/%v",
+							workers, i, gotPts[i], gotLab[i], wantPts[i], wantLab[i])
+					}
+				}
+			}
+
+			// Resume-from-checkpoint: a fresh source seeked to the saved
+			// index continues the stream exactly.
+			resumed := stream.NewDrifting(cfg, 2, 77)
+			resumed.SeekTo(n / 3)
+			for i := n / 3; i < n; i++ {
+				p, lab := resumed.NextLabeled()
+				if !p.Equal(wantPts[i]) || lab != wantLab[i] {
+					t.Fatalf("resume: reading %d diverged: %v/%v vs %v/%v", i, p, lab, wantPts[i], wantLab[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDriftingSchedules pins the parameter evolution of each kind.
+func TestDriftingSchedules(t *testing.T) {
+	const at = 1000
+	abrupt := stream.NewDrifting(stream.DefaultDrifting(stream.DriftAbrupt, at), 1, 1)
+	if m0, m1 := abrupt.MeanAt(at-1), abrupt.MeanAt(at); math.Abs(m1-m0-0.2) > 1e-12 {
+		t.Fatalf("abrupt shift %v, want 0.2", m1-m0)
+	}
+	ramp := stream.NewDrifting(stream.DefaultDrifting(stream.DriftRamp, at), 1, 1)
+	cfg := stream.DefaultDrifting(stream.DriftRamp, at)
+	if m := ramp.MeanAt(at + cfg.DriftLen/2); m <= ramp.MeanAt(at) || m >= ramp.MeanAt(at+cfg.DriftLen) {
+		t.Fatalf("ramp not monotone: %v", m)
+	}
+	if m := ramp.MeanAt(at + 10*cfg.DriftLen); m != cfg.BaseMean+cfg.MeanShift {
+		t.Fatalf("ramp plateau %v, want %v", m, cfg.BaseMean+cfg.MeanShift)
+	}
+	vari := stream.NewDrifting(stream.DefaultDrifting(stream.DriftVariance, at), 1, 1)
+	if s0, s1 := vari.SigmaAt(at-1), vari.SigmaAt(at); s1 != s0*2.5 {
+		t.Fatalf("variance inflation %v -> %v, want x2.5", s0, s1)
+	}
+	seas := stream.NewDrifting(stream.DefaultDrifting(stream.DriftSeasonal, at), 1, 1)
+	scfg := stream.DefaultDrifting(stream.DriftSeasonal, at)
+	if m := seas.MeanAt(at + scfg.Period/4); m <= scfg.BaseMean {
+		t.Fatalf("seasonal peak %v not above base", m)
+	}
+	if m := seas.MeanAt(at - 1); m != scfg.BaseMean {
+		t.Fatalf("seasonal before onset %v, want base", m)
+	}
+	none := stream.NewDrifting(stream.DefaultDrifting(stream.DriftNone, at), 1, 1)
+	for _, i := range []int{0, at, 10 * at} {
+		if none.MeanAt(i) != 0.35 || none.SigmaAt(i) != 0.04 {
+			t.Fatalf("stationary control drifted at %d", i)
+		}
+	}
+}
+
+// TestDriftingLabels: outlier readings land in the noise band, inliers
+// stay in the unit cube, and the outlier rate is near NoiseFrac.
+func TestDriftingLabels(t *testing.T) {
+	cfg := stream.DefaultDrifting(stream.DriftAbrupt, 2000)
+	src := stream.NewDrifting(cfg, 2, 5)
+	outliers := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p, outlier := src.NextLabeled()
+		if !p.InUnitCube() {
+			t.Fatalf("reading %d outside unit cube: %v", i, p)
+		}
+		if outlier {
+			outliers++
+			for _, x := range p {
+				if x < cfg.NoiseLo || x > cfg.NoiseHi {
+					t.Fatalf("outlier reading %d outside noise band: %v", i, p)
+				}
+			}
+		}
+	}
+	rate := float64(outliers) / n
+	if rate < 0.005 || rate > 0.02 {
+		t.Fatalf("outlier rate %v, want near %v", rate, cfg.NoiseFrac)
+	}
+}
