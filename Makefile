@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-all bench-fault bench-rebuild bench-serve bench-wire bench-drift serve-smoke cluster-smoke chaos cluster-chaos experiments quick-experiments verify-figures update-golden fmt vet clean
+.PHONY: all build test race cover bench bench-all bench-fault bench-rebuild bench-serve bench-wire bench-drift bench-backends serve-smoke cluster-smoke chaos cluster-chaos experiments quick-experiments verify-figures update-golden fmt vet clean
 
 # The default verify path includes vet and the race detector: the
 # parallel evaluation harness and the concurrent runtime are only correct
@@ -75,6 +75,14 @@ bench-wire:
 bench-drift:
 	$(GO) test -run=NONE -bench=BenchmarkDriftObserve -benchmem -benchtime 200000x ./internal/drift/
 	$(GO) test -run=NONE -bench='BenchmarkPipelineIngest$$|BenchmarkPipelineIngestDrift' -benchmem -benchtime 1s ./internal/serve/
+
+# Detector-backend suite whose numbers land in BENCH_BACKENDS.json
+# (update the file from this output when a backend engine changes): the
+# per-reading ingest cost of each of the four backends under the shared
+# steady-state harness. Acceptance: every backend row reports 0
+# allocs/op, and the ewma row is the cheapest.
+bench-backends:
+	$(GO) test -run=NONE -bench=BenchmarkPipelineIngestBackend -benchmem -benchtime 1s ./internal/serve/
 
 # End-to-end smoke of the serving subsystem: build oddserve + oddload,
 # replay a seeded load over HTTP with verdict agreement enforced against

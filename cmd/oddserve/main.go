@@ -11,6 +11,12 @@
 // and a router (oddrouter) assigns shards through /admin/shard.
 //
 //	oddserve -addr :9101 -cluster -shards 8
+//
+// -backend picks the estimate-path engine (kernelchain, qn, coreset,
+// ewma) and -backend-select routes sensor-id prefixes to other engines,
+// so one server can serve different cost/accuracy trade-offs per fleet:
+//
+//	oddserve -backend kernelchain -backend-select 'hvac-=ewma,chem-=qn'
 package main
 
 import (
@@ -21,10 +27,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"odds/internal/core"
+	"odds/internal/detector"
 	"odds/internal/distance"
 	"odds/internal/mdef"
 	"odds/internal/serve"
@@ -37,7 +45,7 @@ func main() {
 		dim        = flag.Int("dim", 1, "reading dimensionality")
 		windowCap  = flag.Int("window", 10000, "sliding window capacity |W|")
 		sampleSize = flag.Int("sample", 0, "kernel sample size |R| (default |W|/20)")
-		detector   = flag.String("detector", "distance", "detector kind: distance or mdef")
+		detKind    = flag.String("detector", "distance", "detector kind: distance or mdef")
 		radius     = flag.Float64("radius", 0.01, "distance: L∞ neighborhood radius")
 		threshold  = flag.Float64("threshold", 45, "distance: neighbor-count threshold")
 		mdefR      = flag.Float64("mdef-r", 0.08, "mdef: sampling radius")
@@ -49,11 +57,18 @@ func main() {
 		snapEvery  = flag.Duration("snapshot-interval", 5*time.Second, "periodic checkpoint interval")
 		retryAfter = flag.Duration("retry-after", 250*time.Millisecond, "backoff hint on rejected ingest")
 		cluster    = flag.Bool("cluster", false, "run as a cluster node (shards become the cluster-global space; a router assigns them)")
+		backend    = flag.String("backend", "", "default estimate-path backend: kernelchain|qn|coreset|ewma (empty = kernelchain)")
+		backendSel = flag.String("backend-select", "", "per-sensor backend routing, comma-separated prefix=kind rules (longest prefix wins), e.g. 'hvac-=ewma,chem-=qn'")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
 		flag.Usage()
+		os.Exit(2)
+	}
+	selector, err := parseSelector(*backendSel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oddserve: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -70,10 +85,13 @@ func main() {
 		Shards: *shards,
 		Pipeline: serve.PipelineConfig{
 			Core:     ccfg,
-			Kind:     serve.DetectorKind(*detector),
+			Kind:     serve.DetectorKind(*detKind),
 			Distance: distance.Params{Radius: *radius, Threshold: *threshold},
 			MDEF:     mdef.Params{R: *mdefR, AlphaR: *mdefAlphaR, KSigma: *mdefKSigma},
 			Seed:     *seed,
+			Backend:  detector.Kind(*backend),
+			Backends: detector.Params{}.WithDefaults(),
+			Selector: selector,
 		},
 		QueueDepth:    *queue,
 		RetryAfter:    *retryAfter,
@@ -108,10 +126,33 @@ func main() {
 		}
 	}()
 
-	log.Printf("oddserve: listening on %s (shards=%d detector=%s window=%d)",
-		*addr, cfg.Shards, cfg.Pipeline.Kind, ccfg.WindowCap)
+	log.Printf("oddserve: listening on %s (shards=%d detector=%s backend=%s window=%d)",
+		*addr, cfg.Shards, cfg.Pipeline.Kind, cfg.Pipeline.DefaultBackend(), ccfg.WindowCap)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
 	<-done
+}
+
+// parseSelector parses the -backend-select syntax: comma-separated
+// prefix=kind rules. Rule validation proper (duplicate prefixes, unknown
+// kinds) happens in PipelineConfig.Validate; this only rejects strings
+// that do not parse as rules at all.
+func parseSelector(s string) ([]serve.BackendRule, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var rules []serve.BackendRule
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		prefix, kind, ok := strings.Cut(part, "=")
+		if !ok || prefix == "" || kind == "" {
+			return nil, fmt.Errorf("-backend-select rule %q is not prefix=kind", part)
+		}
+		rules = append(rules, serve.BackendRule{Prefix: prefix, Backend: detector.Kind(kind)})
+	}
+	return rules, nil
 }

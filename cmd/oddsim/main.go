@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"odds/internal/backendexp"
 	"odds/internal/driftexp"
 	"odds/internal/experiments"
 	"odds/internal/faultexp"
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|mem|ablation|figfault|figdrift|all")
+		exp     = flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|mem|ablation|figfault|figdrift|figbackends|all")
 		quick   = flag.Bool("quick", false, "reduced scale (small windows, single run)")
 		runs    = flag.Int("runs", 0, "override run count (paper: 12)")
 		seed    = flag.Int64("seed", 1, "master seed")
@@ -154,11 +155,24 @@ func main() {
 		}
 		return t
 	})
+	run("figbackends", func() *experiments.Table {
+		c := backendexp.Default()
+		c.Seed = *seed
+		if *quick {
+			c.Readings = 2000
+		}
+		t, err := backendexp.Figure(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oddsim: figbackends: %v\n", err)
+			os.Exit(1)
+		}
+		return t
+	})
 
 }
 
 // experimentNames are the valid -exp values.
-var experimentNames = []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "mem", "ablation", "figfault", "figdrift", "all"}
+var experimentNames = []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "mem", "ablation", "figfault", "figdrift", "figbackends", "all"}
 
 // checkFlags validates the parsed flag combination before anything runs,
 // so a typo'd experiment name or a contradictory mode fails with a usage

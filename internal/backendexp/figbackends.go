@@ -1,0 +1,205 @@
+// Package backendexp is the detector-backend race the paper's single-stack
+// evaluation never ran: all four internal/detector engines (kernelchain,
+// qn, coreset, ewma) over the same labeled workloads, scoring estimate-path
+// precision/recall against the generator's ground truth alongside each
+// backend's state footprint and per-reading cost. It lives outside
+// internal/experiments for the same reason driftexp does: it drives serving
+// pipelines, which the experiments package cannot import without a cycle.
+package backendexp
+
+import (
+	"time"
+
+	"odds/internal/core"
+	"odds/internal/detector"
+	"odds/internal/distance"
+	"odds/internal/experiments"
+	"odds/internal/serve"
+	"odds/internal/stream"
+)
+
+// Config scales the figbackends experiment. Every backend of a workload
+// row consumes the identical labeled stream with the same seed, so every
+// column difference between backends is caused by the engine and nothing
+// else.
+type Config struct {
+	// WindowCap is the pipelines' true-window capacity |W|.
+	WindowCap int
+	// Readings is the stream length per cell.
+	Readings int
+	// Seed is the master seed (streams and pipelines derive from it).
+	Seed int64
+	// Kinds lists the raced backends; nil means all four.
+	Kinds []detector.Kind
+	// Workloads lists the stream regimes; nil means stationary + abrupt
+	// drift (the two regimes that separate the engines most sharply:
+	// steady-state accuracy and post-shift retention).
+	Workloads []stream.DriftKind
+}
+
+// Default is the CI-scale configuration the golden harness pins.
+func Default() Config {
+	return Config{
+		WindowCap: 400,
+		Readings:  4000,
+		Seed:      1,
+	}
+}
+
+func (c Config) kinds() []detector.Kind {
+	if len(c.Kinds) > 0 {
+		return c.Kinds
+	}
+	return detector.AllKinds()
+}
+
+func (c Config) workloads() []stream.DriftKind {
+	if len(c.Workloads) > 0 {
+		return c.Workloads
+	}
+	return []stream.DriftKind{stream.DriftNone, stream.DriftAbrupt}
+}
+
+// pipelineConfig builds one cell's pipeline with the given default
+// backend. The non-kernelchain engines are tuned to the workload's scale
+// (inlier sigma 0.04 in [0,1]); kernelchain runs the serving defaults the
+// other figures use, so its numbers are comparable across experiments.
+func (c Config) pipelineConfig(kind detector.Kind) serve.PipelineConfig {
+	ccfg := core.DefaultConfig(1)
+	ccfg.WindowCap = c.WindowCap
+	ccfg.SampleSize = c.WindowCap / 4
+	return serve.PipelineConfig{
+		Core:     ccfg,
+		Kind:     serve.DetectDistance,
+		Distance: distance.Params{Radius: 0.05, Threshold: 3},
+		Seed:     c.Seed,
+		Backend:  kind,
+		Backends: detector.Params{
+			Qn:      detector.QnConfig{Eps: 0.02, Lag: 16, K: 4, MinN: 64},
+			Coreset: detector.CoresetConfig{Size: c.WindowCap / 4, RebuildEvery: 64, WindowCount: c.WindowCap, MinN: 64},
+			EWMA:    detector.EWMAConfig{Lambda: 0.1, K: 4, MinN: 64},
+		},
+	}
+}
+
+// Row is one (workload, backend) cell's outcome.
+type Row struct {
+	Workload string
+	Backend  detector.Kind
+	// Precision/recall of the estimate-path verdicts (Warmed && Outlier)
+	// against the generator's ground-truth labels, scored from WindowCap
+	// onward so every backend is past warm-up.
+	Precision float64
+	Recall    float64
+	// Flagged and Truths count flagged readings and true outliers over the
+	// scoring interval.
+	Flagged int
+	Truths  int
+	// StateBytes is the backend's final state footprint — deterministic,
+	// so the golden cost orderings pin it.
+	StateBytes int
+	// NsPerReading is the measured per-reading ingest cost. Wall-clock, so
+	// NOT a golden metric: it lands in the printed table and in
+	// BENCH_BACKENDS.json, never in golden.json.
+	NsPerReading float64
+}
+
+// score accumulates a confusion row.
+type score struct{ tp, fp, fn int }
+
+func (s *score) add(flagged, truth bool) {
+	switch {
+	case flagged && truth:
+		s.tp++
+	case flagged && !truth:
+		s.fp++
+	case !flagged && truth:
+		s.fn++
+	}
+}
+
+func (s *score) precision() float64 {
+	if s.tp+s.fp == 0 {
+		return 1
+	}
+	return float64(s.tp) / float64(s.tp+s.fp)
+}
+
+func (s *score) recall() float64 {
+	if s.tp+s.fn == 0 {
+		return 1
+	}
+	return float64(s.tp) / float64(s.tp+s.fn)
+}
+
+// Run executes the race: per workload, each backend over the identical
+// labeled stream. Every column except NsPerReading is a deterministic
+// function of the config.
+func Run(c Config) ([]Row, error) {
+	rows := make([]Row, 0, len(c.workloads())*len(c.kinds()))
+	for _, w := range c.workloads() {
+		for _, kind := range c.kinds() {
+			row, err := c.runCell(w, kind)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func (c Config) runCell(w stream.DriftKind, kind detector.Kind) (Row, error) {
+	p, err := serve.NewPipeline(c.pipelineConfig(kind))
+	if err != nil {
+		return Row{}, err
+	}
+	driftAt := c.Readings / 2
+	src := stream.NewDrifting(stream.DefaultDrifting(w, driftAt), 1, c.Seed+int64(w))
+
+	row := Row{Workload: w.String(), Backend: kind}
+	var sc score
+	start := time.Now()
+	for i := 0; i < c.Readings; i++ {
+		pt, truth := src.NextLabeled()
+		v := p.Ingest(pt)
+		if i >= c.WindowCap {
+			flagged := v.Warmed && v.Outlier
+			sc.add(flagged, truth)
+			if flagged {
+				row.Flagged++
+			}
+			if truth {
+				row.Truths++
+			}
+		}
+	}
+	row.NsPerReading = float64(time.Since(start).Nanoseconds()) / float64(c.Readings)
+	row.Precision = sc.precision()
+	row.Recall = sc.recall()
+	row.StateBytes = p.BackendStats()[0].StateBytes
+	return row, nil
+}
+
+// Figure renders the race as a printable table for cmd/oddsim.
+func Figure(c Config) (*experiments.Table, error) {
+	rows, err := Run(c)
+	if err != nil {
+		return nil, err
+	}
+	t := &experiments.Table{
+		Title: "figbackends: detector backends raced on identical labeled workloads",
+		Columns: []string{"workload", "backend", "precision", "recall",
+			"flagged", "truths", "state_bytes", "ns_per_reading"},
+		Notes: []string{
+			"all backends consume the same labeled stream per workload; scored past warm-up (index >= |W|)",
+			"state_bytes is deterministic and golden-pinned; ns_per_reading is wall-clock and informational",
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Workload, string(r.Backend),
+			experiments.FmtF(r.Precision, 3), experiments.FmtF(r.Recall, 3),
+			r.Flagged, r.Truths, r.StateBytes, experiments.FmtF(r.NsPerReading, 0))
+	}
+	return t, nil
+}

@@ -1,0 +1,305 @@
+package detector
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"odds/internal/quantile"
+)
+
+// qnConsistency scales the first quartile of pairwise absolute
+// differences to a consistent estimate of the standard deviation under
+// Gaussian data — the d→∞ constant of Rousseeuw–Croux Q_n (the
+// finite-sample correction is negligible at streaming window sizes).
+const qnConsistency = 2.2219
+
+// QnConfig parameterizes the streaming Q_n robust-scale backend.
+type QnConfig struct {
+	// Eps is the GK sketch error for the value and difference summaries.
+	Eps float64 `json:"eps,omitempty"`
+	// Lag is how many most-recent predecessors each arrival is paired
+	// with: the difference sketch summarizes |x_i − x_j| for
+	// i−Lag ≤ j < i, a windowed subsample of the full pairwise set.
+	Lag int `json:"lag,omitempty"`
+	// K is the limit width: a reading is an outlier when it sits more
+	// than K robust scales from the streaming median on any dimension.
+	K float64 `json:"k,omitempty"`
+	// MinN is the warm-up arrival count before verdicts fire.
+	MinN int `json:"min_n,omitempty"`
+}
+
+// WithDefaults fills zero-value holes.
+func (c QnConfig) WithDefaults() QnConfig {
+	if c.Eps == 0 {
+		c.Eps = 0.02
+	}
+	if c.Lag == 0 {
+		c.Lag = 32
+	}
+	if c.K == 0 {
+		c.K = 3
+	}
+	if c.MinN == 0 {
+		c.MinN = 64
+	}
+	return c
+}
+
+func (c QnConfig) validate() error {
+	c = c.WithDefaults()
+	if !(c.Eps > 0 && c.Eps <= 0.5) || math.IsNaN(c.Eps) {
+		return fmt.Errorf("detector: qn eps %v must be in (0, 0.5]", c.Eps)
+	}
+	if c.Lag < 1 {
+		return fmt.Errorf("detector: qn lag %d must be positive", c.Lag)
+	}
+	if c.K <= 0 || math.IsNaN(c.K) {
+		return fmt.Errorf("detector: qn k %v must be positive", c.K)
+	}
+	if c.MinN < 2 {
+		return fmt.Errorf("detector: qn min_n %d must be at least 2", c.MinN)
+	}
+	return nil
+}
+
+// qnDim is one dimension's streaming state: a GK summary of the values
+// (median), a GK summary of lagged pairwise absolute differences (robust
+// scale), and a ring of the Lag most recent finite values the next
+// arrival pairs against.
+type qnDim struct {
+	vals  *quantile.GK
+	diffs *quantile.GK
+	ring  []float64
+	rhead int
+	rcnt  int
+}
+
+// Qn is the FQN-style streaming Q_n robust-scale backend (Cafaro et
+// al.): per dimension, the median comes from a GK sketch over the values
+// and the scale from qnConsistency times the first quartile of a GK
+// sketch over lagged pairwise differences. A reading is an outlier when
+// it sits more than K scales from the median on any dimension — judged
+// against the sketches BEFORE the reading is inserted, so an extreme
+// value cannot widen the limits that judge it. Median/Q1-of-differences
+// is resistant to the masking that inflates moment-based limits under
+// bursts of outliers, at sketch (not O(1)) state cost.
+//
+// Determinism: verdicts and sketch state are a pure function of the
+// ingest sequence. GK queries flush pending inserts, so a query can move
+// a flush boundary — pre-warm-up, ingests never query and QueryOutlier
+// returns unwarmed without touching the sketches, keeping boundaries
+// insert-driven; post-warm-up, every Ingest queries before inserting, so
+// a read-only query between arrivals merely flushes the exact pending
+// set the next ingest's own query would flush, leaving the tuple state
+// on the same trajectory either way.
+type Qn struct {
+	cfg Config
+	fp  []byte
+
+	dims []qnDim
+	n    uint64
+
+	flagged uint64
+}
+
+// qnGrowTuples is generous headroom for GK tuple growth (it grows with
+// log(εn)), so steady-state inserts never reallocate sketch storage.
+const qnGrowTuples = 4096
+
+func newQn(cfg Config) *Qn {
+	q := &Qn{
+		cfg:  cfg,
+		fp:   cfg.qnFingerprint(),
+		dims: make([]qnDim, cfg.Dim),
+	}
+	for d := range q.dims {
+		q.dims[d] = newQnDim(cfg.Qn)
+	}
+	return q
+}
+
+func newQnDim(c QnConfig) qnDim {
+	vals := quantile.New(c.Eps)
+	vals.Grow(qnGrowTuples)
+	diffs := quantile.New(c.Eps)
+	diffs.Grow(qnGrowTuples)
+	return qnDim{vals: vals, diffs: diffs, ring: make([]float64, c.Lag)}
+}
+
+func (c Config) qnFingerprint() []byte {
+	var e fpenc
+	e.common(c)
+	q := c.Qn.WithDefaults()
+	e.f64(q.Eps)
+	e.u64(uint64(q.Lag))
+	e.f64(q.K)
+	e.u64(uint64(q.MinN))
+	return e.b
+}
+
+func (q *Qn) Kind() Kind { return KindQn }
+
+func (q *Qn) warmed() bool { return q.n >= uint64(q.cfg.Qn.MinN) }
+
+// outlier judges v against the current sketches. The implicit flush
+// inside Query is transparent post-warm-up (see the type comment), so
+// this is read-only in effect.
+func (q *Qn) outlier(v []float64) bool {
+	k := q.cfg.Qn.K
+	out := false
+	// Every dimension is evaluated — no short-circuit — so the number and
+	// order of sketch queries (and their implicit flushes) per arrival is
+	// a function of the reading's finite-dimension pattern alone, never of
+	// which dimension tripped first. BruteQn replays the same protocol.
+	for d, x := range v {
+		if !finite(x) {
+			continue
+		}
+		qd := &q.dims[d]
+		if qd.vals.N() == 0 || qd.diffs.N() == 0 {
+			continue
+		}
+		med := qd.vals.Query(0.5)
+		scale := qnConsistency * qd.diffs.Query(0.25)
+		if math.Abs(x-med) > k*scale {
+			out = true
+		}
+	}
+	return out
+}
+
+func (q *Qn) Ingest(v []float64) Verdict {
+	ver := Verdict{Warmed: q.warmed()}
+	if ver.Warmed {
+		ver.Outlier = q.outlier(v)
+	}
+	if ver.Outlier {
+		q.flagged++
+	}
+	// Fold the reading in: value into the median sketch, one absolute
+	// difference per ringed predecessor (most recent first) into the
+	// scale sketch, then the value into the ring. Non-finite coordinates
+	// skip their dimension entirely — nothing enters a sketch or ring, so
+	// no later pairing can see them.
+	for d, x := range v {
+		if !finite(x) {
+			continue
+		}
+		qd := &q.dims[d]
+		qd.vals.Insert(x)
+		lag := len(qd.ring)
+		for j := 1; j <= qd.rcnt; j++ {
+			i := qd.rhead - j
+			if i < 0 {
+				i += lag
+			}
+			qd.diffs.Insert(math.Abs(x - qd.ring[i]))
+		}
+		qd.ring[qd.rhead] = x
+		qd.rhead++
+		if qd.rhead == lag {
+			qd.rhead = 0
+		}
+		if qd.rcnt < lag {
+			qd.rcnt++
+		}
+	}
+	q.n++
+	return ver
+}
+
+func (q *Qn) QueryOutlier(v []float64) Verdict {
+	ver := Verdict{Warmed: q.warmed()}
+	if ver.Warmed {
+		ver.Outlier = q.outlier(v)
+	}
+	return ver
+}
+
+func (q *Qn) Stats() Stats {
+	bytes := 0
+	for d := range q.dims {
+		qd := &q.dims[d]
+		bytes += qd.vals.MemoryBytes() + qd.diffs.MemoryBytes() + 8*len(qd.ring)
+	}
+	return Stats{
+		Kind:       KindQn,
+		Arrivals:   q.n,
+		Warmed:     q.warmed(),
+		Flagged:    q.flagged,
+		StateBytes: bytes,
+	}
+}
+
+// Snapshot state layout: u64 n, u64 flagged, then per dimension: values
+// sketch blob, differences sketch blob, u32 ring head, u32 ring count,
+// Lag f64 ring slots.
+func (q *Qn) Snapshot() ([]byte, error) {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint64(buf, q.n)
+	buf = binary.LittleEndian.AppendUint64(buf, q.flagged)
+	for d := range q.dims {
+		qd := &q.dims[d]
+		vb, err := qd.vals.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		db, err := qd.diffs.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(vb)))
+		buf = append(buf, vb...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(db)))
+		buf = append(buf, db...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(qd.rhead))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(qd.rcnt))
+		buf = appendF64s(buf, qd.ring)
+	}
+	return sealBlob(KindQn, q.fp, buf), nil
+}
+
+func (q *Qn) Restore(blob []byte) error {
+	state, err := openBlob(blob, KindQn, q.fp)
+	if err != nil {
+		return err
+	}
+	r := breader{data: state}
+	n, ok1 := r.u64()
+	flagged, ok2 := r.u64()
+	if !(ok1 && ok2) {
+		return fmt.Errorf("detector: truncated qn snapshot")
+	}
+	lag := q.cfg.Qn.Lag
+	dims := make([]qnDim, q.cfg.Dim)
+	for d := range dims {
+		vb, ok3 := r.bytes()
+		db, ok4 := r.bytes()
+		rhead, ok5 := r.u32()
+		rcnt, ok6 := r.u32()
+		if !(ok3 && ok4 && ok5 && ok6) || int(rhead) >= lag || int(rcnt) > lag {
+			return fmt.Errorf("detector: truncated qn snapshot")
+		}
+		vals, err := quantile.UnmarshalGK(vb)
+		if err != nil {
+			return fmt.Errorf("detector: qn values sketch: %w", err)
+		}
+		db2, err := quantile.UnmarshalGK(db)
+		if err != nil {
+			return fmt.Errorf("detector: qn differences sketch: %w", err)
+		}
+		vals.Grow(qnGrowTuples)
+		db2.Grow(qnGrowTuples)
+		ring := make([]float64, lag)
+		if !r.f64s(ring) {
+			return fmt.Errorf("detector: truncated qn snapshot")
+		}
+		dims[d] = qnDim{vals: vals, diffs: db2, ring: ring, rhead: int(rhead), rcnt: int(rcnt)}
+	}
+	if len(r.data) != 0 {
+		return fmt.Errorf("detector: trailing qn snapshot bytes")
+	}
+	q.n, q.flagged, q.dims = n, flagged, dims
+	return nil
+}

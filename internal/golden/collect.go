@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"odds/internal/backendexp"
 	"odds/internal/driftexp"
 	"odds/internal/experiments"
 	"odds/internal/faultexp"
@@ -24,7 +25,7 @@ type Config struct {
 
 // AllFigures lists every collectable figure in canonical order.
 func AllFigures() []string {
-	return []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "mem", "ablation", "figfault", "figdrift"}
+	return []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "mem", "ablation", "figfault", "figdrift", "figbackends"}
 }
 
 // ShortFigures is the cheap subset exercised by `go test -short` and the
@@ -229,6 +230,24 @@ func Collect(c Config) (Metrics, error) {
 				m.Set(p+".frozen_precision", r.FrozenPrecision)
 				m.Set(p+".adapt_recall", r.AdaptRecall)
 				m.Set(p+".frozen_recall", r.FrozenRecall)
+			}
+		case "figbackends":
+			cfg := backendexp.Default()
+			cfg.Seed = c.seed()
+			rows, err := backendexp.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("golden: figbackends: %w", err)
+			}
+			for _, r := range rows {
+				// NsPerReading is wall-clock and deliberately NOT collected:
+				// golden metrics must be deterministic. The cost orderings
+				// pin StateBytes instead.
+				p := fmt.Sprintf("figbackends.%s.%s", r.Workload, r.Backend)
+				m.Set(p+".precision", r.Precision)
+				m.Set(p+".recall", r.Recall)
+				m.Set(p+".flagged", float64(r.Flagged))
+				m.Set(p+".truths", float64(r.Truths))
+				m.Set(p+".state_bytes", float64(r.StateBytes))
 			}
 		default:
 			return nil, fmt.Errorf("golden: unknown figure %q", fig)

@@ -1,0 +1,149 @@
+package quantile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary codec for GK summaries. The encoding captures the summary
+// mid-stream — tuples AND the un-flushed pending buffer — so a restored
+// summary is bit-identical to the original: subsequent inserts hit the
+// same flush boundaries, produce the same tuple structure, and answer
+// every query with the same value. (Encoding only the flushed form would
+// be rank-equivalent but not bit-equivalent: flushing early shifts every
+// later batch boundary.)
+//
+// Layout (little-endian):
+//
+//	u32 magic "ODGK"
+//	f64 eps
+//	u64 n
+//	u32 tuple count, then per tuple: f64 v, u64 g, u64 d
+//	u32 pending count, then f64 per pending value
+const gkMagic = uint32(0x4f44474b) // "ODGK"
+
+// MarshalBinary encodes the summary, pending buffer included.
+func (s *GK) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 16+24*len(s.tuples)+8*len(s.pending))
+	buf = binary.LittleEndian.AppendUint32(buf, gkMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.eps))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.n))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.tuples)))
+	for _, t := range s.tuples {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.v))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.g))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.d))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.pending)))
+	for _, x := range s.pending {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	return buf, nil
+}
+
+// UnmarshalGK decodes a summary encoded by MarshalBinary.
+func UnmarshalGK(data []byte) (*GK, error) {
+	fail := func(msg string) (*GK, error) { return nil, fmt.Errorf("quantile: unmarshal: %s", msg) }
+	u32 := func() (uint32, bool) {
+		if len(data) < 4 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if len(data) < 8 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		return v, true
+	}
+	if m, ok := u32(); !ok || m != gkMagic {
+		return fail("bad magic")
+	}
+	epsBits, ok := u64()
+	if !ok {
+		return fail("truncated eps")
+	}
+	eps := math.Float64frombits(epsBits)
+	if !(eps > 0 && eps <= 0.5) {
+		return fail("eps outside (0, 0.5]")
+	}
+	n64, ok := u64()
+	if !ok || n64 > uint64(math.MaxInt32) {
+		return fail("bad n")
+	}
+	nt, ok := u32()
+	if !ok || uint64(len(data)) < uint64(nt)*24 {
+		return fail("truncated tuples")
+	}
+	s := New(eps)
+	s.n = int(n64)
+	sum := 0
+	s.tuples = make([]tuple, nt)
+	for i := range s.tuples {
+		vBits, _ := u64()
+		g, _ := u64()
+		d, _ := u64()
+		v := math.Float64frombits(vBits)
+		if math.IsNaN(v) || g == 0 || g > n64 || d > n64 {
+			return fail("invalid tuple")
+		}
+		if i > 0 && v < s.tuples[i-1].v {
+			return fail("tuples out of order")
+		}
+		s.tuples[i] = tuple{v: v, g: int(g), d: int(d)}
+		sum += int(g)
+	}
+	if sum != s.n {
+		return fail("tuple ranks do not cover n")
+	}
+	np, ok := u32()
+	if !ok || uint64(len(data)) < uint64(np)*8 {
+		return fail("truncated pending")
+	}
+	s.pending = make([]float64, 0, np)
+	for i := uint32(0); i < np; i++ {
+		bits, _ := u64()
+		x := math.Float64frombits(bits)
+		if math.IsNaN(x) {
+			return fail("NaN pending value")
+		}
+		s.pending = append(s.pending, x)
+	}
+	if len(data) != 0 {
+		return fail("trailing bytes")
+	}
+	return s, nil
+}
+
+// Grow pre-allocates capacity for about n summary tuples (plus matching
+// flush scratch and pending headroom), so a summary whose steady-state
+// size is known in advance never allocates on the insert path — the
+// detector hot paths assert zero allocations per reading.
+func (s *GK) Grow(n int) {
+	if cap(s.tuples) < n {
+		t := make([]tuple, len(s.tuples), n)
+		copy(t, s.tuples)
+		s.tuples = t
+	}
+	if cap(s.scratch) < n {
+		s.scratch = make([]tuple, 0, n)
+	}
+	if b := s.batchSize() * 2; cap(s.pending) < b {
+		p := make([]float64, len(s.pending), b)
+		copy(p, s.pending)
+		s.pending = p
+	}
+}
+
+// MemoryBytes reports the summary's current in-memory footprint (tuples
+// plus pending buffer) without flushing — unlike Tuples/MemoryNumbers it
+// never mutates the summary, so stats paths can call it concurrently
+// with nothing and deterministically between identical twins.
+func (s *GK) MemoryBytes() int {
+	return 24*len(s.tuples) + 8*len(s.pending)
+}

@@ -1,0 +1,160 @@
+package quantile
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMarshalRoundTripBitExact pins the codec's core contract: a summary
+// restored mid-stream — pending buffer included — is bit-identical to
+// the original, so subsequent inserts hit the same flush boundaries and
+// every later query answers the same value.
+func TestMarshalRoundTripBitExact(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	s := New(0.02)
+	for i := 0; i < 1337; i++ { // odd count: pending buffer non-empty
+		s.Insert(r.NormFloat64())
+		if i%97 == 0 {
+			s.Query(0.5) // interleaved queries shift flush boundaries
+		}
+	}
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := UnmarshalGK(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != s.N() || u.Eps() != s.Eps() {
+		t.Fatalf("restored N=%d eps=%v; want N=%d eps=%v", u.N(), u.Eps(), s.N(), s.Eps())
+	}
+	reblob, err := u.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reblob) != string(blob) {
+		t.Fatal("re-marshal of restored summary differs from original")
+	}
+	// Indistinguishable under further use: same inserts and queries on
+	// both must stay in lockstep, including the flush points queries force.
+	for i := 0; i < 500; i++ {
+		x := r.NormFloat64()
+		s.Insert(x)
+		u.Insert(x)
+		if i%13 == 0 {
+			phi := 0.05 + 0.9*r.Float64()
+			if a, b := s.Query(phi), u.Query(phi); a != b {
+				t.Fatalf("query %v diverged after restore: %v vs %v", phi, a, b)
+			}
+		}
+	}
+	sb, _ := s.MarshalBinary()
+	ub, _ := u.MarshalBinary()
+	if string(sb) != string(ub) {
+		t.Fatal("summaries diverged bytewise after post-restore inserts")
+	}
+}
+
+func TestMarshalEmpty(t *testing.T) {
+	s := New(0.1)
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := UnmarshalGK(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 0 || u.Eps() != 0.1 {
+		t.Fatalf("empty round trip: N=%d eps=%v", u.N(), u.Eps())
+	}
+}
+
+// TestUnmarshalRejectsMalformed sweeps the decoder's fail-closed paths.
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	s := New(0.05)
+	for i := 0; i < 300; i++ {
+		s.Insert(float64(i % 37))
+	}
+	s.Query(0.5)
+	s.Insert(1) // leave a pending value
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := UnmarshalGK(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(blob))
+		}
+	}
+	if _, err := UnmarshalGK(append(append([]byte(nil), blob...), 7)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), blob...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"bad magic": mutate(func(b []byte) { b[0] ^= 0xff }),
+		"bad eps": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[4:], math.Float64bits(0.75))
+		}),
+		"nan eps": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[4:], math.Float64bits(math.NaN()))
+		}),
+		"zero tuple g": mutate(func(b []byte) {
+			// first tuple: magic(4)+eps(8)+n(8)+count(4) then v(8), g at +8
+			binary.LittleEndian.PutUint64(b[24+8:], 0)
+		}),
+		"nan tuple value": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[24:], math.Float64bits(math.NaN()))
+		}),
+		"rank sum mismatch": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[12:], 999999) // n no longer equals sum(g)
+		}),
+	}
+	for name, b := range cases {
+		if _, err := UnmarshalGK(b); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+// TestGrowInsertZeroAlloc pins the Grow contract the detector hot paths
+// rely on: after pre-allocation, steady-state inserts (flushes included)
+// allocate nothing.
+func TestGrowInsertZeroAlloc(t *testing.T) {
+	s := New(0.02)
+	s.Grow(4096)
+	for i := 0; i < 5000; i++ {
+		s.Insert(float64(i % 251))
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(3000, func() {
+		s.Insert(float64(i % 251))
+		i++
+	}); avg != 0 {
+		t.Fatalf("steady-state Insert allocates %v per op after Grow, want 0", avg)
+	}
+}
+
+// TestMemoryBytesNonMutating pins that the stats-path footprint read
+// never flushes: byte-identical summaries before and after.
+func TestMemoryBytesNonMutating(t *testing.T) {
+	s := New(0.05)
+	for i := 0; i < 100; i++ {
+		s.Insert(float64(i))
+	}
+	before, _ := s.MarshalBinary()
+	if mb := s.MemoryBytes(); mb <= 0 {
+		t.Fatalf("MemoryBytes = %d", mb)
+	}
+	after, _ := s.MarshalBinary()
+	if string(before) != string(after) {
+		t.Fatal("MemoryBytes mutated the summary")
+	}
+}

@@ -98,7 +98,7 @@ func hotPipelineDrift(t testing.TB, wcap int, darm DriftConfig) (*Pipeline, func
 		step()
 	}
 	// Freeze the rng and let the chain settle into its periodic regime.
-	p.cs.src = constSrc{v: int64(wcap - 1)}
+	p.kc.SetSource(constSrc{v: int64(wcap - 1)})
 	for i := 0; i < 4*wcap; i++ {
 		step()
 	}
@@ -199,7 +199,7 @@ func TestWireIngestZeroAlloc(t *testing.T) {
 	for i := 0; i < (6*wcap+len(cycle))/batchLen+1; i++ {
 		step()
 	}
-	srv.shards[0].pl.cs.src = constSrc{v: int64(wcap - 1)}
+	srv.shards[0].pl.kc.SetSource(constSrc{v: int64(wcap - 1)})
 	for i := 0; i < 4*wcap/batchLen+1; i++ {
 		step()
 	}

@@ -240,10 +240,10 @@ func (p *Pipeline) jsCheck() bool {
 	// sigmas) than in a drift-free twin and break the stationary
 	// bit-identity contract. After warm-up every verdict calls Model()
 	// for the current reading, making this call side-effect-free.
-	if !p.est.Warmed() {
+	if !p.kc.Warmed() {
 		return false
 	}
-	m := p.est.Model()
+	m := p.kc.Model()
 	if m == nil {
 		return false
 	}
@@ -271,7 +271,7 @@ func (p *Pipeline) jsCheck() bool {
 func (p *Pipeline) adapt() {
 	d := p.drift
 	d.lastSeq = p.seq
-	p.est.ForceRefresh()
+	p.kc.ForceRefresh()
 	d.refresh++
 	if d.cfg.ShrinkFrac > 0 {
 		keep := int(float64(p.count) * d.cfg.ShrinkFrac)

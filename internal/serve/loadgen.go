@@ -173,7 +173,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	var pending []loadReading
 	for _, rd := range readings {
 		if rd.seq <= arrivals[rd.shard] {
-			tv := twins[rd.shard].Ingest(rd.Value)
+			tv := twins[rd.shard].IngestSensor(rd.Sensor, rd.Value)
 			if tv.Seq != rd.seq {
 				return nil, fmt.Errorf("serve: twin desync during catch-up: shard %d seq %d vs %d", rd.shard, tv.Seq, rd.seq)
 			}
@@ -253,7 +253,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 				retry = append(retry, rd)
 				continue
 			}
-			tv := twins[rd.shard].Ingest(rd.Value)
+			tv := twins[rd.shard].IngestSensor(rd.Sensor, rd.Value)
 			rep.Sent++
 			if tv.Outlier {
 				rep.Outliers++

@@ -1,20 +1,22 @@
 // Package serve is the repo's serving subsystem: a sharded ingest/query
 // engine that runs the paper's online detectors behind an HTTP/JSON API.
 // Sensor ids hash to shards; each shard goroutine owns one Pipeline — a
-// chain sample + kernel model (the paper's §5 estimate path) alongside the
-// exact incremental ground truth (distance.DynIndex / mdef.DynTruth) over
-// the true sliding window — behind a single-writer mailbox with bounded
-// queues and reject-with-retry-after admission control. Periodic
-// checkpoints snapshot every shard deterministically so a crashed server
-// resumes seed-exact, and cmd/oddload verifies that served verdicts are
+// pluggable estimate-path backend (internal/detector: the paper's §5
+// chain sample + kernel model by default, with Q_n/coreset/EWMA
+// alternatives selectable per sensor) alongside the exact incremental
+// ground truth (distance.DynIndex / mdef.DynTruth) over the true sliding
+// window — behind a single-writer mailbox with bounded queues and
+// reject-with-retry-after admission control. Periodic checkpoints
+// snapshot every shard deterministically so a crashed server resumes
+// seed-exact, and cmd/oddload verifies that served verdicts are
 // bit-identical to an in-process twin of the same pipelines.
 package serve
 
 import (
 	"fmt"
-	"math/rand"
 
 	"odds/internal/core"
+	"odds/internal/detector"
 	"odds/internal/distance"
 	"odds/internal/mdef"
 	"odds/internal/window"
@@ -31,6 +33,14 @@ const (
 	DetectMDEF DetectorKind = "mdef"
 )
 
+// BackendRule routes sensors whose id starts with Prefix to a detector
+// backend. The longest matching prefix wins; sensors matching no rule
+// use the pipeline's default backend.
+type BackendRule struct {
+	Prefix  string        `json:"prefix"`
+	Backend detector.Kind `json:"backend"`
+}
+
 // PipelineConfig configures one shard's detector stack. The same value
 // (with per-shard seeds derived by stats.ChildSeed) configures the
 // server's shards and oddload's in-process twin; verdict agreement between
@@ -42,8 +52,68 @@ type PipelineConfig struct {
 	MDEF     mdef.Params
 	Seed     int64
 	// Drift optionally arms the concept-drift monitor (see DriftConfig);
-	// the zero value leaves the pipeline drift-free.
+	// the zero value leaves the pipeline drift-free. Drift adaptation is
+	// defined against the kernel model, so it requires the default
+	// backend to be kernelchain.
 	Drift DriftConfig
+	// Backend selects the default estimate-path engine; empty means
+	// kernelchain (the paper's stack — the pre-backend behavior,
+	// bit-for-bit).
+	Backend detector.Kind
+	// Backends parameterizes the non-default engines (kernelchain reads
+	// the Core/Distance/MDEF fields above). Only armed engines'
+	// parameters matter; WithDefaults-filled forms are what fingerprints
+	// cover.
+	Backends detector.Params
+	// Selector routes sensors to backends by id prefix (longest match
+	// wins). Every kind named here is armed eagerly at pipeline
+	// construction so snapshots and twins agree on the full state.
+	Selector []BackendRule
+}
+
+// DefaultBackend returns the effective default backend kind.
+func (c PipelineConfig) DefaultBackend() detector.Kind {
+	if c.Backend == "" {
+		return detector.KindKernelChain
+	}
+	return c.Backend
+}
+
+// detectorConfig maps the pipeline configuration onto one backend's
+// detector.Config. DetectorKind values are detector.Criterion values.
+func (c PipelineConfig) detectorConfig(kind detector.Kind) detector.Config {
+	return detector.Config{
+		Kind:      kind,
+		Dim:       c.Core.Dim,
+		Seed:      c.Seed,
+		Criterion: detector.Criterion(c.Kind),
+		Core:      c.Core,
+		Distance:  c.Distance,
+		MDEF:      c.MDEF,
+		Qn:        c.Backends.Qn,
+		Coreset:   c.Backends.Coreset,
+		EWMA:      c.Backends.EWMA,
+	}
+}
+
+// armedKinds lists the backends this configuration instantiates, default
+// first, the rest in detector.AllKinds order — the canonical order
+// snapshots and stats enumerate backends in.
+func (c PipelineConfig) armedKinds() []detector.Kind {
+	def := c.DefaultBackend()
+	armed := []detector.Kind{def}
+	want := map[detector.Kind]bool{}
+	for _, r := range c.Selector {
+		if r.Backend != def {
+			want[r.Backend] = true
+		}
+	}
+	for _, k := range detector.AllKinds() {
+		if want[k] {
+			armed = append(armed, k)
+		}
+	}
+	return armed
 }
 
 // Validate reports unusable configurations.
@@ -56,12 +126,43 @@ func (c PipelineConfig) Validate() error {
 	}
 	switch c.Kind {
 	case DetectDistance:
-		return c.Distance.Validate()
+		if err := c.Distance.Validate(); err != nil {
+			return err
+		}
 	case DetectMDEF:
-		return c.MDEF.Validate()
+		if err := c.MDEF.Validate(); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("serve: unknown detector kind %q", c.Kind)
 	}
+	if !detector.ValidKind(c.DefaultBackend()) {
+		return fmt.Errorf("serve: unknown backend %q", c.Backend)
+	}
+	if c.Drift.Enabled && c.DefaultBackend() != detector.KindKernelChain {
+		return fmt.Errorf("serve: drift monitoring requires the kernelchain default backend, not %q", c.DefaultBackend())
+	}
+	seen := map[string]bool{}
+	for _, r := range c.Selector {
+		if r.Prefix == "" {
+			return fmt.Errorf("serve: selector rule with empty prefix")
+		}
+		if seen[r.Prefix] {
+			return fmt.Errorf("serve: duplicate selector prefix %q", r.Prefix)
+		}
+		seen[r.Prefix] = true
+		if !detector.ValidKind(r.Backend) {
+			return fmt.Errorf("serve: selector prefix %q names unknown backend %q", r.Prefix, r.Backend)
+		}
+	}
+	// Every armed engine's own parameters must be usable (this is what
+	// catches, e.g., a coreset backend under the mdef criterion).
+	for _, k := range c.armedKinds() {
+		if err := c.detectorConfig(k).Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Verdict is one reading's detection outcome.
@@ -70,53 +171,33 @@ type Verdict struct {
 	// it to align served verdicts with its twin and to rewind after a
 	// server restart.
 	Seq uint64
-	// Outlier is the estimate-path verdict (kernel model), gated on
-	// warm-up exactly like the library detectors.
+	// Outlier is the estimate-path verdict from the reading's backend,
+	// gated on warm-up exactly like the library detectors.
 	Outlier bool
 	// Exact is the ground-truth verdict from the incremental exact
-	// structures over the true window, ungated.
+	// structures over the true window, ungated and backend-independent.
 	Exact bool
-	// Warmed reports whether the estimate path is past warm-up.
+	// Warmed reports whether the reading's backend is past warm-up.
 	Warmed bool
 }
 
-// countedSource wraps math/rand's seeded source and counts draws, making
-// rng state snapshotable: a restore re-seeds and replays the recorded
-// number of draws. Every Rand method the pipeline's chain sample uses
-// (Int63n, Float64) bottoms out in Int63/Uint64, and the underlying
-// source advances exactly one step per call, so draw count is a complete
-// description of rng position.
-type countedSource struct {
-	src rand.Source64
-	n   uint64
-}
-
-func newCountedSource(seed int64) *countedSource {
-	return &countedSource{src: rand.NewSource(seed).(rand.Source64)}
-}
-
-func (c *countedSource) Int63() int64 {
-	c.n++
-	return c.src.Int63()
-}
-
-func (c *countedSource) Uint64() uint64 {
-	c.n++
-	return c.src.Uint64()
-}
-
-func (c *countedSource) Seed(seed int64) {
-	c.src.Seed(seed)
-	c.n = 0
+// selRule is one compiled selector entry.
+type selRule struct {
+	prefix string
+	det    detector.Detector
 }
 
 // Pipeline is one shard's detector stack. It is single-goroutine-owned:
 // the shard goroutine (or oddload's twin loop) is the only caller.
 type Pipeline struct {
 	cfg PipelineConfig
-	cs  *countedSource
-	est *core.Estimator
-	ev  mdef.Evaluator
+
+	// dets holds the armed backends in armedKinds order; dets[0] is the
+	// default. kc is dets[0] when the default is the paper stack — the
+	// drift arm and /query/prob's kernelchain fast path hang off it.
+	dets []detector.Detector
+	kc   *detector.KernelChain
+	sel  []selRule
 
 	// True sliding window: ring owns stable per-slot storage (the exact
 	// index stores points by reference), flat backing, oldest at head.
@@ -134,19 +215,28 @@ type Pipeline struct {
 	seq uint64
 }
 
-// NewPipeline returns an empty pipeline. Chain-sample recycling is always
-// enabled: the pipeline never lets sample points escape (kernel models
-// deep-copy their centers), so the per-reading ingest path is
-// allocation-free at steady state.
+// NewPipeline returns an empty pipeline. Every backend named by the
+// config (default + selector) is constructed eagerly, so two pipelines
+// built from one config always hold identical state regardless of which
+// sensors have shown up — the twin and snapshot contracts depend on it.
 func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	cs := newCountedSource(cfg.Seed)
-	est := core.NewEstimator(cfg.Core, cfg.Core.WindowCap, float64(cfg.Core.WindowCap), rand.New(cs))
-	est.EnableSampleRecycling()
-	est.EnableIncrementalModel()
-	p := &Pipeline{cfg: cfg, cs: cs, est: est}
+	p := &Pipeline{cfg: cfg}
+	byKind := map[detector.Kind]detector.Detector{}
+	for _, k := range cfg.armedKinds() {
+		d, err := detector.New(cfg.detectorConfig(k))
+		if err != nil {
+			return nil, err
+		}
+		p.dets = append(p.dets, d)
+		byKind[k] = d
+	}
+	p.kc, _ = p.dets[0].(*detector.KernelChain)
+	for _, r := range cfg.Selector {
+		p.sel = append(p.sel, selRule{prefix: r.Prefix, det: byKind[r.Backend]})
+	}
 	if cfg.Drift.Enabled {
 		d, err := newDriftState(cfg.Drift, cfg.Core.Dim)
 		if err != nil {
@@ -179,17 +269,52 @@ func (p *Pipeline) Config() PipelineConfig { return p.cfg }
 // Seq returns the number of readings ingested.
 func (p *Pipeline) Seq() uint64 { return p.seq }
 
-// ModelBuildStats reports how many model refreshes rebuilt the kernel
-// from scratch versus patching the maintained model in place.
+// ModelBuildStats reports how many kernel-model refreshes rebuilt from
+// scratch versus patching in place (zeros when the default backend has
+// no kernel model).
 func (p *Pipeline) ModelBuildStats() (fullBuilds, patchBuilds uint64) {
-	return p.est.ModelBuildStats()
+	if p.kc == nil {
+		return 0, 0
+	}
+	return p.kc.ModelBuildStats()
 }
 
-// Ingest folds one reading into the window, sample, sketch, and exact
-// index, and returns its verdict. This is the shard hot path: at steady
-// state (between amortized model rebuilds) it performs zero allocations
-// for the distance detector. v is copied; the caller keeps ownership.
-func (p *Pipeline) Ingest(v []float64) Verdict {
+// BackendStats reports every armed backend's counters, default first.
+func (p *Pipeline) BackendStats() []detector.Stats {
+	out := make([]detector.Stats, len(p.dets))
+	for i, d := range p.dets {
+		out[i] = d.Stats()
+	}
+	return out
+}
+
+// route returns the backend serving sensor: the longest selector prefix
+// that matches, else the default. The empty sensor id always routes to
+// the default (no rule has an empty prefix).
+func (p *Pipeline) route(sensor string) detector.Detector {
+	det := p.dets[0]
+	best := -1
+	for i := range p.sel {
+		r := &p.sel[i]
+		if len(r.prefix) > best && len(sensor) >= len(r.prefix) && sensor[:len(r.prefix)] == r.prefix {
+			det = r.det
+			best = len(r.prefix)
+		}
+	}
+	return det
+}
+
+// Ingest folds one reading into the window, the default backend, and the
+// exact index, and returns its verdict. Shorthand for IngestSensor with
+// no sensor id; the two are identical when no selector rules are set.
+func (p *Pipeline) Ingest(v []float64) Verdict { return p.IngestSensor("", v) }
+
+// IngestSensor folds one reading into the window, the sensor's backend,
+// and the exact index, and returns its verdict. This is the shard hot
+// path: at steady state (between amortized model rebuilds) it performs
+// zero allocations for every backend under the distance criterion. v is
+// copied; the caller keeps ownership.
+func (p *Pipeline) IngestSensor(sensor string, v []float64) Verdict {
 	if len(v) != p.cfg.Core.Dim {
 		panic(fmt.Sprintf("serve: reading dim %d, pipeline dim %d", len(v), p.cfg.Core.Dim))
 	}
@@ -211,12 +336,9 @@ func (p *Pipeline) Ingest(v []float64) Verdict {
 		p.head = 0
 	}
 
-	p.est.Observe(slot)
-	ver := Verdict{Seq: p.seq, Warmed: p.est.Warmed()}
+	dv := p.route(sensor).Ingest(slot)
+	ver := Verdict{Seq: p.seq, Outlier: dv.Outlier, Warmed: dv.Warmed}
 	ver.Exact = p.exactOutlier(slot)
-	if ver.Warmed {
-		ver.Outlier = p.estimateOutlier(slot)
-	}
 	if p.drift != nil {
 		p.driftStep(slot)
 	}
@@ -246,45 +368,41 @@ func (p *Pipeline) exactOutlier(pt window.Point) bool {
 	return p.truth.IsOutlier(pt)
 }
 
-func (p *Pipeline) estimateOutlier(pt window.Point) bool {
-	switch p.cfg.Kind {
-	case DetectDistance:
-		return p.est.IsDistanceOutlier(pt, p.cfg.Distance)
-	default:
-		m := p.est.Model()
-		if m == nil {
-			return false
-		}
-		return p.ev.IsOutlier(m, pt, p.cfg.MDEF)
-	}
-}
+// QueryOutlier answers a read-only outlier check of v against the
+// default backend; see QueryOutlierSensor.
+func (p *Pipeline) QueryOutlier(v []float64) Verdict { return p.QueryOutlierSensor("", v) }
 
-// QueryOutlier answers a read-only outlier check of v against the current
-// state without ingesting it. The exact answer counts v against the
-// window as-is (v itself is not a member).
-func (p *Pipeline) QueryOutlier(v []float64) Verdict {
+// QueryOutlierSensor answers a read-only outlier check of v against the
+// sensor's backend and the exact window, without ingesting it. The exact
+// answer counts v against the window as-is (v itself is not a member).
+func (p *Pipeline) QueryOutlierSensor(sensor string, v []float64) Verdict {
 	if len(v) != p.cfg.Core.Dim {
 		panic(fmt.Sprintf("serve: reading dim %d, pipeline dim %d", len(v), p.cfg.Core.Dim))
 	}
-	ver := Verdict{Seq: p.seq, Warmed: p.est.Warmed()}
+	dv := p.route(sensor).QueryOutlier(v)
+	ver := Verdict{Seq: p.seq, Outlier: dv.Outlier, Warmed: dv.Warmed}
 	ver.Exact = p.exactOutlier(window.Point(v))
-	if ver.Warmed {
-		ver.Outlier = p.estimateOutlier(window.Point(v))
-	}
 	return ver
 }
 
 // QueryProb returns the estimated probability mass within L∞ radius r of
-// v under the current kernel model (0 before the first model exists).
+// v under the default backend's model; see QueryProbSensor.
 func (p *Pipeline) QueryProb(v []float64, r float64) float64 {
+	return p.QueryProbSensor("", v, r)
+}
+
+// QueryProbSensor returns the estimated probability mass within L∞
+// radius r of v under the sensor's backend (0 when that backend has no
+// probability model — EWMA and Q_n serve verdicts, not densities).
+func (p *Pipeline) QueryProbSensor(sensor string, v []float64, r float64) float64 {
 	if len(v) != p.cfg.Core.Dim {
 		panic(fmt.Sprintf("serve: reading dim %d, pipeline dim %d", len(v), p.cfg.Core.Dim))
 	}
-	q := p.est.Querier()
-	if q == nil {
+	pe, ok := p.route(sensor).(detector.ProbEstimator)
+	if !ok {
 		return 0
 	}
-	return q.Prob(window.Point(v), r)
+	return pe.QueryProb(v, r)
 }
 
 // windowPoints appends the window's points oldest→newest to dst.
@@ -301,15 +419,4 @@ func (p *Pipeline) windowPoints(dst []window.Point) []window.Point {
 		dst = append(dst, p.ring[j])
 	}
 	return dst
-}
-
-// modelSnapshot marshals the cached kernel model state for the snapshot;
-// see Snapshot for why the model itself must be captured.
-func (p *Pipeline) modelSnapshot() (blob []byte, modelWc float64, dirty bool, sinceBuild int, err error) {
-	m, wc, d, sb := p.est.ModelSnapshot()
-	if m == nil {
-		return nil, wc, d, sb, nil
-	}
-	b, err := m.MarshalBinary()
-	return b, wc, d, sb, err
 }

@@ -543,7 +543,7 @@ func (s *Server) QueryOutlier(sensor string, value []float64) (QueryResponse, er
 	if sh == nil {
 		return QueryResponse{}, fmt.Errorf("%w: shard %d", errWrongNode, sid)
 	}
-	resp, err := sh.call(shardReq{op: opQuery, pt: value})
+	resp, err := sh.call(shardReq{op: opQuery, sensor: sensor, pt: value})
 	if err != nil {
 		return QueryResponse{}, err
 	}
@@ -563,7 +563,7 @@ func (s *Server) QueryProb(sensor string, value []float64, radius float64) (Prob
 	if sh == nil {
 		return ProbResponse{}, fmt.Errorf("%w: shard %d", errWrongNode, sid)
 	}
-	resp, err := sh.call(shardReq{op: opProb, pt: value, radius: radius})
+	resp, err := sh.call(shardReq{op: opProb, sensor: sensor, pt: value, radius: radius})
 	if err != nil {
 		return ProbResponse{}, err
 	}
@@ -585,6 +585,9 @@ func (s *Server) Stats() (StatsResponse, error) {
 		Distance:        s.cfg.Pipeline.Distance,
 		MDEF:            s.cfg.Pipeline.MDEF,
 		Drift:           s.cfg.Pipeline.Drift,
+		Backend:         s.cfg.Pipeline.Backend,
+		Backends:        s.cfg.Pipeline.Backends,
+		Selector:        s.cfg.Pipeline.Selector,
 		PerShard:        make([]ShardStats, 0, len(s.shards)),
 		WireFingerprint: s.wireFP,
 		Cluster:         s.cfg.Cluster,

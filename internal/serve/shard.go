@@ -48,6 +48,7 @@ type shardReq struct {
 	op       opKind
 	batch    []Reading
 	verdicts []Verdict
+	sensor   string // opQuery/opProb: backend-selector routing key
 	pt       []float64
 	radius   float64
 	fromSeq  uint64      // opReplicate: seq of the first reading in batch
@@ -180,7 +181,7 @@ func (sh *shard) handle(req shardReq) {
 			if timed {
 				t0 = time.Now()
 			}
-			v := sh.pl.Ingest(req.batch[i].Value)
+			v := sh.pl.IngestSensor(req.batch[i].Sensor, req.batch[i].Value)
 			if timed {
 				sh.lat.Insert(float64(time.Since(t0)) / float64(time.Microsecond))
 			}
@@ -221,7 +222,7 @@ func (sh *shard) handle(req shardReq) {
 			resp.err = fmt.Errorf("%w: follower at seq %d, batch starts at %d", errReplGap, sh.pl.Seq(), req.fromSeq)
 		default:
 			for i := range req.batch {
-				if sh.pl.Ingest(req.batch[i].Value).Outlier {
+				if sh.pl.IngestSensor(req.batch[i].Sensor, req.batch[i].Value).Outlier {
 					sh.outliers.Add(1)
 				}
 			}
@@ -237,9 +238,9 @@ func (sh *shard) handle(req shardReq) {
 		sh.repl = req.repl
 		req.reply <- shardResp{}
 	case opQuery:
-		req.reply <- shardResp{verdict: sh.pl.QueryOutlier(req.pt)}
+		req.reply <- shardResp{verdict: sh.pl.QueryOutlierSensor(req.sensor, req.pt)}
 	case opProb:
-		req.reply <- shardResp{prob: sh.pl.QueryProb(req.pt, req.radius)}
+		req.reply <- shardResp{prob: sh.pl.QueryProbSensor(req.sensor, req.pt, req.radius)}
 	case opStats:
 		req.reply <- shardResp{stats: sh.statsLocked()}
 	case opSnapshot:
@@ -285,6 +286,7 @@ func (sh *shard) statsLocked() ShardStats {
 		ds := sh.pl.DriftStats()
 		st.Drift = &ds
 	}
+	st.Backends = sh.pl.BackendStats()
 	return st
 }
 

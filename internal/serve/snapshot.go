@@ -5,71 +5,58 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
-	"math/rand"
 	"os"
 	"path/filepath"
 
-	"odds/internal/core"
+	"odds/internal/detector"
 	"odds/internal/drift"
 	"odds/internal/kernel"
 	"odds/internal/window"
 )
 
-// Snapshot formats. A pipeline snapshot ("ODPS") is the complete
-// deterministic state of one shard: rng position (draw count of the
-// counted source), per-shard sequence number, the estimator handoff blob,
-// the *cached kernel model* with its rebuild bookkeeping, and the true
-// window oldest→newest (the exact index is rebuilt from it on restore).
-//
-// The cached model must be captured explicitly: the estimator blob alone
-// would force a rebuild on restore, and a rebuild uses the restore-time
-// variance sigmas — while the uninterrupted original may still be serving
-// a model built several arrivals earlier under older sigmas. Restoring
-// the model bit-exactly (kernel marshaling is deterministic and
-// idempotent) is what makes post-restore verdicts identical to an
-// uninterrupted run.
+// Snapshot formats. A pipeline snapshot ("ODPS" v2) is the complete
+// deterministic state of one shard: per-shard sequence number, the true
+// window oldest→newest (the exact index is rebuilt from it on restore),
+// and one fingerprinted detector blob per armed backend in armedKinds
+// order. Everything backend-specific — rng draw counts, estimator and
+// cached-model blobs, sketches, reservoirs — lives inside the detector
+// blobs (internal/detector's "ODDB" framing), which fail closed on
+// backend-kind or config mismatch; per-backend bit-exactness across
+// checkpoint/restore, ODSH migration, and replica chains follows from
+// every backend's own snapshot contract.
 //
 // A server snapshot file ("ODSV") frames one pipeline snapshot per shard
 // behind a config fingerprint and a CRC, written via temp-file + rename
 // so a crash mid-checkpoint never corrupts the previous snapshot.
 const (
-	pipelineMagic = uint32(0x4f445053) // "ODPS"
-	fileMagic     = uint32(0x4f445356) // "ODSV"
-	fileVersion   = uint32(1)
+	pipelineMagic   = uint32(0x4f445053) // "ODPS"
+	pipelineVersion = uint32(2)
+	fileMagic       = uint32(0x4f445356) // "ODSV"
+	fileVersion     = uint32(1)
 )
 
 // Snapshot encodes the pipeline's complete deterministic state.
 func (p *Pipeline) Snapshot() ([]byte, error) {
-	est, err := p.est.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
-	model, modelWc, dirty, sinceBuild, err := p.modelSnapshot()
-	if err != nil {
-		return nil, err
-	}
 	dim := p.cfg.Core.Dim
-	buf := make([]byte, 0, 64+len(est)+len(model)+p.count*dim*8)
+	buf := make([]byte, 0, 64+p.count*dim*8)
 	buf = binary.LittleEndian.AppendUint32(buf, pipelineMagic)
-	buf = binary.LittleEndian.AppendUint64(buf, p.cs.n)
+	buf = binary.LittleEndian.AppendUint32(buf, pipelineVersion)
 	buf = binary.LittleEndian.AppendUint64(buf, p.seq)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(est)))
-	buf = append(buf, est...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(model)))
-	buf = append(buf, model...)
-	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(modelWc))
-	if dirty {
-		buf = append(buf, 1)
-	} else {
-		buf = append(buf, 0)
-	}
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(sinceBuild))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.count))
 	pts := p.windowPoints(make([]window.Point, 0, p.count))
 	for _, pt := range pts {
 		for _, x := range pt {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
 		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.dets)))
+	for _, d := range p.dets {
+		blob, err := d.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
+		buf = append(buf, blob...)
 	}
 	if p.drift != nil {
 		// Drift section, present iff the config arms the monitor (the
@@ -103,11 +90,15 @@ func (p *Pipeline) Snapshot() ([]byte, error) {
 }
 
 // RestorePipeline rebuilds a pipeline from a snapshot taken under the same
-// configuration. The restored pipeline is seed-exact: it continues the
-// original's rng stream, rebuild cadence, and window, so subsequent
-// verdicts are bit-identical to an uninterrupted run.
+// configuration. The restored pipeline is seed-exact: every backend
+// continues the original's rng stream, rebuild cadence, and sketch state,
+// so subsequent verdicts are bit-identical to an uninterrupted run. Each
+// detector blob is opened by its own backend, which fails closed when the
+// blob's backend kind or config fingerprint disagrees — a snapshot can
+// never silently restore into a pipeline running a different engine.
 func RestorePipeline(cfg PipelineConfig, data []byte) (*Pipeline, error) {
-	if err := cfg.Validate(); err != nil {
+	p, err := NewPipeline(cfg)
+	if err != nil {
 		return nil, err
 	}
 	fail := func(msg string) (*Pipeline, error) { return nil, fmt.Errorf("serve: %s", msg) }
@@ -115,46 +106,19 @@ func RestorePipeline(cfg PipelineConfig, data []byte) (*Pipeline, error) {
 	if m, ok := r.u32(); !ok || m != pipelineMagic {
 		return fail("bad pipeline snapshot magic")
 	}
-	rngN, ok1 := r.u64()
-	seq, ok2 := r.u64()
-	estBlob, ok3 := r.bytes()
-	modelBlob, ok4 := r.bytes()
-	wcBits, ok5 := r.u64()
-	dirtyB, ok6 := r.u8()
-	sinceBuild, ok7 := r.u64()
-	count32, ok8 := r.u32()
-	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7 && ok8) {
+	if v, ok := r.u32(); !ok || v != pipelineVersion {
+		return fail("unsupported pipeline snapshot version")
+	}
+	seq, ok1 := r.u64()
+	count32, ok2 := r.u32()
+	if !(ok1 && ok2) {
 		return fail("truncated pipeline snapshot")
 	}
 	count := int(count32)
 	if count > cfg.Core.WindowCap {
 		return fail("window count exceeds capacity")
 	}
-
-	// Rebuild the rng at the recorded position: re-seed and replay the
-	// recorded number of draws. One source step per draw, so the count is
-	// a complete description of the stream position.
-	cs := newCountedSource(cfg.Seed)
-	for cs.n < rngN {
-		cs.Uint64()
-	}
-	est, err := core.UnmarshalEstimator(estBlob, rand.New(cs))
-	if err != nil {
-		return nil, err
-	}
-	est.EnableSampleRecycling()
-	est.EnableIncrementalModel()
-	var model *kernel.Estimator
-	if len(modelBlob) > 0 {
-		model, err = kernel.UnmarshalEstimator(modelBlob)
-		if err != nil {
-			return nil, err
-		}
-	}
-	est.RestoreModelSnapshot(model, math.Float64frombits(wcBits), dirtyB != 0, int(sinceBuild))
-
-	p := &Pipeline{cfg: cfg, cs: cs, est: est, seq: seq}
-	p.initWindow()
+	p.seq = seq
 	dim := cfg.Core.Dim
 	for i := 0; i < count; i++ {
 		slot := p.ring[p.head]
@@ -172,16 +136,30 @@ func RestorePipeline(cfg PipelineConfig, data []byte) (*Pipeline, error) {
 		}
 	}
 	p.count = count
-	if cfg.Drift.Enabled {
-		d, err := newDriftState(cfg.Drift, dim)
-		if err != nil {
+	ndets, ok := r.u32()
+	if !ok {
+		return fail("truncated detector section")
+	}
+	if int(ndets) != len(p.dets) {
+		return fail("detector count mismatch (snapshot taken under different backends)")
+	}
+	for _, d := range p.dets {
+		blob, ok := r.bytes()
+		if !ok {
+			return fail("truncated detector blob")
+		}
+		if err := d.Restore(blob); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.Drift.Enabled {
+		d := p.drift
 		monBlob, ok1 := r.bytes()
 		refBlob, ok2 := r.bytes()
 		if !(ok1 && ok2) {
 			return fail("truncated drift section")
 		}
+		var err error
 		if d.mon, err = drift.UnmarshalMonitor(monBlob); err != nil {
 			return nil, err
 		}
@@ -201,7 +179,6 @@ func RestorePipeline(cfg PipelineConfig, data []byte) (*Pipeline, error) {
 		}
 		d.jsChecks, d.jsTrips, d.lastJS = jsChecks, jsTrips, math.Float64frombits(lastJSBits)
 		d.refresh, d.shrinks, d.lastSeq = refresh, shrinks, lastSeq
-		p.drift = d
 	}
 	return p, nil
 }
@@ -276,21 +253,60 @@ func fingerprint(shards int, cfg PipelineConfig) []byte {
 	d := cfg.Drift.withDefaults()
 	if !d.Enabled {
 		app64(0)
-		return buf
+	} else {
+		app64(1)
+		app64(uint64(d.SampleEvery))
+		app64(uint64(d.Detector.Window))
+		app64(uint64(d.Detector.CheckEvery))
+		app64(uint64(d.Detector.Cooldown))
+		appF(d.Detector.KSD)
+		appF(d.Detector.PHDelta)
+		appF(d.Detector.PHLambda)
+		appF(d.Detector.MKZ)
+		app64(uint64(d.JSEvery))
+		appF(d.JSThreshold)
+		app64(uint64(d.JSGridPoints))
+		appF(d.ShrinkFrac)
 	}
-	app64(1)
-	app64(uint64(d.SampleEvery))
-	app64(uint64(d.Detector.Window))
-	app64(uint64(d.Detector.CheckEvery))
-	app64(uint64(d.Detector.Cooldown))
-	appF(d.Detector.KSD)
-	appF(d.Detector.PHDelta)
-	appF(d.Detector.PHLambda)
-	appF(d.Detector.MKZ)
-	app64(uint64(d.JSEvery))
-	appF(d.JSThreshold)
-	app64(uint64(d.JSGridPoints))
-	appF(d.ShrinkFrac)
+	// Backend section (the satellite fix: a snapshot taken under one
+	// backend arrangement must never restore into another). Covers the
+	// default kind, every armed engine's filled parameters in canonical
+	// order, and the selector routing table — any of these changing
+	// changes which detector sees which reading, so all of them gate
+	// restore. Kernelchain's own tuning is already covered by the Core /
+	// Distance / MDEF fields above.
+	appStr := func(s string) {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	appStr(string(cfg.DefaultBackend()))
+	armed := cfg.armedKinds()
+	b := cfg.Backends.WithDefaults()
+	app64(uint64(len(armed)))
+	for _, k := range armed {
+		appStr(string(k))
+		switch k {
+		case detector.KindQn:
+			appF(b.Qn.Eps)
+			app64(uint64(b.Qn.Lag))
+			appF(b.Qn.K)
+			app64(uint64(b.Qn.MinN))
+		case detector.KindCoreset:
+			app64(uint64(b.Coreset.Size))
+			app64(uint64(b.Coreset.RebuildEvery))
+			app64(uint64(b.Coreset.WindowCount))
+			app64(uint64(b.Coreset.MinN))
+		case detector.KindEWMA:
+			appF(b.EWMA.Lambda)
+			appF(b.EWMA.K)
+			app64(uint64(b.EWMA.MinN))
+		}
+	}
+	app64(uint64(len(cfg.Selector)))
+	for _, r := range cfg.Selector {
+		appStr(r.Prefix)
+		appStr(string(r.Backend))
+	}
 	return buf
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"odds/internal/core"
+	"odds/internal/detector"
 	"odds/internal/distance"
 	"odds/internal/mdef"
 )
@@ -75,6 +76,9 @@ type ShardStats struct {
 	// Drift is the shard's concept-drift counter block, present only
 	// when the pipeline runs an armed monitor.
 	Drift *DriftStats `json:"drift,omitempty"`
+	// Backends is the per-detector counter block, one entry per armed
+	// backend in canonical order (default backend first).
+	Backends []detector.Stats `json:"backends,omitempty"`
 }
 
 // StatsResponse answers GET /stats. It carries the full detection
@@ -91,8 +95,15 @@ type StatsResponse struct {
 	// Drift is the drift-monitor arm of the pipeline configuration; the
 	// twin must replicate it to fire and adapt at the same sequence
 	// numbers as the server.
-	Drift    DriftConfig  `json:"drift"`
-	PerShard []ShardStats `json:"per_shard"`
+	Drift DriftConfig `json:"drift"`
+	// Backend, Backends, and Selector are the detector-backend arm of the
+	// configuration: the default engine, the per-engine tuning knobs, and
+	// the per-sensor routing rules. The twin must replicate all three to
+	// construct and route to bit-identical backend instances.
+	Backend  detector.Kind   `json:"backend,omitempty"`
+	Backends detector.Params `json:"backends"`
+	Selector []BackendRule   `json:"selector,omitempty"`
+	PerShard []ShardStats    `json:"per_shard"`
 	// WireFingerprint is the u64 every ODWP frame must carry; binary
 	// clients learn it here before their first batch.
 	WireFingerprint uint64 `json:"wire_fingerprint"`
@@ -114,6 +125,9 @@ func (s *StatsResponse) PipelineConfigFor(shard int) PipelineConfig {
 		MDEF:     s.MDEF,
 		Seed:     shardSeed(s.Seed, shard),
 		Drift:    s.Drift,
+		Backend:  s.Backend,
+		Backends: s.Backends,
+		Selector: s.Selector,
 	}
 }
 
